@@ -1,0 +1,82 @@
+// Ablation: the 200-packet sampling cap. The paper samples exactly 200
+// packets per detected scanner before the module "seizes"; this sweep
+// measures how classifier quality and feature-extraction cost scale with
+// the cap.
+#include <chrono>
+
+#include "bench_common.h"
+#include "ml/features.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "ml/selection.h"
+
+int main() {
+  using namespace exiot;
+  using namespace exiot::benchx;
+
+  const double scale = env_double("EXIOT_SCALE", 0.25);
+  heading("Ablation: sample-size cap vs classifier quality (paper: 200 "
+          "packets; scale " + fmt("%.2f", scale) + ")");
+
+  Sim sim = make_sim(scale, 1);
+
+  // Materialize up to 400 packets per scanner once; truncate per sweep.
+  struct Flow {
+    std::vector<net::Packet> packets;
+    int label;
+  };
+  std::vector<Flow> flows;
+  Rng rng(23);
+  for (const auto& host : sim.population.hosts()) {
+    const inet::ScanBehavior* behavior = sim.population.behavior_of(host);
+    if (behavior == nullptr) continue;
+    inet::PacketSynthesizer synth(*behavior, host.addr, aperture(),
+                                  host.seed);
+    Flow flow;
+    flow.label = behavior->iot ? 1 : 0;
+    TimeMicros ts = 0;
+    for (int i = 0; i < 400; ++i) {
+      ts += static_cast<TimeMicros>(
+          rng.exponential(host.sessions[0].rate) * kMicrosPerSecond);
+      flow.packets.push_back(synth.make_probe(ts));
+    }
+    flows.push_back(std::move(flow));
+  }
+  std::printf("\n  %zu flows; sweep of the sampling cap:\n\n", flows.size());
+  std::printf("  %-10s %-10s %-10s %-14s\n", "cap", "ROC-AUC", "F1",
+              "extract us/flow");
+
+  for (int cap : {25, 50, 100, 200, 400}) {
+    ml::Dataset data;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& flow : flows) {
+      std::vector<net::Packet> sample(
+          flow.packets.begin(),
+          flow.packets.begin() + std::min<std::size_t>(
+                                     flow.packets.size(),
+                                     static_cast<std::size_t>(cap)));
+      data.add(ml::flow_features(sample), flow.label);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us_per_flow =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(flows.size());
+
+    ml::Normalizer norm = ml::Normalizer::fit(data.rows);
+    norm.transform_in_place(data.rows);
+    auto split = ml::stratified_split(data.labels, 0.2, 7);
+    ml::Dataset train = ml::subset(data, split.train);
+    ml::Dataset test = ml::subset(data, split.test);
+    ml::ForestParams params;
+    params.balanced_bootstrap = true;
+    auto forest = ml::RandomForest::train(train, params, 9);
+    auto scores = forest.predict_scores(test.rows);
+    std::printf("  %-10d %-10.4f %-10.4f %-14.1f%s\n", cap,
+                ml::roc_auc(test.labels, scores),
+                ml::confusion_at(test.labels, scores).f1(), us_per_flow,
+                cap == 200 ? "   <- paper's operating point" : "");
+  }
+  std::printf("\n  expected shape: quality saturates well before 400 while "
+              "cost keeps growing — 200 buys the plateau.\n");
+  return 0;
+}

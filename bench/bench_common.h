@@ -1,0 +1,79 @@
+// Shared scaffolding for the experiment-reproduction binaries. Every bench
+// prints the paper's reference numbers next to the measured ones so the
+// output doubles as the EXPERIMENTS.md evidence.
+//
+// Environment knobs (all benches):
+//   EXIOT_SCALE  population scale relative to the default (default varies
+//                per bench; 1.0 = ~7.6k scanners/day = paper at 1/100)
+//   EXIOT_SEED   population seed (default 42)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "inet/population.h"
+#include "inet/world.h"
+#include "pipeline/exiot.h"
+
+namespace exiot::benchx {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline std::uint64_t env_seed() {
+  const char* value = std::getenv("EXIOT_SEED");
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : 42ull;
+}
+
+inline Cidr aperture() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+struct Sim {
+  inet::WorldModel world;
+  inet::Population population;
+};
+
+/// Standard world + population at `scale` of the default (paper-calibrated)
+/// composition over `days` simulated days.
+inline Sim make_sim(double scale, int days) {
+  Sim sim{inet::WorldModel::standard(aperture()), {}};
+  inet::PopulationConfig config;
+  config.days = days;
+  config.seed = env_seed();
+  sim.population = inet::Population::generate(config.scaled(scale),
+                                              sim.world);
+  return sim;
+}
+
+/// Runs the full pipeline over the population's days.
+inline pipeline::ExIotPipeline run_pipeline(const Sim& sim, int days,
+                                            pipeline::PipelineConfig config =
+                                                {}) {
+  config.telescope = aperture();
+  pipeline::ExIotPipeline pipe(sim.population, sim.world, config);
+  pipe.run_days(0, days);
+  pipe.finish();
+  return pipe;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::string& name, const std::string& measured,
+                const std::string& paper) {
+  std::printf("  %-36s %-20s paper: %s\n", name.c_str(), measured.c_str(),
+              paper.c_str());
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+}  // namespace exiot::benchx

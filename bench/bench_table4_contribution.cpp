@@ -1,0 +1,82 @@
+// Table IV — differential contribution, normalized intersection, and
+// exclusive contribution of eX-IoT's newly-infected-IoT set against
+// GreyNoise (historical database / Mirai-tagged) and DShield, following
+// Li et al.'s threat-intelligence metrics. Paper, on 134,782 IoT records
+// from Dec 9 2020: GreyNoise historical overlap 28,338 (Diff 0.790, of
+// which only 12,282 updated the same day), GreyNoise-Mirai 10,640 (Diff
+// 0.921), DShield 8,559 (Diff 0.936); |A ∩ union| = 31,563; Uniq 0.766.
+#include "bench_common.h"
+#include "extfeeds/extfeeds.h"
+#include "feed/compare.h"
+
+int main() {
+  using namespace exiot;
+  using namespace exiot::benchx;
+
+  const double scale = env_double("EXIOT_SCALE", 0.5);
+  heading("Table IV: contribution metrics of eX-IoT vs GreyNoise / DShield "
+          "(warm-up day + 1 measured day, scale " + fmt("%.2f", scale) +
+          ")");
+
+  Sim sim = make_sim(scale, 2);
+  auto pipe = run_pipeline(sim, 2);
+
+  // eX-IoT's newly-infected-IoT set for the measured day.
+  feed::IndicatorSet exiot_iot;
+  for (const auto& record :
+       pipe.feed().published_between(0, 100 * kMicrosPerDay)) {
+    if (record.label != feed::kLabelIot) continue;
+    if (record.scan_start < kMicrosPerDay ||
+        record.scan_start >= 2 * kMicrosPerDay) {
+      continue;
+    }
+    exiot_iot.insert(record.src.value());
+  }
+
+  auto gn_config = extfeeds::greynoise_config();
+  auto greynoise = extfeeds::observe_day(sim.population, gn_config, 1);
+  auto gn_historical =
+      extfeeds::historical_database(sim.population, gn_config, 1);
+  auto dshield = extfeeds::observe_day(sim.population,
+                                       extfeeds::dshield_config(), 1);
+  const auto gn_today = feed::to_indicator_set(greynoise.sources());
+  const auto gn_mirai = feed::to_indicator_set(
+      greynoise.sources_tagged("Mirai"));
+  const auto ds = feed::to_indicator_set(dshield.sources());
+
+  std::printf("\n  eX-IoT newly-infected-IoT set: |A| = %zu "
+              "(paper: 134,782)\n",
+              exiot_iot.size());
+  std::printf("  GreyNoise historical DB: %zu entries; %zu updated on the "
+              "measured day (paper: 28,338 / 12,282)\n\n",
+              gn_historical.size(), gn_today.size());
+
+  struct Comparison {
+    const char* name;
+    const feed::IndicatorSet* set;
+    double paper_diff;
+  } comparisons[] = {{"GreyNoise(historical)", &gn_historical, 0.78974},
+                     {"GreyNoise(Mirai)", &gn_mirai, 0.92105},
+                     {"DShield", &ds, 0.93649}};
+
+  for (const auto& cmp : comparisons) {
+    const std::size_t overlap =
+        feed::intersection_with_union(exiot_iot, {*cmp.set});
+    const double diff = feed::differential_contribution(exiot_iot, *cmp.set);
+    std::printf("  vs %-22s indicators=%-7zu overlap=%-6zu\n", cmp.name,
+                cmp.set->size(), overlap);
+    row(std::string("    Diff(A,B)"), fmt("%.5f", diff),
+        fmt("%.5f", cmp.paper_diff));
+    row("    Normalized intersection", fmt("%.5f", 1.0 - diff),
+        fmt("%.5f", 1.0 - cmp.paper_diff));
+  }
+
+  const std::size_t union_overlap =
+      feed::intersection_with_union(exiot_iot, {gn_historical, ds});
+  row("|A ∩ union(others)|", std::to_string(union_overlap), "31,563");
+  row("Uniq(A) exclusive contribution",
+      fmt("%.5f",
+          feed::exclusive_contribution(exiot_iot, {gn_historical, ds})),
+      "0.76582");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's self-scan latency experiment (§V-B): launch a controlled
+// ZMap port-80 scan against the telescope, then measure how long it takes
+// to surface in the feed, what it gets labeled, and how accurate the
+// recorded scan start/end times are. The paper measured 5h12m end to end
+// (≈3.5h of it CAIDA collection), with start/end errors of 24s and 13min.
+//
+//   ./latency_probe
+#include <cstdio>
+
+#include "pipeline/exiot.h"
+
+int main() {
+  using namespace exiot;
+
+  const Cidr telescope(Ipv4(44, 0, 0, 0), 8);
+  auto world = inet::WorldModel::standard(telescope);
+
+  // A small background population so the injected scan is not alone.
+  inet::PopulationConfig background;
+  background = background.scaled(0.05);
+  auto population = inet::Population::generate(background, world);
+
+  // The controlled scanner: ZMap on port 80 at 1000 pps Internet-wide.
+  // A /8 telescope receives 1/256 of a uniform IPv4 sweep: ~3.9 pps.
+  const Ipv4 probe_src(198, 51, 100, 7);
+  const TimeMicros scan_start = hours(7) + minutes(30);
+  const TimeMicros scan_end = scan_start + hours(3);
+  inet::Host probe;
+  probe.addr = probe_src;
+  probe.cls = inet::HostClass::kInfectedGeneric;  // A generic scanning host.
+  probe.asn = 7922;
+  for (std::size_t f = 0;
+       f < inet::BehaviorRoster::standard().generic_families.size(); ++f) {
+    if (inet::BehaviorRoster::standard().generic_families[f].family ==
+        "zmap") {
+      probe.behavior_index = static_cast<int>(f);
+    }
+  }
+  probe.behavior_is_iot = false;
+  probe.responds_banner = true;
+  probe.sessions.push_back({scan_start, scan_end, 1000.0 / 256.0});
+  probe.seed = 0x5E1F5CA9;
+  population.inject_host(probe);
+
+  pipeline::PipelineConfig config;
+  config.telescope = telescope;
+  pipeline::ExIotPipeline pipeline(population, world, config);
+  pipeline.run_days(0, 1);
+  pipeline.finish();
+
+  std::printf("injected ZMap scan: port 80, 1000 pps, start %s end %s\n",
+              format_time(scan_start).c_str(),
+              format_time(scan_end).c_str());
+
+  auto records = pipeline.feed().records_for(probe_src);
+  if (records.empty()) {
+    std::printf("scan did not surface in the feed (unexpected)\n");
+    return 1;
+  }
+  const auto& record = records.front();
+  const TimeMicros latency = record.published_at - scan_start;
+  std::printf("\nfeed record:\n");
+  std::printf("  label            %s (tool: %s)\n", record.label.c_str(),
+              record.tool.c_str());
+  std::printf("  detected start   %s (error %+lld s)\n",
+              format_time(record.scan_start).c_str(),
+              static_cast<long long>((record.scan_start - scan_start) /
+                                     kMicrosPerSecond));
+  std::printf("  detected end     %s (error %+lld s)\n",
+              format_time(record.scan_end).c_str(),
+              static_cast<long long>(
+                  record.scan_end > 0
+                      ? (record.scan_end - scan_end) / kMicrosPerSecond
+                      : 0));
+  std::printf("  published        %s\n",
+              format_time(record.published_at).c_str());
+  std::printf("  end-to-end feed latency: %.2f hours "
+              "(paper: 5.2 h, of which ~3.5 h collection)\n",
+              static_cast<double>(latency) / kMicrosPerHour);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "analytics/trends.h"
+
+#include <algorithm>
+
+#include "feed/record.h"
+
+namespace exiot::analytics {
+
+std::vector<DailySummary> daily_summaries(const feed::FeedManager& feed) {
+  std::map<int, DailySummary> days;
+  std::map<std::uint32_t, int> first_day_of_source;
+
+  // Pass 1: establish each source's first day (records iterate in
+  // insertion order, which tracks publication order).
+  feed.latest_store().for_each([&](const store::ObjectId&,
+                                   const json::Value& doc) {
+    const int day = static_cast<int>(doc.get_int("scan_start") /
+                                     kMicrosPerDay);
+    auto ip = Ipv4::parse(doc.get_string("src_ip"));
+    if (!ip.has_value()) return;
+    auto [it, inserted] = first_day_of_source.emplace(ip->value(), day);
+    if (!inserted) it->second = std::min(it->second, day);
+  });
+
+  // Pass 2: aggregate.
+  feed.latest_store().for_each([&](const store::ObjectId&,
+                                   const json::Value& doc) {
+    auto ip = Ipv4::parse(doc.get_string("src_ip"));
+    if (!ip.has_value()) return;
+    const int day = static_cast<int>(doc.get_int("scan_start") /
+                                     kMicrosPerDay);
+    DailySummary& summary = days[day];
+    summary.day = day;
+    ++summary.records;
+    if (first_day_of_source[ip->value()] == day) {
+      ++summary.new_sources;
+    } else {
+      ++summary.recurring_sources;
+    }
+    ++summary.by_label[doc.get_string("label")];
+
+    const feed::CtiRecord record = feed::CtiRecord::from_json(doc);
+    int total = 0;
+    for (const auto& [port, count] : record.targeted_ports) total += count;
+    for (const auto& [port, count] : record.targeted_ports) {
+      if (total > 0 && count * 10 >= total) ++summary.port_sources[port];
+    }
+  });
+
+  std::vector<DailySummary> out;
+  out.reserve(days.size());
+  for (auto& [day, summary] : days) out.push_back(std::move(summary));
+  return out;
+}
+
+std::vector<PortTrend> emerging_ports(const std::vector<DailySummary>& days,
+                                      const TrendConfig& config) {
+  std::vector<PortTrend> alarms;
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    for (const auto& [port, sources] : days[i].port_sources) {
+      if (sources < config.min_sources) continue;
+      // Baseline over the preceding window (absent days count as zero).
+      double baseline = 0.0;
+      int window = 0;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (days[i].day - days[j].day >
+            config.baseline_days) {
+          continue;
+        }
+        auto it = days[j].port_sources.find(port);
+        baseline += it == days[j].port_sources.end()
+                        ? 0.0
+                        : static_cast<double>(it->second);
+        ++window;
+      }
+      if (window > 0) baseline /= window;
+      // Day 0 has no history: every port would alarm, which is noise, so
+      // trends only fire from the second observed day onward.
+      if (i == 0) continue;
+      const double ratio =
+          static_cast<double>(sources) / std::max(baseline, 1.0);
+      if (baseline == 0.0 || ratio >= config.ratio_threshold) {
+        alarms.push_back({port, days[i].day, sources, baseline, ratio});
+      }
+    }
+  }
+  std::sort(alarms.begin(), alarms.end(),
+            [](const PortTrend& a, const PortTrend& b) {
+              return a.ratio > b.ratio;
+            });
+  return alarms;
+}
+
+}  // namespace exiot::analytics

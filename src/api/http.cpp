@@ -1,0 +1,117 @@
+#include "api/http.h"
+
+#include "common/strings.h"
+
+namespace exiot::api {
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(text[i + 1]), lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::map<std::string, std::string> parse_query_string(std::string_view qs) {
+  std::map<std::string, std::string> out;
+  for (const auto& pair : split(qs, '&')) {
+    if (pair.empty()) continue;
+    auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<HttpRequest> HttpRequest::parse(std::string_view raw) {
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) return std::nullopt;
+  const std::string_view head = raw.substr(0, header_end);
+  HttpRequest req;
+  req.body = std::string(raw.substr(header_end + 4));
+
+  const auto lines = split(head, '\n');
+  if (lines.empty()) return std::nullopt;
+  const auto request_line = split(trim(lines[0]), ' ');
+  if (request_line.size() != 3) return std::nullopt;
+  req.method = request_line[0];
+  if (!starts_with(request_line[2], "HTTP/")) return std::nullopt;
+
+  std::string target = request_line[1];
+  const auto qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    req.query = parse_query_string(std::string_view(target).substr(qmark + 1));
+    target.resize(qmark);
+  }
+  req.path = url_decode(target);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto line = trim(lines[i]);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    req.headers[to_lower(trim(line.substr(0, colon)))] =
+        std::string(trim(line.substr(colon + 1)));
+  }
+  return req;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse res;
+  res.status = status;
+  res.headers["Content-Type"] = "application/json";
+  res.body = std::move(body);
+  return res;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_text(status) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace exiot::api

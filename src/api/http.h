@@ -1,0 +1,48 @@
+// A minimal HTTP/1.1 message layer for the REST API: request parsing
+// (request line, headers, query strings, percent-decoding) and response
+// serialization. Deliberately small — one request per connection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace exiot::api {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  // Without the query string.
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  // Keys lower-cased.
+  std::string body;
+
+  /// Parses a complete request. Returns nullopt on malformed input.
+  static std::optional<HttpRequest> parse(std::string_view raw);
+
+  std::string header(const std::string& name) const {
+    auto it = headers.find(name);
+    return it == headers.end() ? "" : it->second;
+  }
+  std::string query_param(const std::string& name,
+                          std::string fallback = "") const {
+    auto it = query.find(name);
+    return it == query.end() ? std::move(fallback) : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  static HttpResponse json(int status, std::string body);
+  std::string serialize() const;
+};
+
+/// Percent-decodes a URL component ("%2F" -> "/", "+" -> " ").
+std::string url_decode(std::string_view text);
+
+const char* status_text(int status);
+
+}  // namespace exiot::api

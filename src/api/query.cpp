@@ -1,0 +1,392 @@
+#include "api/query.h"
+
+#include <cctype>
+#include <cmath>
+#include <variant>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace exiot::api {
+namespace {
+
+enum class TokenKind {
+  kField,     // identifier / dotted path
+  kString,
+  kNumber,
+  kBool,
+  kOp,        // == != < <= > >= contains startswith
+  kAnd,
+  kOr,
+  kNot,
+  kLParen,
+  kRParen,
+  kHas,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  bool boolean = false;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_ws();
+      const std::size_t pos = i_;
+      if (i_ >= text_.size()) {
+        out.push_back({TokenKind::kEnd, "", 0, false, pos});
+        return out;
+      }
+      const char c = text_[i_];
+      if (c == '(') {
+        out.push_back({TokenKind::kLParen, "(", 0, false, pos});
+        ++i_;
+      } else if (c == ')') {
+        out.push_back({TokenKind::kRParen, ")", 0, false, pos});
+        ++i_;
+      } else if (c == '!' && peek(1) != '=') {
+        out.push_back({TokenKind::kNot, "!", 0, false, pos});
+        ++i_;
+      } else if (c == '&' && peek(1) == '&') {
+        out.push_back({TokenKind::kAnd, "&&", 0, false, pos});
+        i_ += 2;
+      } else if (c == '|' && peek(1) == '|') {
+        out.push_back({TokenKind::kOr, "||", 0, false, pos});
+        i_ += 2;
+      } else if (c == '=' && peek(1) == '=') {
+        out.push_back({TokenKind::kOp, "==", 0, false, pos});
+        i_ += 2;
+      } else if (c == '!' && peek(1) == '=') {
+        out.push_back({TokenKind::kOp, "!=", 0, false, pos});
+        i_ += 2;
+      } else if (c == '<' || c == '>') {
+        std::string op(1, c);
+        ++i_;
+        if (i_ < text_.size() && text_[i_] == '=') {
+          op += '=';
+          ++i_;
+        }
+        out.push_back({TokenKind::kOp, op, 0, false, pos});
+      } else if (c == '"') {
+        auto s = string_literal();
+        if (!s.ok()) return s.error();
+        out.push_back({TokenKind::kString, std::move(s).take(), 0, false,
+                       pos});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        std::size_t start = i_;
+        ++i_;
+        while (i_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[i_])) ||
+                text_[i_] == '.')) {
+          ++i_;
+        }
+        out.push_back({TokenKind::kNumber, "",
+                       std::atof(text_.substr(start, i_ - start).c_str()),
+                       false, pos});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = i_;
+        while (i_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+                text_[i_] == '_' || text_[i_] == '.')) {
+          ++i_;
+        }
+        const std::string word = text_.substr(start, i_ - start);
+        if (word == "true" || word == "false") {
+          out.push_back({TokenKind::kBool, word, 0, word == "true", pos});
+        } else if (word == "contains" || word == "startswith") {
+          out.push_back({TokenKind::kOp, word, 0, false, pos});
+        } else if (word == "has") {
+          out.push_back({TokenKind::kHas, word, 0, false, pos});
+        } else if (word == "and") {
+          out.push_back({TokenKind::kAnd, word, 0, false, pos});
+        } else if (word == "or") {
+          out.push_back({TokenKind::kOr, word, 0, false, pos});
+        } else if (word == "not") {
+          out.push_back({TokenKind::kNot, word, 0, false, pos});
+        } else {
+          out.push_back({TokenKind::kField, word, 0, false, pos});
+        }
+      } else {
+        return make_error("query_parse",
+                          "unexpected character '" + std::string(1, c) +
+                              "' at " + std::to_string(pos));
+      }
+    }
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < text_.size() ? text_[i_ + ahead] : '\0';
+  }
+  void skip_ws() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+  }
+  Result<std::string> string_literal() {
+    ++i_;  // opening quote
+    std::string out;
+    while (i_ < text_.size() && text_[i_] != '"') {
+      if (text_[i_] == '\\' && i_ + 1 < text_.size()) ++i_;
+      out += text_[i_++];
+    }
+    if (i_ >= text_.size()) {
+      return make_error("query_parse", "unterminated string literal");
+    }
+    ++i_;  // closing quote
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+};
+
+using Literal = std::variant<std::string, double, bool>;
+
+}  // namespace
+
+struct Query::Node {
+  enum class Kind { kAnd, kOr, kNot, kCompare, kHas } kind;
+  // kAnd/kOr/kNot:
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+  // kCompare/kHas:
+  std::string field;
+  std::string op;
+  Literal literal;
+
+  bool eval(const json::Value& doc) const {
+    switch (kind) {
+      case Kind::kAnd: return left->eval(doc) && right->eval(doc);
+      case Kind::kOr: return left->eval(doc) || right->eval(doc);
+      case Kind::kNot: return !left->eval(doc);
+      case Kind::kHas: return lookup(doc) != nullptr;
+      case Kind::kCompare: return compare(doc);
+    }
+    return false;
+  }
+
+  const json::Value* lookup(const json::Value& doc) const {
+    const json::Value* current = &doc;
+    for (const auto& part : split(field, '.')) {
+      current = current->find(part);
+      if (current == nullptr) return nullptr;
+    }
+    return current;
+  }
+
+  bool compare(const json::Value& doc) const {
+    const json::Value* value = lookup(doc);
+    if (std::holds_alternative<std::string>(literal)) {
+      const std::string& want = std::get<std::string>(literal);
+      const std::string got =
+          value != nullptr && value->is_string() ? value->as_string() : "";
+      if (op == "==") return value != nullptr && got == want;
+      if (op == "!=") return value == nullptr || got != want;
+      if (op == "contains") return contains_icase(got, want);
+      if (op == "startswith") {
+        return starts_with(to_lower(got), to_lower(want));
+      }
+      // Ordered comparison on strings: lexicographic, missing < anything.
+      if (value == nullptr) return op == "<" || op == "<=";
+      if (op == "<") return got < want;
+      if (op == "<=") return got <= want;
+      if (op == ">") return got > want;
+      if (op == ">=") return got >= want;
+      return false;
+    }
+    if (std::holds_alternative<bool>(literal)) {
+      const bool want = std::get<bool>(literal);
+      const bool got =
+          value != nullptr && value->is_bool() && value->as_bool();
+      if (op == "==") return got == want;
+      if (op == "!=") return got != want;
+      return false;
+    }
+    const double want = std::get<double>(literal);
+    if (value == nullptr || !value->is_number()) {
+      return op == "!=";  // Missing numeric field equals nothing.
+    }
+    const double got = value->as_double();
+    if (op == "==") return got == want;
+    if (op == "!=") return got != want;
+    if (op == "<") return got < want;
+    if (op == "<=") return got <= want;
+    if (op == ">") return got > want;
+    if (op == ">=") return got >= want;
+    return false;
+  }
+};
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<const Query::Node>> parse() {
+    auto expr = parse_or();
+    if (!expr.ok()) return expr;
+    if (current().kind != TokenKind::kEnd) {
+      return fail("trailing tokens");
+    }
+    return expr;
+  }
+
+ private:
+  using NodePtr = std::shared_ptr<const Query::Node>;
+
+  const Token& current() const { return tokens_[i_]; }
+  void advance() {
+    if (i_ + 1 < tokens_.size()) ++i_;
+  }
+  Error error(const std::string& message) const {
+    return make_error("query_parse", message + " at position " +
+                                         std::to_string(current().pos));
+  }
+  Result<NodePtr> fail(const std::string& message) const {
+    return error(message);
+  }
+
+  Result<NodePtr> parse_or() {
+    auto left = parse_and();
+    if (!left.ok()) return left;
+    NodePtr node = std::move(left).take();
+    while (current().kind == TokenKind::kOr) {
+      advance();
+      auto right = parse_and();
+      if (!right.ok()) return right;
+      auto combined = std::make_shared<Query::Node>();
+      combined->kind = Query::Node::Kind::kOr;
+      combined->left = node;
+      combined->right = std::move(right).take();
+      node = combined;
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_and() {
+    auto left = parse_unary();
+    if (!left.ok()) return left;
+    NodePtr node = std::move(left).take();
+    while (current().kind == TokenKind::kAnd) {
+      advance();
+      auto right = parse_unary();
+      if (!right.ok()) return right;
+      auto combined = std::make_shared<Query::Node>();
+      combined->kind = Query::Node::Kind::kAnd;
+      combined->left = node;
+      combined->right = std::move(right).take();
+      node = combined;
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_unary() {
+    if (current().kind == TokenKind::kNot) {
+      advance();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto node = std::make_shared<Query::Node>();
+      node->kind = Query::Node::Kind::kNot;
+      node->left = std::move(operand).take();
+      return NodePtr(node);
+    }
+    if (current().kind == TokenKind::kLParen) {
+      advance();
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      if (current().kind != TokenKind::kRParen) {
+        return fail("expected ')'");
+      }
+      advance();
+      return inner;
+    }
+    if (current().kind == TokenKind::kHas) {
+      advance();
+      if (current().kind != TokenKind::kLParen) {
+        return fail("expected '(' after has");
+      }
+      advance();
+      if (current().kind != TokenKind::kField) {
+        return fail("expected field name in has()");
+      }
+      auto node = std::make_shared<Query::Node>();
+      node->kind = Query::Node::Kind::kHas;
+      node->field = current().text;
+      advance();
+      if (current().kind != TokenKind::kRParen) {
+        return fail("expected ')' after has(field");
+      }
+      advance();
+      return NodePtr(node);
+    }
+    return parse_comparison();
+  }
+
+  Result<NodePtr> parse_comparison() {
+    if (current().kind != TokenKind::kField) {
+      return fail("expected field name");
+    }
+    auto node = std::make_shared<Query::Node>();
+    node->kind = Query::Node::Kind::kCompare;
+    node->field = current().text;
+    advance();
+    if (current().kind != TokenKind::kOp) {
+      return fail("expected comparison operator");
+    }
+    node->op = current().text;
+    advance();
+    switch (current().kind) {
+      case TokenKind::kString:
+        node->literal = current().text;
+        break;
+      case TokenKind::kNumber:
+        node->literal = current().number;
+        break;
+      case TokenKind::kBool:
+        node->literal = current().boolean;
+        break;
+      default:
+        return fail("expected literal");
+    }
+    if ((node->op == "contains" || node->op == "startswith") &&
+        !std::holds_alternative<std::string>(node->literal)) {
+      return fail("'" + node->op + "' requires a string literal");
+    }
+    advance();
+    return NodePtr(node);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Query::compile(const std::string& expression) {
+  auto tokens = Lexer(expression).run();
+  if (!tokens.ok()) return tokens.error();
+  auto root = Parser(std::move(tokens).take()).parse();
+  if (!root.ok()) return root.error();
+  Query query;
+  query.expression_ = expression;
+  query.root_ = std::move(root).take();
+  return query;
+}
+
+bool Query::matches(const json::Value& doc) const {
+  return root_ != nullptr && root_->eval(doc);
+}
+
+}  // namespace exiot::api

@@ -1,0 +1,51 @@
+// The raw-database query builder of §IV: a small filter-expression
+// language evaluated against CTI record documents, powering the web
+// interface's query builder and the API's /v1/query endpoint.
+//
+// Grammar (precedence low to high):
+//   expr     := or
+//   or       := and ("||" and)*
+//   and      := unary ("&&" unary)*
+//   unary    := "!" unary | "(" expr ")" | comparison
+//   compare  := field op literal | "has" "(" field ")"
+//   op       := == | != | < | <= | > | >= | contains | startswith
+//   field    := dotted identifier into the record document (e.g. label,
+//               country_code, asn, score, scan_rate, vendor)
+//   literal  := "string" | number | true | false
+//
+// Examples:
+//   label == "IoT" && country_code == "CN" && score >= 0.9
+//   (asn == 4134 || asn == 4837) && tool contains "Mirai"
+//   has(vendor) && !(sector == "Residential")
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "json/json.h"
+
+namespace exiot::api {
+
+/// A compiled query. Immutable and reusable across documents.
+class Query {
+ public:
+  /// Compiles an expression; returns a parse error with position info on
+  /// malformed input.
+  static Result<Query> compile(const std::string& expression);
+
+  /// Evaluates against one record document. Missing fields compare as
+  /// unequal / less-than-nothing, never as errors.
+  bool matches(const json::Value& doc) const;
+
+  const std::string& expression() const { return expression_; }
+
+  // Movable; nodes are shared immutable state.
+  struct Node;
+
+ private:
+  std::string expression_;
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace exiot::api

@@ -1,0 +1,200 @@
+#include "api/server.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "api/query.h"
+#include "common/strings.h"
+
+namespace exiot::api {
+namespace {
+
+json::Value error_body(const std::string& message) {
+  json::Value body;
+  body["error"] = message;
+  return body;
+}
+
+}  // namespace
+
+bool ApiServer::authorized(const HttpRequest& request) const {
+  const std::string auth = request.header("authorization");
+  if (!starts_with(auth, "Bearer ")) return false;
+  return tokens_.contains(std::string(trim(auth.substr(7))));
+}
+
+HttpResponse ApiServer::handle(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return HttpResponse::json(405, error_body("method not allowed").dump());
+  }
+  if (request.path == "/v1/health") {
+    json::Value body;
+    body["status"] = "ok";
+    return HttpResponse::json(200, body.dump());
+  }
+  if (!authorized(request)) {
+    return HttpResponse::json(401, error_body("invalid or missing token").dump());
+  }
+  if (request.path == "/v1/stats") return handle_stats();
+  if (request.path == "/v1/records") return handle_records(request);
+  if (starts_with(request.path, "/v1/records/")) {
+    return handle_records_for_ip(request.path.substr(12));
+  }
+  if (request.path == "/v1/snapshot") return handle_snapshot(request);
+  if (request.path == "/v1/query") return handle_query(request);
+  if (auto it = extra_endpoints_.find(request.path);
+      it != extra_endpoints_.end()) {
+    return HttpResponse::json(200, it->second().dump());
+  }
+  return HttpResponse::json(404, error_body("no such endpoint").dump());
+}
+
+HttpResponse ApiServer::handle_stats() const {
+  json::Value body;
+  body["total_records"] = static_cast<std::int64_t>(feed_.total_records());
+  body["historical_records"] =
+      static_cast<std::int64_t>(feed_.historical_records());
+  body["active_sources"] = static_cast<std::int64_t>(feed_.active_count());
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_records(const HttpRequest& request) const {
+  const std::string label = request.query_param("label");
+  const std::string country = request.query_param("country");
+  const std::string asn = request.query_param("asn");
+  const std::string active = request.query_param("active");
+  std::int64_t since = 0;
+  std::int64_t until = std::numeric_limits<std::int64_t>::max();
+  std::size_t limit = 100;
+  try {
+    if (auto s = request.query_param("since"); !s.empty()) since = std::stoll(s);
+    if (auto u = request.query_param("until"); !u.empty()) until = std::stoll(u);
+    if (auto l = request.query_param("limit"); !l.empty()) {
+      limit = static_cast<std::size_t>(std::stoll(l));
+    }
+  } catch (const std::exception&) {
+    return HttpResponse::json(400, error_body("bad numeric parameter").dump());
+  }
+
+  json::Array records;
+  feed_.latest_store().for_each(
+      [&](const store::ObjectId&, const json::Value& doc) {
+        if (records.size() >= limit) return;
+        const std::int64_t published = doc.get_int("published_at");
+        if (published < since || published >= until) return;
+        if (!label.empty() && doc.get_string("label") != label) return;
+        if (!country.empty() && doc.get_string("country_code") != country) {
+          return;
+        }
+        if (!asn.empty() &&
+            std::to_string(doc.get_int("asn")) != asn) {
+          return;
+        }
+        if (!active.empty() &&
+            doc.get_bool("active") != (active == "true")) {
+          return;
+        }
+        records.push_back(doc);
+      });
+  json::Value body;
+  body["count"] = static_cast<std::int64_t>(records.size());
+  body["records"] = std::move(records);
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_records_for_ip(const std::string& ip) const {
+  auto addr = Ipv4::parse(ip);
+  if (!addr.has_value()) {
+    return HttpResponse::json(400, error_body("bad IP address").dump());
+  }
+  json::Array records;
+  for (const auto& record : feed_.records_for(*addr)) {
+    records.push_back(record.to_json());
+  }
+  if (records.empty()) {
+    return HttpResponse::json(404, error_body("no records for IP").dump());
+  }
+  json::Value body;
+  body["src_ip"] = ip;
+  body["count"] = static_cast<std::int64_t>(records.size());
+  body["records"] = std::move(records);
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_query(const HttpRequest& request) const {
+  const std::string expression = request.query_param("q");
+  if (expression.empty()) {
+    return HttpResponse::json(400, error_body("missing q parameter").dump());
+  }
+  auto compiled = Query::compile(expression);
+  if (!compiled.ok()) {
+    return HttpResponse::json(400,
+                              error_body(compiled.error().message).dump());
+  }
+  std::size_t limit = 100;
+  try {
+    if (auto l = request.query_param("limit"); !l.empty()) {
+      limit = static_cast<std::size_t>(std::stoll(l));
+    }
+  } catch (const std::exception&) {
+    return HttpResponse::json(400, error_body("bad numeric parameter").dump());
+  }
+  json::Array records;
+  std::size_t matched = 0;
+  feed_.latest_store().for_each(
+      [&](const store::ObjectId&, const json::Value& doc) {
+        if (!compiled.value().matches(doc)) return;
+        ++matched;
+        if (records.size() < limit) records.push_back(doc);
+      });
+  json::Value body;
+  body["query"] = expression;
+  body["matched"] = static_cast<std::int64_t>(matched);
+  body["count"] = static_cast<std::int64_t>(records.size());
+  body["records"] = std::move(records);
+  return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_snapshot(const HttpRequest& request) const {
+  std::int64_t since = 0;
+  try {
+    if (auto s = request.query_param("since"); !s.empty()) since = std::stoll(s);
+  } catch (const std::exception&) {
+    return HttpResponse::json(400, error_body("bad numeric parameter").dump());
+  }
+  std::map<std::string, int> by_country, by_vendor, by_label;
+  std::map<std::int64_t, int> by_asn;
+  int total = 0;
+  feed_.latest_store().for_each(
+      [&](const store::ObjectId&, const json::Value& doc) {
+        if (doc.get_int("published_at") < since) return;
+        ++total;
+        ++by_label[doc.get_string("label")];
+        if (auto c = doc.get_string("country"); !c.empty()) ++by_country[c];
+        if (auto v = doc.get_string("vendor"); !v.empty()) ++by_vendor[v];
+        if (auto a = doc.get_int("asn"); a != 0) ++by_asn[a];
+      });
+
+  auto to_object = [](const auto& counts) {
+    json::Object obj;
+    for (const auto& [key, value] : counts) {
+      if constexpr (std::is_same_v<std::decay_t<decltype(key)>,
+                                   std::int64_t>) {
+        obj[std::to_string(key)] = value;
+      } else {
+        obj[key] = value;
+      }
+    }
+    return obj;
+  };
+  json::Value body;
+  body["total"] = total;
+  body["by_label"] = to_object(by_label);
+  body["by_country"] = to_object(by_country);
+  body["by_vendor"] = to_object(by_vendor);
+  body["by_asn"] = to_object(by_asn);
+  return HttpResponse::json(200, body.dump());
+}
+
+}  // namespace exiot::api

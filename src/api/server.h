@@ -1,0 +1,61 @@
+// The eX-IoT REST API (§IV): authenticated programmatic access to the CTI
+// feed, returning JSON. Endpoints:
+//
+//   GET /v1/health                      liveness (no auth)
+//   GET /v1/stats                       feed-level counters
+//   GET /v1/records?label=&country=&asn=&since=&until=&active=&limit=
+//                                       filtered record query
+//   GET /v1/records/<ip>                all records for a source IP
+//   GET /v1/snapshot?window_us=         aggregate roll-ups (Table V style)
+//   GET /v1/query?q=<expr>&limit=       query-builder expressions (see
+//                                       api/query.h for the language)
+//   GET <registered>                    extra JSON endpoints
+//                                       (add_json_endpoint; e.g.
+//                                       /v1/telescope statistics)
+//
+// Auth: "Authorization: Bearer <token>" checked against registered tokens.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include "api/http.h"
+#include "feed/manager.h"
+
+namespace exiot::api {
+
+class ApiServer {
+ public:
+  explicit ApiServer(const feed::FeedManager& feed) : feed_(feed) {}
+
+  /// Registers an API token.
+  void add_token(std::string token) { tokens_.insert(std::move(token)); }
+
+  /// Registers an extra authenticated GET endpoint whose body is produced
+  /// by `provider` (e.g. /v1/telescope backed by the pipeline's
+  /// ReportStore). The path must start with "/".
+  void add_json_endpoint(std::string path,
+                         std::function<json::Value()> provider) {
+    extra_endpoints_[std::move(path)] = std::move(provider);
+  }
+
+  /// Handles one request (transport-independent; the TCP binding and the
+  /// tests both route through here).
+  HttpResponse handle(const HttpRequest& request) const;
+
+ private:
+  bool authorized(const HttpRequest& request) const;
+  HttpResponse handle_stats() const;
+  HttpResponse handle_records(const HttpRequest& request) const;
+  HttpResponse handle_records_for_ip(const std::string& ip) const;
+  HttpResponse handle_snapshot(const HttpRequest& request) const;
+  HttpResponse handle_query(const HttpRequest& request) const;
+
+  const feed::FeedManager& feed_;
+  std::unordered_set<std::string> tokens_;
+  std::map<std::string, std::function<json::Value()>> extra_endpoints_;
+};
+
+}  // namespace exiot::api

@@ -1,0 +1,94 @@
+#include "api/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace exiot::api {
+
+TcpListener::~TcpListener() { stop(); }
+
+Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return make_error("tcp", "socket() failed: " +
+                                 std::string(std::strerror(errno)));
+  }
+  int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error("tcp",
+                      "bind() failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error("tcp", "listen() failed: " +
+                                 std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return port_;
+}
+
+void TcpListener::stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpListener::serve_loop() {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    // Read until the end of headers plus the declared body, or the peer
+    // shuts down its write side.
+    std::string raw;
+    char buf[4096];
+    while (raw.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n <= 0) break;
+      raw.append(buf, static_cast<std::size_t>(n));
+      if (raw.size() > 1 << 20) break;  // Refuse absurd headers.
+    }
+    HttpResponse response;
+    if (auto request = HttpRequest::parse(raw)) {
+      response = server_.handle(*request);
+    } else {
+      response = HttpResponse::json(400, R"({"error":"malformed request"})");
+    }
+    const std::string wire = response.serialize();
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::write(client, wire.data() + sent, wire.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace exiot::api

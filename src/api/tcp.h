@@ -1,0 +1,41 @@
+// TCP binding for the API server: a small loopback HTTP listener so the
+// feed can actually be curl'd. One request per connection; the accept loop
+// runs on a background thread until stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "api/server.h"
+#include "common/result.h"
+
+namespace exiot::api {
+
+class TcpListener {
+ public:
+  explicit TcpListener(const ApiServer& server) : server_(server) {}
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving. Returns
+  /// the bound port.
+  Result<std::uint16_t> start(std::uint16_t port = 0);
+
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  const ApiServer& server_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace exiot::api

@@ -1,0 +1,26 @@
+// Leveled logging used by operational modules (pipeline, API). Quiet by
+// default so tests and benches stay readable; raise the level to debug a run.
+#pragma once
+
+#include <string>
+
+namespace exiot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default: kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes a line "[LEVEL] component: message" to stderr if enabled.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+#define EXIOT_LOG(level, component, message) \
+  do {                                       \
+    if (static_cast<int>(level) >=           \
+        static_cast<int>(::exiot::log_level())) \
+      ::exiot::log_message(level, component, message); \
+  } while (0)
+
+}  // namespace exiot

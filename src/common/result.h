@@ -1,0 +1,60 @@
+// A minimal expected-style result type. Expected failures (parse errors,
+// missing records, I/O problems) flow through Result<T> at module boundaries;
+// exceptions are reserved for programming errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace exiot {
+
+/// An error with a short machine-friendly code and a human message.
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+  const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Specialization-free helper for functions with no payload.
+struct Ok {};
+using Status = Result<Ok>;
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace exiot

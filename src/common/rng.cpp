@@ -1,0 +1,109 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace exiot {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& s : s_) s = splitmix64(state);
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xA5A5A5A5DEADBEEFull); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless bounded sampling; bias is negligible for
+  // simulation purposes (< 2^-64 * bound).
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+double Rng::exponential(double rate) {
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 == 0.0);
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: zero total");
+  double target = next_double() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace exiot

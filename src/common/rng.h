@@ -1,0 +1,54 @@
+// Deterministic random number generation for the simulation. Every stochastic
+// component takes an explicit Rng (or a seed) so that experiments are
+// reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace exiot {
+
+/// A small, fast, splittable PRNG (splitmix64-seeded xoshiro256**).
+/// Not cryptographic; used exclusively for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// host its own stream so host behaviour is order-independent.
+  Rng split();
+
+  std::uint64_t next_u64();
+  /// Uniform integer in [0, bound) (bound must be > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  bool bernoulli(double p);
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Pareto variate with scale xm and shape alpha (heavy-tailed rates).
+  double pareto(double xm, double alpha);
+  /// Samples an index from unnormalized non-negative weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace exiot

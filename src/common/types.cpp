@@ -1,0 +1,73 @@
+#include "common/types.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace exiot {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t out = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == p) return std::nullopt;
+    out = (out << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4(out);
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = Ipv4::parse(text);
+    if (!addr) return std::nullopt;
+    return Cidr(*addr, 32);
+  }
+  auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  auto rest = text.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), len);
+  if (ec != std::errc{} || next != rest.data() + rest.size() || len < 0 ||
+      len > 32) {
+    return std::nullopt;
+  }
+  return Cidr(*addr, len);
+}
+
+std::string Cidr::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::string format_time(TimeMicros t) {
+  bool neg = t < 0;
+  if (neg) t = -t;
+  auto days = t / kMicrosPerDay;
+  auto rem = t % kMicrosPerDay;
+  int h = static_cast<int>(rem / kMicrosPerHour);
+  int m = static_cast<int>((rem / kMicrosPerMinute) % 60);
+  int s = static_cast<int>((rem / kMicrosPerSecond) % 60);
+  int ms = static_cast<int>((rem / 1000) % 1000);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld+%02d:%02d:%02d.%03d",
+                neg ? "-" : "", static_cast<long long>(days), h, m, s, ms);
+  return buf;
+}
+
+}  // namespace exiot

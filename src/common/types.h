@@ -1,0 +1,98 @@
+// Basic value types shared across the eX-IoT reproduction: IPv4 addresses,
+// CIDR prefixes, and simulation time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace exiot {
+
+/// An IPv4 address stored in host byte order. A thin value wrapper so that
+/// addresses are not confused with arbitrary integers in interfaces.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// malformed input (missing octets, values > 255, trailing garbage).
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (network address + prefix length), e.g. the /8 telescope
+/// aperture or an organization's monitored IP block.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  /// Construction normalizes the network address by masking host bits.
+  constexpr Cidr(Ipv4 network, int prefix_len)
+      : network_(network.value() & mask_for(prefix_len)),
+        prefix_len_(prefix_len) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32.
+  static std::optional<Cidr> parse(std::string_view text);
+
+  constexpr bool contains(Ipv4 addr) const {
+    return (addr.value() & mask_for(prefix_len_)) == network_.value();
+  }
+  constexpr Ipv4 network() const { return network_; }
+  constexpr int prefix_len() const { return prefix_len_; }
+  /// Number of addresses covered by the prefix (2^(32-len)).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+  /// The i-th address inside the prefix (0-based; caller ensures i < size()).
+  constexpr Ipv4 address_at(std::uint64_t i) const {
+    return Ipv4(network_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Cidr&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int len) {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  }
+  Ipv4 network_{};
+  int prefix_len_ = 0;
+};
+
+/// Simulation time: microseconds since the simulated epoch. All pipeline
+/// stages operate on this virtual timeline so that days of telescope traffic
+/// can be replayed in seconds of wall-clock time.
+using TimeMicros = std::int64_t;
+
+constexpr TimeMicros kMicrosPerSecond = 1'000'000;
+constexpr TimeMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr TimeMicros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr TimeMicros kMicrosPerDay = 24 * kMicrosPerHour;
+
+constexpr TimeMicros seconds(double s) {
+  return static_cast<TimeMicros>(s * kMicrosPerSecond);
+}
+constexpr TimeMicros minutes(double m) { return seconds(m * 60.0); }
+constexpr TimeMicros hours(double h) { return minutes(h * 60.0); }
+
+/// Formats a TimeMicros as "D+HH:MM:SS.mmm" for reports and logs.
+std::string format_time(TimeMicros t);
+
+}  // namespace exiot

@@ -1,0 +1,105 @@
+#include "enrich/enrichment.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace exiot::enrich {
+namespace {
+
+/// Rough per-country anchor coordinates for synthesized geolocation.
+struct Anchor {
+  const char* cc;
+  double lat, lon;
+};
+constexpr Anchor kAnchors[] = {
+    {"CN", 35.0, 105.0},  {"IN", 21.0, 78.0},   {"BR", -10.0, -55.0},
+    {"IR", 32.0, 53.0},   {"MX", 23.0, -102.0}, {"VN", 16.0, 108.0},
+    {"KR", 36.5, 128.0},  {"TW", 23.7, 121.0},  {"TR", 39.0, 35.0},
+    {"ID", -2.0, 118.0},  {"TH", 15.0, 101.0},  {"PK", 30.0, 70.0},
+    {"CO", 4.0, -73.0},   {"AR", -34.0, -64.0}, {"RU", 60.0, 100.0},
+    {"DE", 51.0, 9.0},    {"FR", 46.0, 2.0},    {"PL", 52.0, 20.0},
+    {"UA", 49.0, 32.0},   {"NL", 52.5, 5.75},   {"CZ", 49.75, 15.5},
+    {"US", 38.0, -97.0},  {"CA", 56.0, -106.0}, {"EG", 27.0, 30.0},
+    {"ZA", -29.0, 24.0},  {"MA", 32.0, -5.0},   {"AU", -27.0, 133.0},
+};
+
+std::uint64_t mix(std::uint32_t v) {
+  std::uint64_t h = v;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+EnrichmentService::EnrichmentService(const inet::WorldModel& world,
+                                     const inet::Population& population)
+    : world_(world) {
+  for (const auto& host : population.hosts()) {
+    if (!host.rdns.empty()) rdns_.emplace(host.addr.value(), host.rdns);
+  }
+}
+
+std::optional<GeoInfo> EnrichmentService::geo(Ipv4 addr) const {
+  const inet::AsInfo* as = world_.lookup(addr);
+  if (as == nullptr) return std::nullopt;
+  GeoInfo info;
+  info.country = as->country;
+  info.country_code = as->country_code;
+  info.continent = inet::to_string(as->continent);
+  info.asn = as->asn;
+  info.isp = as->isp;
+  // Anchor + deterministic per-/24 jitter: stable city-level coordinates.
+  double lat = 0.0, lon = 0.0;
+  for (const auto& anchor : kAnchors) {
+    if (info.country_code == anchor.cc) {
+      lat = anchor.lat;
+      lon = anchor.lon;
+      break;
+    }
+  }
+  const std::uint64_t h = mix(addr.value() >> 8);
+  info.latitude = lat + static_cast<double>(h % 1000) / 1000.0 * 6.0 - 3.0;
+  info.longitude =
+      lon + static_cast<double>((h >> 10) % 1000) / 1000.0 * 6.0 - 3.0;
+  return info;
+}
+
+std::optional<WhoisInfo> EnrichmentService::whois(Ipv4 addr) const {
+  const inet::AsInfo* as = world_.lookup(addr);
+  if (as == nullptr) return std::nullopt;
+  WhoisInfo info;
+  info.organization = world_.organization_name(addr);
+  info.sector = inet::to_string(world_.sector_of(addr));
+  // Abuse contact synthesized from the organization (lower-cased handle).
+  std::string handle;
+  for (char c : info.organization) {
+    if (c == ' ') {
+      handle += '-';
+    } else if (std::isalnum(static_cast<unsigned char>(c))) {
+      handle += static_cast<char>(std::tolower(c));
+    }
+  }
+  info.abuse_email = "abuse@" + handle + ".example.net";
+  return info;
+}
+
+std::string EnrichmentService::rdns(Ipv4 addr) const {
+  auto it = rdns_.find(addr.value());
+  return it == rdns_.end() ? "" : it->second;
+}
+
+bool EnrichmentService::is_benign_scanner_rdns(const std::string& name) {
+  static constexpr std::array<const char*, 8> kBenignDomains = {
+      "shodan.io",       "censys-scanner.com", "eecs.umich.edu",
+      "sonar.rapid7.com", "cesnet.cz",         "binaryedge.ninja",
+      "shadowserver.org", "quadmetrics.com"};
+  for (const char* domain : kBenignDomains) {
+    if (ends_with(to_lower(name), domain)) return true;
+  }
+  return false;
+}
+
+}  // namespace exiot::enrich

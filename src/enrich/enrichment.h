@@ -1,0 +1,59 @@
+// Contextual enrichment, the Annotate module's lookup stage: GeoIP
+// (MaxMind's role), IP WHOIS, and reverse DNS — all served from snapshots
+// derived from the same synthetic world the traffic comes from. Also
+// implements the paper's Benign labeling: scanners whose rDNS attributes
+// them to known research organizations (Censys, Shodan, Rapid7, UMich,
+// CESNET, ...) are flagged benign.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "inet/population.h"
+#include "inet/world.h"
+
+namespace exiot::enrich {
+
+struct GeoInfo {
+  std::string country;
+  std::string country_code;
+  std::string continent;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::uint32_t asn = 0;
+  std::string isp;
+};
+
+struct WhoisInfo {
+  std::string organization;
+  std::string sector;
+  std::string abuse_email;  // Notification target for the hosting entity.
+};
+
+class EnrichmentService {
+ public:
+  /// Builds the GeoIP/WHOIS snapshots from the world model and the rDNS
+  /// zone from the population's PTR records.
+  EnrichmentService(const inet::WorldModel& world,
+                    const inet::Population& population);
+
+  /// GeoIP lookup; nullopt for unallocated space (as MaxMind misses).
+  std::optional<GeoInfo> geo(Ipv4 addr) const;
+
+  /// WHOIS lookup; always answers for allocated space.
+  std::optional<WhoisInfo> whois(Ipv4 addr) const;
+
+  /// Reverse DNS; "" when no PTR record exists.
+  std::string rdns(Ipv4 addr) const;
+
+  /// True if an rDNS name belongs to a known research scanner operator.
+  static bool is_benign_scanner_rdns(const std::string& rdns_name);
+
+ private:
+  const inet::WorldModel& world_;
+  std::unordered_map<std::uint32_t, std::string> rdns_;
+};
+
+}  // namespace exiot::enrich

@@ -1,0 +1,36 @@
+#include "enrich/flow_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace exiot::enrich {
+
+FlowStats compute_flow_stats(const std::vector<net::Packet>& sample) {
+  FlowStats stats;
+  if (sample.empty()) return stats;
+  stats.packets = static_cast<int>(sample.size());
+
+  std::map<std::uint16_t, int> ports;
+  std::unordered_set<std::uint32_t> targets;
+  for (const auto& pkt : sample) {
+    ++ports[pkt.dst_port];
+    targets.insert(pkt.dst.value());
+  }
+  stats.unique_targets = static_cast<int>(targets.size());
+  stats.address_repetition_ratio =
+      static_cast<double>(stats.packets) /
+      static_cast<double>(stats.unique_targets);
+
+  stats.port_distribution.assign(ports.begin(), ports.end());
+  std::sort(stats.port_distribution.begin(), stats.port_distribution.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  const TimeMicros span = sample.back().ts - sample.front().ts;
+  stats.scan_rate =
+      span > 0 ? static_cast<double>(sample.size() - 1) /
+                     (static_cast<double>(span) / kMicrosPerSecond)
+               : static_cast<double>(sample.size());
+  return stats;
+}
+
+}  // namespace exiot::enrich

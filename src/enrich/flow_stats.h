@@ -1,0 +1,28 @@
+// Flow-level statistics the Annotate module attaches to every record:
+// targeted ports and their distribution, estimated scanning rate, and the
+// address-repetition ratio (packets / unique targets) from the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace exiot::enrich {
+
+struct FlowStats {
+  /// Packets per second over the sampled span.
+  double scan_rate = 0.0;
+  /// Targeted ports with packet counts, descending by count.
+  std::vector<std::pair<std::uint16_t, int>> port_distribution;
+  /// Ratio of all packets to unique destination addresses (>= 1; 1 means
+  /// every probe hit a fresh target).
+  double address_repetition_ratio = 1.0;
+  int packets = 0;
+  int unique_targets = 0;
+};
+
+FlowStats compute_flow_stats(const std::vector<net::Packet>& sample);
+
+}  // namespace exiot::enrich

@@ -1,0 +1,209 @@
+#include "extfeeds/extfeeds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace exiot::extfeeds {
+namespace {
+
+/// Poisson sampler: Knuth for small lambda, normal approximation above.
+std::int64_t poisson(Rng& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 50.0) {
+    return std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(
+               std::llround(rng.normal(lambda, std::sqrt(lambda)))));
+  }
+  const double limit = std::exp(-lambda);
+  double product = rng.next_double();
+  std::int64_t count = 0;
+  while (product > limit) {
+    product *= rng.next_double();
+    ++count;
+  }
+  return count;
+}
+
+/// When the host's first session of `day` starts (day start if a session
+/// was already running; -1 if inactive).
+TimeMicros first_active(const inet::Host& host, int day) {
+  const TimeMicros day_start = day * kMicrosPerDay;
+  const TimeMicros day_end = day_start + kMicrosPerDay;
+  TimeMicros earliest = -1;
+  for (const auto& session : host.sessions) {
+    if (session.end <= day_start || session.start >= day_end) continue;
+    const TimeMicros begin = std::max(session.start, day_start);
+    if (earliest < 0 || begin < earliest) earliest = begin;
+  }
+  return earliest;
+}
+
+/// Expected telescope-arriving packets from `host` during `day`.
+double expected_packets(const inet::Host& host, int day) {
+  const TimeMicros day_start = day * kMicrosPerDay;
+  const TimeMicros day_end = day_start + kMicrosPerDay;
+  double total = 0.0;
+  for (const auto& session : host.sessions) {
+    const TimeMicros from = std::max(session.start, day_start);
+    const TimeMicros to = std::min(session.end, day_end);
+    if (to <= from) continue;
+    total += session.rate *
+             (static_cast<double>(to - from) / kMicrosPerSecond);
+  }
+  return total;
+}
+
+bool is_mirai_family(const std::string& family) {
+  return starts_with(family, "mirai");
+}
+
+}  // namespace
+
+std::vector<Ipv4> ExtFeedDay::sources() const {
+  std::vector<Ipv4> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.src);
+  return out;
+}
+
+std::vector<Ipv4> ExtFeedDay::sources_tagged(
+    const std::string& tag_prefix) const {
+  std::vector<Ipv4> out;
+  for (const auto& r : records) {
+    if (starts_with(r.tag, tag_prefix)) out.push_back(r.src);
+  }
+  return out;
+}
+
+SensorFeedConfig greynoise_config() {
+  SensorFeedConfig config;
+  config.name = "GreyNoise";
+  config.aperture_ratio = 1.0 / 3000.0;  // A few thousand sensors vs 16M.
+  config.detection_threshold = 3;
+  config.indexing_latency = hours(6);  // Paper's self-scan: ~10h end to end.
+  config.tags_mirai = true;
+  config.seed = 0x6E01;
+  return config;
+}
+
+SensorFeedConfig dshield_config() {
+  SensorFeedConfig config;
+  config.name = "DShield";
+  config.aperture_ratio = 1.0 / 5500.0;  // Crowd-sourced IDS contributors.
+  config.detection_threshold = 2;
+  config.indexing_latency = hours(12);  // Daily report aggregation.
+  config.tags_mirai = false;
+  config.seed = 0xD5D1;
+  return config;
+}
+
+ExtFeedDay observe_day(const inet::Population& population,
+                       const SensorFeedConfig& config, int day) {
+  ExtFeedDay out;
+  for (const auto& host : population.hosts()) {
+    if (host.cls == inet::HostClass::kBackscatterVictim) {
+      continue;  // Feeds filter backscatter like the telescope does.
+    }
+    const double expected = expected_packets(host, day);
+    if (expected <= 0.0) continue;
+    Rng rng(host.seed ^ config.seed ^
+            (static_cast<std::uint64_t>(day) << 32));
+    const std::int64_t observed =
+        poisson(rng, expected * config.aperture_ratio);
+    if (observed < config.detection_threshold) continue;
+
+    ExtRecord record;
+    record.src = host.addr;
+    // Indexed some hours after the scan reached the feed's sensors: the
+    // threshold packet lands a random fraction into the active window,
+    // then the feed's own processing latency applies.
+    const TimeMicros active_from = std::max<TimeMicros>(
+        first_active(host, day), day * kMicrosPerDay);
+    record.first_seen = active_from +
+                        static_cast<TimeMicros>(rng.next_double() *
+                                                hours(4)) +
+                        config.indexing_latency;
+    if (host.cls == inet::HostClass::kBenignScanner) {
+      record.classification = "benign";
+    } else if (host.cls == inet::HostClass::kMisconfigured) {
+      record.classification = "unknown";
+    } else {
+      record.classification = rng.bernoulli(0.40) ? "malicious" : "unknown";
+    }
+    if (config.tags_mirai) {
+      const inet::ScanBehavior* behavior = population.behavior_of(host);
+      if (behavior != nullptr && is_mirai_family(behavior->family) &&
+          rng.bernoulli(config.mirai_tag_prob)) {
+        record.tag =
+            behavior->family == "mirai" ? "Mirai" : "Mirai variant";
+      }
+    }
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::unordered_set<std::uint32_t> historical_database(
+    const inet::Population& population, const SensorFeedConfig& config,
+    int day) {
+  std::unordered_set<std::uint32_t> out;
+  for (int d = 0; d <= day; ++d) {
+    for (const auto& record : observe_day(population, config, d).records) {
+      out.insert(record.src.value());
+    }
+  }
+  for (const auto& host : population.hosts()) {
+    if (host.cls != inet::HostClass::kInfectedIot &&
+        host.cls != inet::HostClass::kInfectedGeneric) {
+      continue;
+    }
+    Rng rng(host.seed ^ config.seed ^ 0x415354ull);
+    if (rng.bernoulli(config.historical_index_prob)) {
+      out.insert(host.addr.value());
+    }
+  }
+  return out;
+}
+
+ValidatorConfig badpackets_config() {
+  ValidatorConfig config;
+  config.name = "Bad Packets";
+  config.country_code = "";  // Distributed honeypots, worldwide.
+  config.confirm_prob = 0.70;
+  config.seed = 0xBAD9;
+  return config;
+}
+
+ValidatorConfig czech_csirt_config() {
+  ValidatorConfig config;
+  config.name = "Czech CSIRT (NERD)";
+  config.country_code = "CZ";
+  config.confirm_prob = 0.83;
+  config.seed = 0xC3C4;
+  return config;
+}
+
+std::unordered_set<std::uint32_t> validator_confirmed(
+    const inet::Population& population, const inet::WorldModel& world,
+    const ValidatorConfig& config, int day) {
+  std::unordered_set<std::uint32_t> out;
+  for (const auto& host : population.hosts()) {
+    if (host.cls != inet::HostClass::kInfectedIot &&
+        host.cls != inet::HostClass::kInfectedGeneric) {
+      continue;
+    }
+    if (expected_packets(host, day) <= 0.0) continue;
+    if (!config.country_code.empty()) {
+      const inet::AsInfo* as = world.lookup(host.addr);
+      if (as == nullptr || as->country_code != config.country_code) continue;
+    }
+    Rng rng(host.seed ^ config.seed ^
+            (static_cast<std::uint64_t>(day) << 24));
+    if (rng.bernoulli(config.confirm_prob)) out.insert(host.addr.value());
+  }
+  return out;
+}
+
+}  // namespace exiot::extfeeds

@@ -1,0 +1,57 @@
+#include "feed/compare.h"
+
+namespace exiot::feed {
+
+IndicatorSet to_indicator_set(const std::vector<Ipv4>& addrs) {
+  IndicatorSet out;
+  out.reserve(addrs.size());
+  for (Ipv4 addr : addrs) out.insert(addr.value());
+  return out;
+}
+
+double differential_contribution(const IndicatorSet& a,
+                                 const IndicatorSet& b) {
+  if (a.empty()) return 0.0;
+  std::size_t only_a = 0;
+  for (std::uint32_t v : a) {
+    if (!b.contains(v)) ++only_a;
+  }
+  return static_cast<double>(only_a) / static_cast<double>(a.size());
+}
+
+double normalized_intersection(const IndicatorSet& a, const IndicatorSet& b) {
+  return 1.0 - differential_contribution(a, b);
+}
+
+double exclusive_contribution(const IndicatorSet& a,
+                              const std::vector<IndicatorSet>& others) {
+  if (a.empty()) return 0.0;
+  std::size_t unique = 0;
+  for (std::uint32_t v : a) {
+    bool found = false;
+    for (const auto& other : others) {
+      if (other.contains(v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++unique;
+  }
+  return static_cast<double>(unique) / static_cast<double>(a.size());
+}
+
+std::size_t intersection_with_union(const IndicatorSet& a,
+                                    const std::vector<IndicatorSet>& others) {
+  std::size_t overlap = 0;
+  for (std::uint32_t v : a) {
+    for (const auto& other : others) {
+      if (other.contains(v)) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  return overlap;
+}
+
+}  // namespace exiot::feed

@@ -1,0 +1,34 @@
+// Feed-comparison metrics from the paper's evaluation (following Li et al.,
+// "Reading the Tea Leaves", USENIX Security 2019): volume, differential
+// contribution Diff(A,B) = |A \ B| / |A|, normalized intersection
+// 1 - Diff(A,B), and exclusive contribution Uniq(A) = |A \ U(B != A)| / |A|.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace exiot::feed {
+
+using IndicatorSet = std::unordered_set<std::uint32_t>;
+
+IndicatorSet to_indicator_set(const std::vector<Ipv4>& addrs);
+
+/// |a \ b| / |a|. Returns 0 for an empty `a` (nothing to contribute).
+double differential_contribution(const IndicatorSet& a,
+                                 const IndicatorSet& b);
+
+/// 1 - Diff(a, b): the fraction of `a` also present in `b`.
+double normalized_intersection(const IndicatorSet& a, const IndicatorSet& b);
+
+/// |a \ union(others)| / |a|.
+double exclusive_contribution(const IndicatorSet& a,
+                              const std::vector<IndicatorSet>& others);
+
+/// |a ∩ union(others)| — the paper also reports the raw overlap count.
+std::size_t intersection_with_union(const IndicatorSet& a,
+                                    const std::vector<IndicatorSet>& others);
+
+}  // namespace exiot::feed

@@ -1,0 +1,95 @@
+#include "feed/export.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace exiot::feed {
+
+const std::vector<std::string>& export_columns() {
+  static const std::vector<std::string> columns = {
+      "src_ip",      "label",        "score",      "tool",
+      "vendor",      "device_type",  "model",      "firmware",
+      "country",     "country_code", "continent",  "asn",
+      "isp",         "organization", "sector",     "rdns",
+      "scan_start",  "detect_time",  "scan_end",   "published_at",
+      "active",      "scan_rate",    "address_repetition",
+      "banner_returned"};
+  return columns;
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") !=
+                            std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv_row(const CtiRecord& r) {
+  std::ostringstream out;
+  auto d = [](double v) {
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  };
+  const std::vector<std::string> fields = {
+      r.src.to_string(),      r.label,
+      d(r.score),             r.tool,
+      r.vendor,               r.device_type,
+      r.model,                r.firmware,
+      r.country,              r.country_code,
+      r.continent,            std::to_string(r.asn),
+      r.isp,                  r.organization,
+      r.sector,               r.rdns,
+      std::to_string(r.scan_start),  std::to_string(r.detect_time),
+      std::to_string(r.scan_end),    std::to_string(r.published_at),
+      r.active ? "true" : "false",   d(r.scan_rate),
+      d(r.address_repetition),
+      r.banner_returned ? "true" : "false"};
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out << ',';
+    out << csv_escape(fields[i]);
+  }
+  return out.str();
+}
+
+namespace {
+
+std::size_t export_with(const FeedManager& feed,
+                        const ExportFilter& filter,
+                        const std::function<void(const CtiRecord&)>& emit) {
+  std::size_t written = 0;
+  feed.latest_store().for_each(
+      [&](const store::ObjectId&, const json::Value& doc) {
+        CtiRecord record = CtiRecord::from_json(doc);
+        if (filter && !filter(record)) return;
+        emit(record);
+        ++written;
+      });
+  return written;
+}
+
+}  // namespace
+
+std::size_t export_csv(const FeedManager& feed, std::ostream& out,
+                       const ExportFilter& filter) {
+  out << join(export_columns(), ",") << "\n";
+  return export_with(feed, filter, [&](const CtiRecord& record) {
+    out << to_csv_row(record) << "\n";
+  });
+}
+
+std::size_t export_jsonl(const FeedManager& feed, std::ostream& out,
+                         const ExportFilter& filter) {
+  return export_with(feed, filter, [&](const CtiRecord& record) {
+    out << record.to_json().dump() << "\n";
+  });
+}
+
+}  // namespace exiot::feed

@@ -1,0 +1,37 @@
+// Bulk raw-data export (§IV "Raw Data"): the feed can hand historical
+// records to operators and researchers as CSV or JSON-Lines. Field order is
+// fixed so exports are diffable across runs.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "feed/manager.h"
+#include "feed/record.h"
+
+namespace exiot::feed {
+
+/// A record filter for exports; nullptr-equivalent default accepts all.
+using ExportFilter = std::function<bool(const CtiRecord&)>;
+
+/// The CSV column set (also the header row, in order).
+const std::vector<std::string>& export_columns();
+
+/// Escapes one CSV field per RFC 4180 (quotes doubled, field quoted when
+/// it contains a comma, quote, or newline).
+std::string csv_escape(const std::string& field);
+
+/// Serializes one record as a CSV row (no trailing newline).
+std::string to_csv_row(const CtiRecord& record);
+
+/// Writes the full feed as CSV (header + rows). Returns rows written.
+std::size_t export_csv(const FeedManager& feed, std::ostream& out,
+                       const ExportFilter& filter = nullptr);
+
+/// Writes the full feed as JSON Lines (one compact object per line).
+std::size_t export_jsonl(const FeedManager& feed, std::ostream& out,
+                         const ExportFilter& filter = nullptr);
+
+}  // namespace exiot::feed

@@ -1,0 +1,93 @@
+#include "feed/manager.h"
+
+namespace exiot::feed {
+
+FeedManager::FeedManager() : latest_(-1), historical_(14 * kMicrosPerDay) {
+  latest_.ensure_index("src_ip");
+  latest_.ensure_index("label");
+  historical_.ensure_index("src_ip");
+}
+
+std::string FeedManager::active_key(Ipv4 src) {
+  return "active:" + src.to_string();
+}
+
+store::ObjectId FeedManager::publish(const CtiRecord& record,
+                                     TimeMicros now) {
+  json::Value doc = record.to_json();
+  store::ObjectId id = latest_.insert(doc, now);
+  (void)historical_.insert(std::move(doc), now);
+  active_.set(active_key(record.src), id.to_hex());
+  return id;
+}
+
+bool FeedManager::mark_ended(Ipv4 src, TimeMicros scan_end, TimeMicros now) {
+  const std::string key = active_key(src);
+  auto hex = active_.get(key);
+  if (!hex.has_value()) return false;
+  auto id = store::ObjectId::parse(*hex);
+  active_.del(key);
+  if (!id.has_value()) return false;
+  return latest_.update(*id, now, [&](json::Value& doc) {
+    doc["active"] = false;
+    doc["scan_end"] = scan_end;
+  });
+}
+
+std::size_t FeedManager::expire(TimeMicros now) {
+  return historical_.expire(now);
+}
+
+std::optional<CtiRecord> FeedManager::get(const store::ObjectId& id) const {
+  const json::Value* doc = latest_.get(id);
+  if (doc == nullptr) return std::nullopt;
+  return CtiRecord::from_json(*doc);
+}
+
+std::vector<CtiRecord> FeedManager::records_for(Ipv4 src) const {
+  std::vector<CtiRecord> out;
+  for (const auto& id : latest_.find_by("src_ip", src.to_string())) {
+    const json::Value* doc = latest_.get(id);
+    if (doc != nullptr) out.push_back(CtiRecord::from_json(*doc));
+  }
+  return out;
+}
+
+std::vector<CtiRecord> FeedManager::published_between(TimeMicros from,
+                                                      TimeMicros to) const {
+  std::vector<CtiRecord> out;
+  latest_.for_each([&](const store::ObjectId&, const json::Value& doc) {
+    const TimeMicros published = doc.get_int("published_at");
+    if (published >= from && published < to) {
+      out.push_back(CtiRecord::from_json(doc));
+    }
+  });
+  return out;
+}
+
+std::vector<Ipv4> FeedManager::sources_between(
+    TimeMicros from, TimeMicros to, const std::string& label) const {
+  std::map<std::uint32_t, bool> seen;
+  latest_.for_each([&](const store::ObjectId&, const json::Value& doc) {
+    const TimeMicros published = doc.get_int("published_at");
+    if (published < from || published >= to) return;
+    if (!label.empty() && doc.get_string("label") != label) return;
+    if (auto ip = Ipv4::parse(doc.get_string("src_ip"))) {
+      seen.emplace(ip->value(), true);
+    }
+  });
+  std::vector<Ipv4> out;
+  out.reserve(seen.size());
+  for (const auto& [value, unused] : seen) out.emplace_back(value);
+  return out;
+}
+
+std::size_t FeedManager::active_count() const {
+  std::size_t count = 0;
+  for (const auto& key : active_.keys()) {
+    if (key.starts_with("active:")) ++count;
+  }
+  return count;
+}
+
+}  // namespace exiot::feed

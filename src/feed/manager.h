@@ -1,0 +1,66 @@
+// The feed manager: owns the three storage tiers of Figure 2 — the latest
+// MongoDB-role store, the historical store with the two-week lapse, and the
+// Redis-role active-device cache mapping source IP -> ObjectID so END_FLOW
+// updates touch the document directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "feed/record.h"
+#include "store/docstore.h"
+#include "store/kvstore.h"
+
+namespace exiot::feed {
+
+class FeedManager {
+ public:
+  FeedManager();
+
+  /// Publishes a new record at virtual time `now`: inserts into latest and
+  /// historical stores and registers the source as active in the KV cache.
+  store::ObjectId publish(const CtiRecord& record, TimeMicros now);
+
+  /// Handles an END_FLOW for `src`: looks up the active record's ObjectID
+  /// in the KV cache and closes it in place. Returns false if no active
+  /// record existed (already ended or never published).
+  bool mark_ended(Ipv4 src, TimeMicros scan_end, TimeMicros now);
+
+  /// Runs the historical store's two-week lapse.
+  std::size_t expire(TimeMicros now);
+
+  /// Record fetch by id (latest store).
+  std::optional<CtiRecord> get(const store::ObjectId& id) const;
+
+  /// All records for a source IP, oldest first (latest store).
+  std::vector<CtiRecord> records_for(Ipv4 src) const;
+
+  /// Records first published in [from, to). The daily-volume metric.
+  std::vector<CtiRecord> published_between(TimeMicros from,
+                                           TimeMicros to) const;
+
+  /// Distinct source IPs with a record labeled `label` published in
+  /// [from, to); empty label means all labels.
+  std::vector<Ipv4> sources_between(TimeMicros from, TimeMicros to,
+                                    const std::string& label = "") const;
+
+  /// Count of currently active sources.
+  std::size_t active_count() const;
+
+  std::size_t total_records() const { return latest_.size(); }
+  std::size_t historical_records() const { return historical_.size(); }
+
+  const store::DocumentStore& latest_store() const { return latest_; }
+
+ private:
+  static std::string active_key(Ipv4 src);
+
+  store::DocumentStore latest_;
+  store::DocumentStore historical_;
+  store::KvStore active_;
+};
+
+}  // namespace exiot::feed

@@ -1,0 +1,98 @@
+#include "feed/record.h"
+
+namespace exiot::feed {
+
+json::Value CtiRecord::to_json() const {
+  json::Value doc;
+  doc["src_ip"] = src.to_string();
+  doc["scan_start"] = scan_start;
+  doc["detect_time"] = detect_time;
+  doc["scan_end"] = scan_end;
+  doc["published_at"] = published_at;
+  doc["active"] = active;
+  doc["label"] = label;
+  doc["score"] = score;
+  doc["tool"] = tool;
+  if (!vendor.empty()) doc["vendor"] = vendor;
+  if (!device_type.empty()) doc["device_type"] = device_type;
+  if (!model.empty()) doc["model"] = model;
+  if (!firmware.empty()) doc["firmware"] = firmware;
+  doc["banner_returned"] = banner_returned;
+  if (!open_ports.empty()) {
+    json::Array ports;
+    for (auto p : open_ports) ports.emplace_back(std::int64_t{p});
+    doc["open_ports"] = std::move(ports);
+  }
+  doc["country"] = country;
+  doc["country_code"] = country_code;
+  doc["continent"] = continent;
+  doc["latitude"] = latitude;
+  doc["longitude"] = longitude;
+  doc["asn"] = static_cast<std::int64_t>(asn);
+  doc["isp"] = isp;
+  doc["organization"] = organization;
+  doc["sector"] = sector;
+  if (!rdns.empty()) doc["rdns"] = rdns;
+  if (!abuse_email.empty()) doc["abuse_email"] = abuse_email;
+  doc["scan_rate"] = scan_rate;
+  doc["address_repetition"] = address_repetition;
+  if (!targeted_ports.empty()) {
+    json::Array ports;
+    for (const auto& [port, count] : targeted_ports) {
+      json::Value entry;
+      entry["port"] = std::int64_t{port};
+      entry["count"] = std::int64_t{count};
+      ports.push_back(std::move(entry));
+    }
+    doc["targeted_ports"] = std::move(ports);
+  }
+  return doc;
+}
+
+CtiRecord CtiRecord::from_json(const json::Value& doc) {
+  CtiRecord r;
+  if (auto ip = Ipv4::parse(doc.get_string("src_ip"))) r.src = *ip;
+  r.scan_start = doc.get_int("scan_start");
+  r.detect_time = doc.get_int("detect_time");
+  r.scan_end = doc.get_int("scan_end");
+  r.published_at = doc.get_int("published_at");
+  r.active = doc.get_bool("active", true);
+  r.label = doc.get_string("label", kLabelUnlabeled);
+  r.score = doc.get_double("score");
+  r.tool = doc.get_string("tool");
+  r.vendor = doc.get_string("vendor");
+  r.device_type = doc.get_string("device_type");
+  r.model = doc.get_string("model");
+  r.firmware = doc.get_string("firmware");
+  r.banner_returned = doc.get_bool("banner_returned");
+  if (const json::Value* ports = doc.find("open_ports");
+      ports != nullptr && ports->is_array()) {
+    for (const auto& p : ports->as_array()) {
+      r.open_ports.push_back(static_cast<std::uint16_t>(p.as_int()));
+    }
+  }
+  r.country = doc.get_string("country");
+  r.country_code = doc.get_string("country_code");
+  r.continent = doc.get_string("continent");
+  r.latitude = doc.get_double("latitude");
+  r.longitude = doc.get_double("longitude");
+  r.asn = static_cast<std::uint32_t>(doc.get_int("asn"));
+  r.isp = doc.get_string("isp");
+  r.organization = doc.get_string("organization");
+  r.sector = doc.get_string("sector");
+  r.rdns = doc.get_string("rdns");
+  r.abuse_email = doc.get_string("abuse_email");
+  r.scan_rate = doc.get_double("scan_rate");
+  r.address_repetition = doc.get_double("address_repetition", 1.0);
+  if (const json::Value* ports = doc.find("targeted_ports");
+      ports != nullptr && ports->is_array()) {
+    for (const auto& entry : ports->as_array()) {
+      r.targeted_ports.emplace_back(
+          static_cast<std::uint16_t>(entry.get_int("port")),
+          static_cast<int>(entry.get_int("count")));
+    }
+  }
+  return r;
+}
+
+}  // namespace exiot::feed

@@ -1,0 +1,145 @@
+#include "fingerprint/rules.h"
+
+namespace exiot::fingerprint {
+
+RuleDb RuleDb::from_rules(std::vector<Rule> rules) {
+  RuleDb db;
+  db.rules_.reserve(rules.size());
+  for (auto& rule : rules) {
+    std::regex re(rule.pattern,
+                  std::regex::ECMAScript | std::regex::icase);
+    db.rules_.push_back({std::move(rule), std::move(re)});
+  }
+  return db;
+}
+
+RuleDb RuleDb::standard() {
+  // Ordered most-specific-first; IoT device rules before generic servers.
+  std::vector<Rule> rules = {
+      // --- IoT devices -----------------------------------------------
+      {"mikrotik-routeros", R"(RouterOS v([0-9.]+))", BannerLabel::kIot,
+       "MikroTik", "Router", 0, 1},
+      {"mikrotik-ftp", R"(MikroTik FTP server \(MikroTik ([0-9.]+)\))",
+       BannerLabel::kIot, "MikroTik", "Router", 0, 1},
+      {"mikrotik-ssh", R"(SSH-2\.0-ROSSSH)", BannerLabel::kIot, "MikroTik",
+       "Router", 0, 0},
+      {"aposonic-dvr", R"(Aposonic (A-S[0-9A-Z]+))", BannerLabel::kIot,
+       "Aposonic", "DVR", 1, 0},
+      {"aposonic-generic", R"(Aposonic)", BannerLabel::kIot, "Aposonic",
+       "DVR", 0, 0},
+      {"foscam-model", R"(Foscam (FI[0-9A-Za-z]+))", BannerLabel::kIot,
+       "Foscam", "IP Camera", 1, 0},
+      {"foscam-ftp", R"(Foscam FTP (\S+) firmware ([0-9.]+))",
+       BannerLabel::kIot, "Foscam", "IP Camera", 1, 2},
+      {"netwave-camera", R"(Netwave IP Camera)", BannerLabel::kIot, "Foscam",
+       "IP Camera", 0, 0},
+      {"zte-f660", R"(ZTE corp)", BannerLabel::kIot, "ZTE", "Router", 0, 0},
+      {"zte-model", R"((ZX[A-Z0-9]+ [A-Z0-9]+))", BannerLabel::kIot, "ZTE",
+       "Router", 1, 0},
+      {"zte-cwmp", R"(Server: ZTE CPE)", BannerLabel::kIot, "ZTE", "Router",
+       0, 0},
+      {"hikvision-realm", R"(Hikvision(DS-[0-9A-Z]+)?)", BannerLabel::kIot,
+       "Hikvision", "IP Camera", 1, 0},
+      {"hikvision-appwebs", R"(Server: App-webs/)", BannerLabel::kIot,
+       "Hikvision", "IP Camera", 0, 0},
+      {"tplink-router", R"(TP-?LINK[^\r\n\"]*?([A-Z]{2}[0-9]{3,4}[A-Z]*))",
+       BannerLabel::kIot, "TP-Link", "Router", 1, 0},
+      {"dahua", R"(Dahua)", BannerLabel::kIot, "Dahua", "IP Camera", 0, 0},
+      {"dlink-dir", R"(DIR-([0-9]+)\s+Ver\s+([0-9.]+))", BannerLabel::kIot,
+       "D-Link", "Router", 1, 2},
+      {"dlink-generic", R"(DIR-[0-9]+)", BannerLabel::kIot, "D-Link",
+       "Router", 0, 0},
+      {"axis-camera", R"(AXIS (\S+)[^\r\n]*Network Camera ([0-9.]+)?)",
+       BannerLabel::kIot, "AXIS", "IP Camera", 1, 2},
+      {"axis-realm", R"(AXIS_[0-9A-F]+)", BannerLabel::kIot, "AXIS",
+       "IP Camera", 0, 0},
+      {"netgear", R"(NETGEAR ([A-Z][0-9]+[A-Za-z]*))", BannerLabel::kIot,
+       "Netgear", "Router", 1, 0},
+      {"xiongmai-uchttpd", R"(uc-httpd)", BannerLabel::kIot, "Xiongmai",
+       "DVR", 0, 0},
+      {"ubiquiti", R"(ubnt)", BannerLabel::kIot, "Ubiquiti", "Access Point",
+       0, 0},
+      {"huawei-hg", R"((HG[0-9]+[A-Za-z]*))", BannerLabel::kIot, "Huawei",
+       "Router", 1, 0},
+      {"android-adb", R"(CNXN)", BannerLabel::kIot, "Android",
+       "Set-top Box", 0, 0},
+      {"synology", R"(Synology DiskStation (\S+))", BannerLabel::kIot,
+       "Synology", "NAS", 1, 0},
+      // Industrial control systems (Table I probes MODBUS/BACnet/Fox/DNP3).
+      {"schneider-modicon", R"(Schneider Electric[^\r\n]*?(Modicon \S+)\s+v?([0-9.]+)?)",
+       BannerLabel::kIot, "Schneider Electric", "PLC", 1, 2},
+      {"schneider-web", R"(Server: Schneider-WEB|Modicon (M[0-9]+))",
+       BannerLabel::kIot, "Schneider Electric", "PLC", 1, 0},
+      {"siemens-s7", R"(SIMATIC,?\s+(S7-[0-9]+))", BannerLabel::kIot,
+       "Siemens", "PLC", 1, 0},
+      {"tridium-fox", R"(fox hello[^\r\n]*Niagara ([0-9.]+)?)",
+       BannerLabel::kIot, "Tridium", "Building Controller", 0, 1},
+      {"tridium-jace", R"(hostName=s:(JACE-[0-9]+))", BannerLabel::kIot,
+       "Tridium", "Building Controller", 1, 0},
+      {"bacnet-honeywell", R"(BACnet device Honeywell (\S+) v([0-9.]+))",
+       BannerLabel::kIot, "Honeywell", "Building Controller", 1, 2},
+      {"bacnet-generic", R"(BACnet device)", BannerLabel::kIot, "",
+       "Building Controller", 0, 0},
+      // Dropbear SSH is the embedded-Linux default; strongly IoT-leaning.
+      {"dropbear-ssh", R"(SSH-2\.0-dropbear)", BannerLabel::kIot, "",
+       "Embedded Device", 0, 0},
+
+      // --- Non-IoT servers -------------------------------------------
+      {"openssh", R"(SSH-2\.0-OpenSSH[_-]([0-9][^ \r\n]*)?)",
+       BannerLabel::kNonIot, "OpenBSD", "Server", 0, 1},
+      {"apache", R"(Server: Apache(?:/([0-9.]+))?)", BannerLabel::kNonIot,
+       "Apache", "Server", 0, 1},
+      {"nginx", R"(Server: nginx(?:/([0-9.]+))?)", BannerLabel::kNonIot,
+       "nginx", "Server", 0, 1},
+      {"iis", R"(Server: Microsoft-IIS/([0-9.]+))", BannerLabel::kNonIot,
+       "Microsoft", "Server", 0, 1},
+      {"windows-smb", R"(SMB [0-9.]+ Windows)", BannerLabel::kNonIot,
+       "Microsoft", "Server", 0, 0},
+      {"windows-rdp", R"(Remote Desktop Protocol)", BannerLabel::kNonIot,
+       "Microsoft", "Desktop", 0, 0},
+      {"postfix", R"(ESMTP Postfix)", BannerLabel::kNonIot, "Postfix",
+       "Mail Server", 0, 0},
+  };
+  return from_rules(std::move(rules));
+}
+
+std::optional<DeviceMatch> RuleDb::match(const std::string& banner) const {
+  for (const auto& compiled : rules_) {
+    std::smatch m;
+    if (!std::regex_search(banner, m, compiled.regex)) continue;
+    DeviceMatch out;
+    out.label = compiled.rule.label;
+    out.vendor = compiled.rule.vendor;
+    out.device_type = compiled.rule.device_type;
+    out.rule_name = compiled.rule.name;
+    const auto group = [&](int g) -> std::string {
+      if (g <= 0 || g >= static_cast<int>(m.size()) ||
+          !m[static_cast<std::size_t>(g)].matched) {
+        return "";
+      }
+      return m[static_cast<std::size_t>(g)].str();
+    };
+    out.model = group(compiled.rule.model_group);
+    out.firmware = group(compiled.rule.firmware_group);
+    return out;
+  }
+  return std::nullopt;
+}
+
+bool looks_like_device_text(const std::string& banner) {
+  // The paper's generic rule: "[a-z]+[-]?[a-z!]*[0-9]+[-]?[-]?[a-z0-9]" —
+  // a letter run, optional dash, more letters, digits, then a trailing
+  // alphanumeric: the shape of product identifiers like "hg8245h" or
+  // "tl-wr841n".
+  static const std::regex re(R"([a-z]+[-]?[a-z!]*[0-9]+[-]?[-]?[a-z0-9])",
+                             std::regex::ECMAScript | std::regex::icase);
+  return std::regex_search(banner, re);
+}
+
+bool UnknownBannerLog::offer(const std::string& banner) {
+  if (!looks_like_device_text(banner)) return false;
+  entries_.push_back(banner);
+  return true;
+}
+
+}  // namespace exiot::fingerprint

@@ -1,0 +1,85 @@
+// Banner fingerprinting: an ordered regex rule database in the spirit of
+// Recog/Ztag that maps application banners to {vendor, device type, model,
+// firmware} and an IoT / non-IoT label. Returned banners drive the labels
+// the Update Classifier trains on; banners that match nothing but look like
+// device text (the paper's generic "[a-z]+[-]?[a-z!]*[0-9]+..." rule) are
+// dumped to an unknown-banner log for later rule authoring.
+#pragma once
+
+#include <optional>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace exiot::fingerprint {
+
+/// Label classes a banner match can produce.
+enum class BannerLabel {
+  kIot,     // An IoT device banner (camera, router, DVR, ...).
+  kNonIot,  // A general-purpose server / desktop service banner.
+};
+
+struct DeviceMatch {
+  BannerLabel label = BannerLabel::kIot;
+  std::string vendor;
+  std::string device_type;
+  std::string model;     // "" if the rule cannot extract one.
+  std::string firmware;  // "" if the rule cannot extract one.
+  std::string rule_name;
+};
+
+/// One fingerprint rule. `pattern` is matched case-insensitively as a
+/// partial match (std::regex_search); capture group 1 (if present) is the
+/// model, group 2 the firmware.
+struct Rule {
+  std::string name;
+  std::string pattern;
+  BannerLabel label;
+  std::string vendor;
+  std::string device_type;
+  int model_group = 0;     // 0 = none.
+  int firmware_group = 0;  // 0 = none.
+};
+
+class RuleDb {
+ public:
+  /// The built-in rule set: covers every vendor the device catalog ships
+  /// plus non-IoT server fingerprints (OpenSSH, Apache, nginx, IIS, ...).
+  static RuleDb standard();
+
+  /// Builds from an explicit rule list (rule-authoring workflows, tests).
+  static RuleDb from_rules(std::vector<Rule> rules);
+
+  /// First matching rule wins (rules are ordered most-specific-first).
+  std::optional<DeviceMatch> match(const std::string& banner) const;
+
+  std::size_t size() const { return rules_.size(); }
+
+ private:
+  struct Compiled {
+    Rule rule;
+    std::regex regex;
+  };
+  std::vector<Compiled> rules_;
+};
+
+/// The paper's generic device-text heuristic: does an unmatched banner
+/// contain a token shaped like a product identifier (letters + digits with
+/// optional dashes), making it worth logging for manual rule creation?
+bool looks_like_device_text(const std::string& banner);
+
+/// Accumulates unmatched-but-promising banners (the paper dumps them to a
+/// log file for inspection).
+class UnknownBannerLog {
+ public:
+  /// Records the banner if it passes the device-text heuristic. Returns
+  /// whether it was kept.
+  bool offer(const std::string& banner);
+
+  const std::vector<std::string>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+}  // namespace exiot::fingerprint

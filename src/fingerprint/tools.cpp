@@ -1,0 +1,76 @@
+#include "fingerprint/tools.h"
+
+namespace exiot::fingerprint {
+
+bool matches_mirai(const net::Packet& pkt) {
+  return pkt.proto == net::IpProto::kTcp && pkt.seq == pkt.dst.value();
+}
+
+bool matches_zmap(const net::Packet& pkt) {
+  return pkt.ip_id == 54321;
+}
+
+bool matches_masscan(const net::Packet& pkt) {
+  return pkt.proto == net::IpProto::kTcp &&
+         pkt.ip_id ==
+             ((pkt.dst.value() ^ pkt.dst_port ^ pkt.seq) & 0xFFFF);
+}
+
+bool matches_nmap(const net::Packet& pkt) {
+  if (pkt.proto != net::IpProto::kTcp) return false;
+  const bool window_ladder = pkt.window == 1024 || pkt.window == 2048 ||
+                             pkt.window == 3072 || pkt.window == 4096;
+  return window_ladder && pkt.opts.mss.has_value() &&
+         *pkt.opts.mss == 1460;
+}
+
+bool matches_unicorn(const std::vector<net::Packet>& sample) {
+  int tcp = 0;
+  std::uint16_t src_port = 0;
+  for (const auto& pkt : sample) {
+    if (pkt.proto != net::IpProto::kTcp) continue;
+    if (tcp == 0) src_port = pkt.src_port;
+    ++tcp;
+    if (pkt.window != 4096 || pkt.opts.mss.has_value() ||
+        pkt.src_port != src_port) {
+      return false;
+    }
+  }
+  return tcp > 0;
+}
+
+ToolMatch fingerprint_tool(const std::vector<net::Packet>& sample) {
+  int tcp = 0, mirai = 0, zmap = 0, masscan = 0, nmap = 0;
+  for (const auto& pkt : sample) {
+    if (pkt.proto != net::IpProto::kTcp) continue;
+    ++tcp;
+    if (matches_mirai(pkt)) ++mirai;
+    if (matches_zmap(pkt)) ++zmap;
+    if (matches_masscan(pkt)) ++masscan;
+    if (matches_nmap(pkt)) ++nmap;
+  }
+  if (tcp == 0) return {"unknown", 0.0};
+  const double denom = tcp;
+  // Mirai's signature is checked first: it is the strongest (32-bit
+  // equality) and what the paper's references key on. MASSCAN's 16-bit
+  // relation could collide with random ip_ids on a few packets, hence the
+  // dominance requirement.
+  struct Candidate {
+    const char* name;
+    int count;
+  } candidates[] = {{"Mirai", mirai},
+                    {"Zmap", zmap},
+                    {"Masscan", masscan},
+                    {"Nmap", nmap}};
+  for (const auto& c : candidates) {
+    const double fraction = c.count / denom;
+    if (fraction >= 0.9) return {c.name, fraction};
+  }
+  // Nmap's window ladder includes 4096 + MSS; Unicornscan is the
+  // optionless fixed-port variant, so it is checked after the per-packet
+  // signatures miss.
+  if (matches_unicorn(sample)) return {"Unicorn", 1.0};
+  return {"unknown", 0.0};
+}
+
+}  // namespace exiot::fingerprint

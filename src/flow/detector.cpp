@@ -1,0 +1,131 @@
+#include "flow/detector.h"
+
+#include <algorithm>
+
+namespace exiot::flow {
+
+FlowDetector::FlowDetector(DetectorConfig config, DetectorEvents events,
+                           std::vector<std::uint16_t> report_ports)
+    : config_(config),
+      events_(std::move(events)),
+      report_ports_(std::move(report_ports)) {}
+
+void FlowDetector::roll_second(TimeMicros ts) {
+  const TimeMicros second = ts - ts % kMicrosPerSecond;
+  if (report_open_ && second == current_report_.second_start) return;
+  if (report_open_ && events_.on_report) events_.on_report(current_report_);
+  current_report_ = SecondReport{};
+  current_report_.second_start = second;
+  report_open_ = true;
+}
+
+void FlowDetector::process(const net::Packet& pkt) {
+  roll_second(pkt.ts);
+  ++stats_.packets_processed;
+  ++current_report_.total;
+  switch (pkt.proto) {
+    case net::IpProto::kTcp: ++current_report_.tcp; break;
+    case net::IpProto::kUdp: ++current_report_.udp; break;
+    case net::IpProto::kIcmp: ++current_report_.icmp; break;
+  }
+  if (!report_ports_.empty() &&
+      std::find(report_ports_.begin(), report_ports_.end(), pkt.dst_port) !=
+          report_ports_.end()) {
+    ++current_report_.per_port[pkt.dst_port];
+  }
+
+  if (net::is_backscatter(pkt)) {
+    ++stats_.backscatter_filtered;
+    ++current_report_.backscatter_filtered;
+    return;
+  }
+
+  SourceState& s = table_[pkt.src.value()];
+  if (s.packets == 0) {
+    s.first_seen = pkt.ts;
+  } else if (!s.is_scanner && pkt.ts - s.last_seen > config_.max_gap) {
+    // A pending flow with a >max_gap hole is restarted: the earlier burst
+    // was not a sustained scan.
+    ++stats_.pending_resets;
+    s = SourceState{};
+    s.first_seen = pkt.ts;
+  }
+  s.last_seen = pkt.ts;
+  ++s.packets;
+
+  if (!s.is_scanner) {
+    if (s.packets >= static_cast<std::uint64_t>(
+                         config_.scanner_packet_threshold) &&
+        s.last_seen - s.first_seen >= config_.min_duration) {
+      s.is_scanner = true;
+      s.detect_time = pkt.ts;
+      s.packets_at_detect = s.packets;
+      ++stats_.scanners_detected;
+      ++current_report_.new_scanners;
+      if (events_.on_scanner) {
+        events_.on_scanner(FlowSummary{pkt.src, s.first_seen, s.detect_time,
+                                       s.last_seen, s.packets});
+      }
+      s.sample.reserve(static_cast<std::size_t>(config_.sample_count));
+    }
+    return;
+  }
+
+  // Detected scanner: sample the next `sample_count` packets, then ignore
+  // (only updating last_seen, already done above).
+  if (!s.sample_done) {
+    s.sample.push_back(pkt);
+    if (s.sample.size() >=
+        static_cast<std::size_t>(config_.sample_count)) {
+      s.sample_done = true;
+      ++stats_.samples_completed;
+      if (events_.on_sample) events_.on_sample(pkt.src, s.sample);
+      s.sample.clear();
+      s.sample.shrink_to_fit();
+    }
+  }
+}
+
+void FlowDetector::end_flow(Ipv4 src, SourceState& s) {
+  ++stats_.flows_ended;
+  if (events_.on_flow_end) {
+    events_.on_flow_end(
+        FlowSummary{src, s.first_seen, s.detect_time, s.last_seen,
+                    s.packets});
+  }
+}
+
+void FlowDetector::end_of_hour(TimeMicros now) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    SourceState& s = it->second;
+    if (now - s.last_seen > config_.flow_expiry) {
+      if (s.is_scanner) {
+        // An incomplete sample still ships: the packet organizer downstream
+        // decides whether it is usable (the paper drops short samples).
+        if (!s.sample_done && !s.sample.empty() && events_.on_sample) {
+          events_.on_sample(Ipv4(it->first), s.sample);
+        }
+        end_flow(Ipv4(it->first), s);
+      }
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowDetector::finish() {
+  for (auto& [addr, s] : table_) {
+    if (s.is_scanner) {
+      if (!s.sample_done && !s.sample.empty() && events_.on_sample) {
+        events_.on_sample(Ipv4(addr), s.sample);
+      }
+      end_flow(Ipv4(addr), s);
+    }
+  }
+  table_.clear();
+  if (report_open_ && events_.on_report) events_.on_report(current_report_);
+  report_open_ = false;
+}
+
+}  // namespace exiot::flow

@@ -1,0 +1,259 @@
+#include "inet/device_catalog.h"
+
+namespace exiot::inet {
+namespace {
+
+ServiceBanner http(std::uint16_t port, std::string body, bool textual) {
+  return ServiceBanner{port, "http", std::move(body), textual};
+}
+ServiceBanner ftp(std::string body, bool textual) {
+  return ServiceBanner{21, "ftp", std::move(body), textual};
+}
+ServiceBanner telnet(std::string body, bool textual) {
+  return ServiceBanner{23, "telnet", std::move(body), textual};
+}
+ServiceBanner ssh(std::string body, bool textual) {
+  return ServiceBanner{22, "ssh", std::move(body), textual};
+}
+ServiceBanner rtsp(std::string body, bool textual) {
+  return ServiceBanner{554, "rtsp", std::move(body), textual};
+}
+
+struct VendorSpec {
+  double weight;  // Table V-calibrated identified-device counts.
+  std::vector<DeviceModel> models;
+};
+
+std::vector<VendorSpec> build_specs() {
+  std::vector<VendorSpec> specs;
+
+  // MikroTik — 11,583 identified in Table V, by far the most common.
+  specs.push_back(
+      {11583.0,
+       {
+           {"MikroTik", "Router", "RB750Gr3", "6.45.9",
+            {http(80, "HTTP/1.1 200 OK\r\nServer: mikrotik HttpProxy\r\n\r\n"
+                      "<title>RouterOS v6.45.9</title>",
+                  true),
+             ftp("220 MikroTik FTP server (MikroTik 6.45.9) ready", true),
+             ssh("SSH-2.0-ROSSSH", false),
+             ServiceBanner{8291, "winbox", "index\r\nwinbox", false}}},
+           {"MikroTik", "Router", "hAP ac2", "6.47.1",
+            {http(80, "HTTP/1.1 200 OK\r\nServer: mikrotik HttpProxy\r\n\r\n"
+                      "<title>RouterOS v6.47.1</title>",
+                  true),
+             ftp("220 MikroTik FTP server (MikroTik 6.47.1) ready", true),
+             ssh("SSH-2.0-ROSSSH", false)}},
+           {"MikroTik", "Router", "CCR1009", "6.44.6",
+            {http(8080, "HTTP/1.1 200 OK\r\nServer: mikrotik HttpProxy\r\n\r\n"
+                        "<title>RouterOS v6.44.6</title>",
+                  true),
+             ssh("SSH-2.0-ROSSSH", false)}},
+       }});
+
+  // Aposonic — 1,809 identified (DVRs).
+  specs.push_back(
+      {1809.0,
+       {
+           {"Aposonic", "DVR", "A-S0802R21", "2.608",
+            {http(81,
+                  "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic "
+                  "realm=\"Aposonic A-S0802R21 DVR\"\r\n\r\n",
+                  true),
+             rtsp("RTSP/1.0 200 OK\r\nServer: Aposonic Streaming Server\r\n",
+                  true)}},
+           {"Aposonic", "DVR", "A-S1604R68", "3.012",
+            {http(82,
+                  "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic "
+                  "realm=\"Aposonic A-S1604R68\"\r\n\r\n",
+                  true)}},
+       }});
+
+  // Foscam — 1,206 identified (IP cameras).
+  specs.push_back(
+      {1206.0,
+       {
+           {"Foscam", "IP Camera", "FI9821P", "2.11.1.120",
+            {http(88,
+                  "HTTP/1.1 200 OK\r\nServer: Netwave IP Camera\r\n\r\n"
+                  "<title>Foscam FI9821P</title>",
+                  true),
+             ftp("220 Foscam FTP FI9821P firmware 2.11.1.120 ready", true)}},
+           {"Foscam", "IP Camera", "C1 Lite", "2.72.1.32",
+            {http(88, "HTTP/1.1 200 OK\r\nServer: Netwave IP Camera\r\n\r\n",
+                  false)}},
+       }});
+
+  // ZTE — 709 identified (CPE routers).
+  specs.push_back(
+      {709.0,
+       {
+           {"ZTE", "Router", "ZXHN F660", "V6.0.10P6",
+            {http(80,
+                  "HTTP/1.1 200 OK\r\nServer: Mini web server 1.0 ZTE "
+                  "corp.\r\n\r\n<title>F660</title>",
+                  true),
+             telnet("ZXHN F660\r\nLogin:", true),
+             ServiceBanner{7547, "cwmp",
+                           "HTTP/1.1 401 Unauthorized\r\nServer: ZTE CPE\r\n",
+                           true}}},
+           {"ZTE", "Router", "ZXV10 W300", "W300V2.1.0",
+            {telnet("ZXV10 W300\r\nLogin:", true)}},
+       }});
+
+  // Hikvision — 638 identified (cameras/NVRs).
+  specs.push_back(
+      {638.0,
+       {
+           {"Hikvision", "IP Camera", "DS-2CD2042WD", "V5.4.5",
+            {http(80,
+                  "HTTP/1.1 401 Unauthorized\r\nServer: App-webs/\r\n"
+                  "WWW-Authenticate: Basic realm=\"HikvisionDS-2CD2042WD\""
+                  "\r\n\r\n",
+                  true),
+             rtsp("RTSP/1.0 401 Unauthorized\r\nServer: HikvisionV5.4.5\r\n",
+                  true)}},
+           {"Hikvision", "NVR", "DS-7608NI", "V3.4.92",
+            {http(8000,
+                  "HTTP/1.1 401 Unauthorized\r\nServer: App-webs/\r\n\r\n",
+                  false)}},
+       }});
+
+  // Tail vendors: present in the wild, below Table V's top five.
+  specs.push_back(
+      {520.0,
+       {{"TP-Link", "Router", "TL-WR841N", "3.16.9",
+         {http(80,
+               "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic "
+               "realm=\"TP-LINK Wireless N Router WR841N\"\r\n\r\n",
+               true),
+          telnet("TP-LINK TL-WR841N\r\nusername:", true)}}}});
+  specs.push_back(
+      {470.0,
+       {{"Dahua", "IP Camera", "IPC-HDW4431C", "2.620",
+         {http(80, "HTTP/1.1 401 Unauthorized\r\nServer: DahuaHttp\r\n\r\n",
+               true),
+          rtsp("RTSP/1.0 401 Unauthorized\r\nServer: Dahua Rtsp Server\r\n",
+               true)}}}});
+  specs.push_back(
+      {420.0,
+       {{"D-Link", "Router", "DIR-615", "20.12",
+         {http(80,
+               "HTTP/1.1 200 OK\r\nServer: Linux, HTTP/1.1, DIR-615 Ver "
+               "20.12\r\n\r\n",
+               true)}}}});
+  specs.push_back(
+      {320.0,
+       {{"AXIS", "IP Camera", "Q6115-E", "6.20.1.2",
+         {ftp("220 AXIS Q6115-E PTZ Dome Network Camera 6.20.1.2 (2016) "
+              "ready.",
+              true),
+          http(80, "HTTP/1.1 401 Unauthorized\r\nServer: Apache\r\n"
+                   "WWW-Authenticate: Digest realm=\"AXIS_ACCC8E000000\""
+                   "\r\n\r\n",
+               true)}}}});
+  specs.push_back(
+      {260.0,
+       {{"Netgear", "Router", "R7000", "1.0.9.88",
+         {http(80,
+               "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic "
+               "realm=\"NETGEAR R7000\"\r\n\r\n",
+               true)}}}});
+  specs.push_back(
+      {230.0,
+       {{"Xiongmai", "DVR", "XM-530", "V4.02.R11",
+         {http(80, "HTTP/1.1 200 OK\r\nServer: uc-httpd 1.0.0\r\n\r\n",
+               false),
+          telnet("LocalHost login:", false)}}}});
+  specs.push_back(
+      {210.0,
+       {{"Ubiquiti", "Access Point", "UAP-AC-LR", "4.3.28",
+         {ssh("SSH-2.0-dropbear_2017.75", false),
+          http(80, "HTTP/1.1 302 Found\r\nServer: ubnt-streaming\r\n\r\n",
+               true)}}}});
+  specs.push_back(
+      {190.0,
+       {{"Huawei", "Router", "HG8245H", "V3R017C10",
+         {http(80,
+               "HTTP/1.1 200 OK\r\nServer: WebServer\r\n\r\n<title>"
+               "HG8245H</title>",
+               true),
+          telnet("HG8245H\r\nLogin:", true)}}}});
+  specs.push_back(
+      {160.0,
+       {{"Android", "Set-top Box", "MBOX TV", "7.1.2",
+         {ServiceBanner{5555, "adb",
+                        "CNXN\x01\x00\x00\x01" "device::", false}}}}});
+  specs.push_back(
+      {120.0,
+       {{"Synology", "NAS", "DS218j", "DSM 6.2",
+         {http(5000,
+               "HTTP/1.1 200 OK\r\nServer: nginx\r\n\r\n<title>Synology "
+               "DiskStation DS218j</title>",
+               true)}}}});
+
+  // Industrial control systems: Table I probes MODBUS (502), BACnet
+  // (47808), Tridium Fox (1911), and DNP3 (20000) precisely because
+  // compromised PLCs and building controllers surface there.
+  specs.push_back(
+      {90.0,
+       {{"Schneider Electric", "PLC", "Modicon M221", "V1.6.2.0",
+         {ServiceBanner{502, "modbus",
+                        "Schneider Electric BMX P34 Modicon M221 v1.6.2.0",
+                        true},
+          http(80,
+               "HTTP/1.1 200 OK\r\nServer: Schneider-WEB\r\n\r\n"
+               "<title>Modicon M221</title>",
+               true)}}}});
+  specs.push_back(
+      {70.0,
+       {{"Siemens", "PLC", "S7-1200", "V4.2.1",
+         {ServiceBanner{102, "s7",
+                        "Siemens, SIMATIC, S7-1200, 6ES7 212-1BE40",
+                        true},
+          http(80,
+               "HTTP/1.1 200 OK\r\nServer: S7 Web Server\r\n\r\n",
+               false)}}}});
+  specs.push_back(
+      {60.0,
+       {{"Tridium", "Building Controller", "JACE-8000", "4.4.73",
+         {ServiceBanner{1911, "fox",
+                        "fox a 0 -1 fox hello { fox.version=s:1.0 "
+                        "hostName=s:JACE-8000 vmVersion=s:Niagara 4.4.73 }",
+                        true}}}}});
+  specs.push_back(
+      {50.0,
+       {{"Honeywell", "Building Controller", "WEB-600", "3.1",
+         {ServiceBanner{47808, "bacnet",
+                        "BACnet device Honeywell WEB-600 v3.1", true}}}}});
+  return specs;
+}
+
+}  // namespace
+
+DeviceCatalog DeviceCatalog::standard() {
+  DeviceCatalog catalog;
+  for (auto& spec : build_specs()) {
+    const double per_model = spec.weight / spec.models.size();
+    for (auto& model : spec.models) {
+      catalog.models_.push_back(std::move(model));
+      catalog.weights_.push_back(per_model);
+    }
+  }
+  return catalog;
+}
+
+const DeviceModel& DeviceCatalog::sample(Rng& rng) const {
+  return models_[rng.weighted_index(weights_)];
+}
+
+std::vector<const DeviceModel*> DeviceCatalog::by_vendor(
+    const std::string& vendor) const {
+  std::vector<const DeviceModel*> out;
+  for (const auto& m : models_) {
+    if (m.vendor == vendor) out.push_back(&m);
+  }
+  return out;
+}
+
+}  // namespace exiot::inet

@@ -1,0 +1,55 @@
+// The IoT device catalog: vendors, device types, concrete models, firmware
+// strings, and the application banners each model serves per port/protocol.
+// This substitutes for the real-world device population behind the paper's
+// ZGrab probing, and doubles as the ground-truth source for classifier
+// evaluation. Vendor frequencies are calibrated to Table V.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace exiot::inet {
+
+/// A banner a device serves on a given TCP port. `textual_info` marks
+/// banners that carry recoverable vendor/model text — the paper reports only
+/// ~3% of infected hosts expose such banners.
+struct ServiceBanner {
+  std::uint16_t port = 0;
+  std::string protocol;  // "http", "ftp", "telnet", "rtsp", ...
+  std::string text;
+  bool textual_info = false;
+};
+
+/// One concrete device model in the catalog.
+struct DeviceModel {
+  std::string vendor;
+  std::string device_type;  // "Router", "IP Camera", "DVR", ...
+  std::string model;
+  std::string firmware;
+  std::vector<ServiceBanner> banners;
+};
+
+/// The catalog with Table V-calibrated vendor sampling.
+class DeviceCatalog {
+ public:
+  /// Builds the standard catalog: the five Table V vendors (MikroTik,
+  /// Aposonic, Foscam, ZTE, Hikvision) plus a realistic tail.
+  static DeviceCatalog standard();
+
+  const std::vector<DeviceModel>& models() const { return models_; }
+
+  /// Samples a model with vendor-frequency weighting.
+  const DeviceModel& sample(Rng& rng) const;
+
+  /// All models of a given vendor (for tests and rule coverage checks).
+  std::vector<const DeviceModel*> by_vendor(const std::string& vendor) const;
+
+ private:
+  std::vector<DeviceModel> models_;
+  std::vector<double> weights_;
+};
+
+}  // namespace exiot::inet

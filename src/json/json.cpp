@@ -1,0 +1,365 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace exiot::json {
+
+Value& Value::operator[](const std::string& key) {
+  if (!is_object()) data_ = Object{};
+  return std::get<Object>(data_)[key];
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(data_);
+  auto it = obj.find(std::string(key));
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string Value::get_string(std::string_view key, std::string def) const {
+  const Value* v = find(key);
+  return (v && v->is_string()) ? v->as_string() : def;
+}
+
+std::int64_t Value::get_int(std::string_view key, std::int64_t def) const {
+  const Value* v = find(key);
+  return (v && v->is_number()) ? v->as_int() : def;
+}
+
+double Value::get_double(std::string_view key, double def) const {
+  const Value* v = find(key);
+  return (v && v->is_number()) ? v->as_double() : def;
+}
+
+bool Value::get_bool(std::string_view key, bool def) const {
+  const Value* v = find(key);
+  return (v && v->is_bool()) ? v->as_bool() : def;
+}
+
+namespace {
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_to(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf; emit null like most encoders.
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void dump_to(const Value& v, std::string& out, int indent, int depth) {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    number_to(v.as_double(), out);
+  } else if (v.is_string()) {
+    escape_to(v.as_string(), out);
+  } else if (v.is_array()) {
+    const auto& arr = v.as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += indent < 0 ? "," : ",";
+      newline(depth + 1);
+      dump_to(arr[i], out, indent, depth + 1);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const auto& obj = v.as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, val] : obj) {
+      if (!first) out += ',';
+      first = false;
+      newline(depth + 1);
+      escape_to(key, out);
+      out += indent < 0 ? ":" : ": ";
+      dump_to(val, out, indent, depth + 1);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Error error(std::string message) const {
+    return make_error("json_parse",
+                      message + " at offset " + std::to_string(pos_));
+  }
+  Result<Value> fail(std::string message) const { return error(std::move(message)); }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Result<Value> parse_value() {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    char c = peek();
+    switch (c) {
+      case 'n':
+        return consume_literal("null") ? Result<Value>(Value(nullptr))
+                                       : fail("invalid literal");
+      case 't':
+        return consume_literal("true") ? Result<Value>(Value(true))
+                                       : fail("invalid literal");
+      case 'f':
+        return consume_literal("false") ? Result<Value>(Value(false))
+                                        : fail("invalid literal");
+      case '"': return parse_string_value();
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    bool is_double = false;
+    while (!eof()) {
+      char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    auto token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("invalid number");
+    if (!is_double) {
+      std::int64_t i = 0;
+      auto [next, ec] = std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc{} && next == token.data() + token.size()) {
+        return Value(i);
+      }
+      // Falls through to double for out-of-range integers.
+    }
+    double d = 0.0;
+    auto [next, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || next != token.data() + token.size()) {
+      return fail("invalid number");
+    }
+    return Value(d);
+  }
+
+  Result<std::string> parse_string_raw() {
+    if (eof() || peek() != '"') return error("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (eof()) return error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return error("bad \\u escape");
+            }
+            // Encode as UTF-8 (surrogate pairs unsupported; BMP only, which
+            // covers everything the pipeline emits).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return error("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Result<Value> parse_string_value() {
+    auto s = parse_string_raw();
+    if (!s.ok()) return s.error();
+    return Value(std::move(s).take());
+  }
+
+  Result<Value> parse_array() {
+    ++pos_;  // '['
+    ++depth_;
+    Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      arr.push_back(std::move(v).take());
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') {
+        --depth_;
+        return Value(std::move(arr));
+      }
+      if (c != ',') return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> parse_object() {
+    ++pos_;  // '{'
+    ++depth_;
+    Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string_raw();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (eof() || text_[pos_++] != ':') return fail("expected ':' in object");
+      skip_ws();
+      auto v = parse_value();
+      if (!v.ok()) return v;
+      obj[std::move(key).take()] = std::move(v).take();
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') {
+        --depth_;
+        return Value(std::move(obj));
+      }
+      if (c != ',') return fail("expected ',' or '}' in object");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(*this, out, -1, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_to(*this, out, 2, 0);
+  return out;
+}
+
+Result<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace exiot::json

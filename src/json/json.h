@@ -1,0 +1,94 @@
+// A small JSON library: value model, recursive-descent parser, and
+// serializer. Used for CTI records, pipeline messages, the document store,
+// and the REST API — the same roles JSON plays in the paper's architecture.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace exiot::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps object keys ordered, making serialized output canonical
+/// (important for record diffing in tests and the feed-comparison metrics).
+using Object = std::map<std::string, Value>;
+
+/// A JSON value. Integers and doubles are kept distinct so that IDs and
+/// counters round-trip exactly.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}           // NOLINT
+  Value(bool b) : data_(b) {}                         // NOLINT
+  Value(int v) : data_(std::int64_t{v}) {}            // NOLINT
+  Value(std::int64_t v) : data_(v) {}                 // NOLINT
+  Value(std::uint32_t v) : data_(std::int64_t{v}) {}  // NOLINT
+  Value(double v) : data_(v) {}                       // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}     // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}       // NOLINT
+  Value(std::string_view s) : data_(std::string(s)) {}  // NOLINT
+  Value(Array a) : data_(std::move(a)) {}             // NOLINT
+  Value(Object o) : data_(std::move(o)) {}            // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const {
+    return is_double() ? static_cast<std::int64_t>(std::get<double>(data_))
+                       : std::get<std::int64_t>(data_);
+  }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object field access; inserts a null member if absent (object only).
+  Value& operator[](const std::string& key);
+  /// Const lookup; returns nullptr if absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults for optional fields.
+  std::string get_string(std::string_view key, std::string def = "") const;
+  std::int64_t get_int(std::string_view key, std::int64_t def = 0) const;
+  double get_double(std::string_view key, double def = 0.0) const;
+  bool get_bool(std::string_view key, bool def = false) const;
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+  /// Pretty-printed serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace is an error.
+Result<Value> parse(std::string_view text);
+
+}  // namespace exiot::json

@@ -1,0 +1,26 @@
+// Dataset containers shared by the learning code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace exiot::ml {
+
+using FeatureVector = std::vector<double>;
+
+/// A labeled dataset: rows of equal-width feature vectors with binary
+/// labels (1 = IoT, 0 = non-IoT in the eX-IoT pipeline).
+struct Dataset {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+
+  std::size_t size() const { return rows.size(); }
+  std::size_t width() const { return rows.empty() ? 0 : rows[0].size(); }
+
+  void add(FeatureVector row, int label) {
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+};
+
+}  // namespace exiot::ml

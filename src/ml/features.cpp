@@ -1,0 +1,154 @@
+#include "ml/features.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exiot::ml {
+
+const std::array<std::string, kNumFields>& field_names() {
+  static const std::array<std::string, kNumFields> names = {
+      // General.
+      "protocol", "dst_port", "total_length", "tcp_offset",
+      "tcp_data_length", "inter_arrival",
+      // IP header.
+      "tos", "ip_id", "ttl", "src_ip", "dst_ip",
+      // TCP header.
+      "src_port", "seq", "ack_seq", "reserved", "flags", "window", "urgent",
+      // TCP options.
+      "opt_wscale", "opt_mss", "opt_timestamp", "opt_nop",
+      "opt_sack_permitted", "opt_sack"};
+  return names;
+}
+
+std::array<double, kNumFields> extract_fields(const net::Packet& pkt,
+                                              TimeMicros prev_ts) {
+  std::array<double, kNumFields> f{};
+  const bool tcp = pkt.proto == net::IpProto::kTcp;
+  f[0] = static_cast<double>(pkt.proto);
+  f[1] = pkt.dst_port;
+  f[2] = pkt.total_length;
+  f[3] = tcp ? pkt.data_offset : 0.0;
+  f[4] = tcp ? pkt.tcp_data_length() : 0.0;
+  f[5] = static_cast<double>(pkt.ts - prev_ts) / kMicrosPerSecond;
+  f[6] = pkt.tos;
+  f[7] = pkt.ip_id;
+  f[8] = pkt.ttl;
+  f[9] = static_cast<double>(pkt.src.value());
+  f[10] = static_cast<double>(pkt.dst.value());
+  f[11] = pkt.src_port;
+  // The raw sequence number is useless as magnitude, but |seq - dst_ip|
+  // collapsing to zero is the Mirai signature; expose seq relative to the
+  // destination so quantile summaries preserve the signal.
+  f[12] = tcp ? static_cast<double>(pkt.seq == pkt.dst.value() ? 0.0
+                                    : pkt.seq % 65536)
+              : 0.0;
+  f[13] = tcp ? static_cast<double>(pkt.ack % 65536) : 0.0;
+  f[14] = tcp ? pkt.reserved : 0.0;
+  f[15] = tcp ? pkt.flags : 0.0;
+  f[16] = tcp ? pkt.window : 0.0;
+  f[17] = tcp ? pkt.urgent : 0.0;
+  f[18] = pkt.opts.wscale ? *pkt.opts.wscale : -1.0;
+  f[19] = pkt.opts.mss ? *pkt.opts.mss : -1.0;
+  f[20] = pkt.opts.timestamp ? 1.0 : 0.0;
+  f[21] = pkt.opts.nop ? 1.0 : 0.0;
+  f[22] = pkt.opts.sack_permitted ? 1.0 : 0.0;
+  f[23] = pkt.opts.sack ? 1.0 : 0.0;
+  return f;
+}
+
+namespace {
+
+/// Linear-interpolated quantile of a sorted vector.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+FeatureVector flow_features(const std::vector<net::Packet>& sample) {
+  assert(!sample.empty());
+  // Column-major collection of per-packet field values.
+  std::array<std::vector<double>, kNumFields> columns;
+  for (auto& c : columns) c.reserve(sample.size());
+  TimeMicros prev_ts = sample.front().ts;
+  for (const auto& pkt : sample) {
+    auto fields = extract_fields(pkt, prev_ts);
+    prev_ts = pkt.ts;
+    for (int i = 0; i < kNumFields; ++i) columns[i].push_back(fields[i]);
+  }
+
+  FeatureVector out;
+  out.reserve(kNumFeatures);
+  static constexpr double kQuantiles[kNumQuantiles] = {0.0, 0.25, 0.5, 0.75,
+                                                       1.0};
+  for (int i = 0; i < kNumFields; ++i) {
+    std::sort(columns[i].begin(), columns[i].end());
+    for (double q : kQuantiles) {
+      out.push_back(quantile_sorted(columns[i], q));
+    }
+  }
+  return out;
+}
+
+Normalizer Normalizer::fit(const std::vector<FeatureVector>& rows) {
+  Normalizer n;
+  if (rows.empty()) return n;
+  const std::size_t width = rows[0].size();
+  n.min_.assign(width, 0.0);
+  n.inv_range_.assign(width, 0.0);
+  n.mean_.assign(width, 0.0);
+
+  std::vector<double> max(width, 0.0);
+  for (std::size_t j = 0; j < width; ++j) {
+    n.min_[j] = rows[0][j];
+    max[j] = rows[0][j];
+  }
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < width; ++j) {
+      n.min_[j] = std::min(n.min_[j], row[j]);
+      max[j] = std::max(max[j], row[j]);
+    }
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    const double range = max[j] - n.min_[j];
+    n.inv_range_[j] = range > 0.0 ? 1.0 / range : 0.0;
+  }
+  // Mean of the MinMax-scaled training rows (the value subtracted at
+  // transform time, per the paper's pre-processing description).
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < width; ++j) {
+      n.mean_[j] += (row[j] - n.min_[j]) * n.inv_range_[j];
+    }
+  }
+  for (auto& m : n.mean_) m /= static_cast<double>(rows.size());
+  return n;
+}
+
+Normalizer Normalizer::from_raw(std::vector<double> min,
+                                std::vector<double> inv_range,
+                                std::vector<double> mean) {
+  Normalizer n;
+  n.min_ = std::move(min);
+  n.inv_range_ = std::move(inv_range);
+  n.mean_ = std::move(mean);
+  return n;
+}
+
+FeatureVector Normalizer::transform(const FeatureVector& row) const {
+  FeatureVector out(row.size());
+  for (std::size_t j = 0; j < row.size() && j < min_.size(); ++j) {
+    out[j] = (row[j] - min_[j]) * inv_range_[j] - mean_[j];
+  }
+  return out;
+}
+
+void Normalizer::transform_in_place(std::vector<FeatureVector>& rows) const {
+  for (auto& row : rows) row = transform(row);
+}
+
+}  // namespace exiot::ml

@@ -1,0 +1,225 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace exiot::ml {
+namespace {
+
+double gini(int pos, int total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+int DecisionTree::build(const Dataset& data,
+                        std::vector<std::size_t>& indices, std::size_t begin,
+                        std::size_t end, int depth, const TreeParams& params,
+                        Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const auto count = static_cast<int>(end - begin);
+  int positives = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    positives += data.labels[indices[i]];
+  }
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].score = count == 0
+                                 ? 0.5
+                                 : static_cast<double>(positives) / count;
+
+  const bool pure = positives == 0 || positives == count;
+  if (pure || depth >= params.max_depth ||
+      count < params.min_samples_split) {
+    return node_index;
+  }
+
+  const int width = static_cast<int>(data.width());
+  int max_features = params.max_features;
+  if (max_features <= 0) {
+    max_features = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(double(width)))));
+  }
+  max_features = std::min(max_features, width);
+
+  // Random feature subset for this node (partial Fisher-Yates).
+  std::vector<int> features(static_cast<std::size_t>(width));
+  std::iota(features.begin(), features.end(), 0);
+  for (int i = 0; i < max_features; ++i) {
+    std::swap(features[static_cast<std::size_t>(i)],
+              features[i + static_cast<std::size_t>(rng.next_below(
+                               static_cast<std::uint64_t>(width - i)))]);
+  }
+
+  const double parent_impurity = gini(positives, count);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> column(static_cast<std::size_t>(count));
+  for (int fi = 0; fi < max_features; ++fi) {
+    const int f = features[static_cast<std::size_t>(fi)];
+    for (std::size_t i = begin; i < end; ++i) {
+      column[i - begin] = {data.rows[indices[i]][static_cast<std::size_t>(f)],
+                           data.labels[indices[i]]};
+    }
+    std::sort(column.begin(), column.end());
+    int left_pos = 0;
+    for (int k = 1; k < count; ++k) {
+      left_pos += column[static_cast<std::size_t>(k - 1)].second;
+      if (column[static_cast<std::size_t>(k)].first ==
+          column[static_cast<std::size_t>(k - 1)].first) {
+        continue;  // Cannot split between equal values.
+      }
+      const int left_n = k, right_n = count - k;
+      if (left_n < params.min_samples_leaf ||
+          right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const double impurity =
+          (left_n * gini(left_pos, left_n) +
+           right_n * gini(positives - left_pos, right_n)) /
+          count;
+      const double gain = parent_impurity - impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (column[static_cast<std::size_t>(k - 1)].first +
+                          column[static_cast<std::size_t>(k)].first) /
+                         2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  // Partition indices in place around the threshold.
+  auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) {
+        return data.rows[idx][static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(
+      std::distance(indices.begin(), mid_it));
+  if (mid == begin || mid == end) return node_index;  // Degenerate split.
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int left = build(data, indices, begin, mid, depth + 1, params, rng);
+  const int right = build(data, indices, mid, end, depth + 1, params, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+DecisionTree DecisionTree::train(const Dataset& data,
+                                 const std::vector<std::size_t>& indices,
+                                 const TreeParams& params, Rng& rng) {
+  DecisionTree tree;
+  std::vector<std::size_t> work = indices;
+  if (work.empty()) {
+    tree.nodes_.emplace_back();
+    tree.nodes_[0].score = 0.5;
+    return tree;
+  }
+  tree.build(data, work, 0, work.size(), 0, params, rng);
+  return tree;
+}
+
+DecisionTree DecisionTree::train(const Dataset& data,
+                                 const TreeParams& params, Rng& rng) {
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  return train(data, indices, params, rng);
+}
+
+DecisionTree DecisionTree::from_nodes(std::vector<Node> nodes, int depth) {
+  DecisionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.depth_ = depth;
+  if (tree.nodes_.empty()) {
+    tree.nodes_.emplace_back();
+    tree.nodes_[0].score = 0.5;
+  }
+  return tree;
+}
+
+double DecisionTree::predict_score(const FeatureVector& row) const {
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].score;
+}
+
+void DecisionTree::accumulate_split_features(std::vector<int>& counts) const {
+  for (const Node& n : nodes_) {
+    if (n.feature >= 0 &&
+        static_cast<std::size_t>(n.feature) < counts.size()) {
+      ++counts[static_cast<std::size_t>(n.feature)];
+    }
+  }
+}
+
+RandomForest RandomForest::train(const Dataset& data,
+                                 const ForestParams& params,
+                                 std::uint64_t seed) {
+  RandomForest forest;
+  Rng rng(seed);
+  const auto n = data.size();
+  const auto samples_per_tree = static_cast<std::size_t>(
+      std::max<double>(1.0, params.subsample * static_cast<double>(n)));
+
+  std::vector<std::size_t> pos, neg;
+  if (params.balanced_bootstrap) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (data.labels[i] == 1 ? pos : neg).push_back(i);
+    }
+  }
+
+  forest.trees_.reserve(static_cast<std::size_t>(params.num_trees));
+  for (int t = 0; t < params.num_trees; ++t) {
+    Rng tree_rng = rng.split();
+    std::vector<std::size_t> bootstrap(samples_per_tree);
+    if (params.balanced_bootstrap && !pos.empty() && !neg.empty()) {
+      for (std::size_t i = 0; i < bootstrap.size(); ++i) {
+        const auto& cls = (i % 2 == 0) ? pos : neg;
+        bootstrap[i] = cls[tree_rng.next_below(cls.size())];
+      }
+    } else {
+      for (auto& idx : bootstrap) idx = tree_rng.next_below(n);
+    }
+    forest.trees_.push_back(
+        DecisionTree::train(data, bootstrap, params.tree, tree_rng));
+  }
+  return forest;
+}
+
+double RandomForest::predict_score(const FeatureVector& row) const {
+  if (trees_.empty()) return 0.5;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict_score(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+RandomForest RandomForest::from_trees(std::vector<DecisionTree> trees) {
+  RandomForest forest;
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
+std::vector<int> RandomForest::split_feature_counts(int width) const {
+  std::vector<int> counts(static_cast<std::size_t>(width), 0);
+  for (const auto& tree : trees_) tree.accumulate_split_features(counts);
+  return counts;
+}
+
+}  // namespace exiot::ml

@@ -1,0 +1,99 @@
+// CART decision trees and bagged random forests, implemented from scratch
+// (substituting for the sklearn RandomForestClassifier in the paper's
+// Update Classifier module). Gini impurity, per-node random feature
+// subsetting, bootstrap sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace exiot::ml {
+
+struct TreeParams {
+  int max_depth = 12;
+  int min_samples_split = 4;
+  int min_samples_leaf = 2;
+  /// Features examined per split; <= 0 means sqrt(width) (forest default).
+  int max_features = -1;
+};
+
+/// A single CART tree (flattened node array for cache-friendly inference).
+class DecisionTree : public Classifier {
+ public:
+  /// Trains on (a view of) the dataset restricted to `indices`.
+  static DecisionTree train(const Dataset& data,
+                            const std::vector<std::size_t>& indices,
+                            const TreeParams& params, Rng& rng);
+  static DecisionTree train(const Dataset& data, const TreeParams& params,
+                            Rng& rng);
+
+  double predict_score(const FeatureVector& row) const override;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return depth_; }
+
+  /// Accumulates per-feature split counts into `counts` (sized to width).
+  void accumulate_split_features(std::vector<int>& counts) const;
+
+  /// Flattened tree node (public for persistence; see ml/persist.h).
+  struct Node {
+    int feature = -1;        // -1 marks a leaf.
+    double threshold = 0.0;  // Go left if row[feature] <= threshold.
+    int left = -1;
+    int right = -1;
+    double score = 0.0;      // Leaf: positive-class fraction.
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Reconstructs a tree from persisted nodes (no validation beyond index
+  /// bounds at prediction time; callers own file integrity).
+  static DecisionTree from_nodes(std::vector<Node> nodes, int depth);
+
+ private:
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            std::size_t begin, std::size_t end, int depth,
+            const TreeParams& params, Rng& rng);
+
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+struct ForestParams {
+  int num_trees = 100;
+  TreeParams tree;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+  /// Balanced bootstrap: each tree draws equally from both classes, so
+  /// leaf probabilities calibrate around a balanced prior. Essential when
+  /// banner-labeled IoT examples are a small minority of the window, as
+  /// in the production pipeline.
+  bool balanced_bootstrap = false;
+};
+
+/// Bagged random forest; the pipeline's production model.
+class RandomForest : public Classifier {
+ public:
+  static RandomForest train(const Dataset& data, const ForestParams& params,
+                            std::uint64_t seed);
+
+  double predict_score(const FeatureVector& row) const override;
+
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// Mean-decrease-in-impurity style proxy: counts how often each feature
+  /// is used for a split across the forest (model introspection).
+  std::vector<int> split_feature_counts(int width) const;
+
+  /// Reconstructs a forest from persisted trees (see ml/persist.h).
+  static RandomForest from_trees(std::vector<DecisionTree> trees);
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace exiot::ml

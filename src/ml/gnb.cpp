@@ -1,0 +1,75 @@
+#include "ml/gnb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exiot::ml {
+
+GaussianNb GaussianNb::train(const Dataset& data, double var_smoothing) {
+  GaussianNb gnb;
+  const std::size_t width = data.width();
+  gnb.pos_.mean.assign(width, 0.0);
+  gnb.pos_.var.assign(width, 0.0);
+  gnb.neg_.mean.assign(width, 0.0);
+  gnb.neg_.var.assign(width, 0.0);
+  if (data.size() == 0) return gnb;
+
+  std::size_t pos_n = 0, neg_n = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ClassStats& c = data.labels[i] == 1 ? gnb.pos_ : gnb.neg_;
+    (data.labels[i] == 1 ? pos_n : neg_n)++;
+    for (std::size_t j = 0; j < width; ++j) c.mean[j] += data.rows[i][j];
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    if (pos_n) gnb.pos_.mean[j] /= static_cast<double>(pos_n);
+    if (neg_n) gnb.neg_.mean[j] /= static_cast<double>(neg_n);
+  }
+  // Largest feature variance scales the smoothing term (sklearn behaviour).
+  double max_var = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ClassStats& c = data.labels[i] == 1 ? gnb.pos_ : gnb.neg_;
+    for (std::size_t j = 0; j < width; ++j) {
+      const double d = data.rows[i][j] - c.mean[j];
+      c.var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    if (pos_n) gnb.pos_.var[j] /= static_cast<double>(pos_n);
+    if (neg_n) gnb.neg_.var[j] /= static_cast<double>(neg_n);
+    max_var = std::max({max_var, gnb.pos_.var[j], gnb.neg_.var[j]});
+  }
+  const double eps = var_smoothing * std::max(max_var, 1.0);
+  for (std::size_t j = 0; j < width; ++j) {
+    gnb.pos_.var[j] += eps;
+    gnb.neg_.var[j] += eps;
+  }
+  const double total = static_cast<double>(pos_n + neg_n);
+  gnb.pos_.log_prior =
+      pos_n ? std::log(static_cast<double>(pos_n) / total) : -1e30;
+  gnb.neg_.log_prior =
+      neg_n ? std::log(static_cast<double>(neg_n) / total) : -1e30;
+  return gnb;
+}
+
+double GaussianNb::log_likelihood(const ClassStats& stats,
+                                  const FeatureVector& row) const {
+  double ll = stats.log_prior;
+  for (std::size_t j = 0; j < row.size() && j < stats.mean.size(); ++j) {
+    const double d = row[j] - stats.mean[j];
+    ll += -0.5 * std::log(2.0 * M_PI * stats.var[j]) -
+          d * d / (2.0 * stats.var[j]);
+  }
+  return ll;
+}
+
+double GaussianNb::predict_score(const FeatureVector& row) const {
+  if (pos_.mean.empty()) return 0.5;
+  const double lp = log_likelihood(pos_, row);
+  const double ln = log_likelihood(neg_, row);
+  // Normalized posterior via the log-sum-exp trick.
+  const double m = std::max(lp, ln);
+  const double ep = std::exp(lp - m), en = std::exp(ln - m);
+  return ep / (ep + en);
+}
+
+}  // namespace exiot::ml

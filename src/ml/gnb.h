@@ -1,0 +1,31 @@
+// Gaussian Naive Bayes — the third baseline from the paper's preliminary
+// model comparison.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace exiot::ml {
+
+class GaussianNb : public Classifier {
+ public:
+  /// `var_smoothing` is added to every per-feature variance (as in
+  /// sklearn) so constant features do not produce degenerate likelihoods.
+  static GaussianNb train(const Dataset& data, double var_smoothing = 1e-9);
+
+  double predict_score(const FeatureVector& row) const override;
+
+ private:
+  struct ClassStats {
+    double log_prior = 0.0;
+    std::vector<double> mean;
+    std::vector<double> var;
+  };
+  double log_likelihood(const ClassStats& stats,
+                        const FeatureVector& row) const;
+  ClassStats pos_, neg_;
+};
+
+}  // namespace exiot::ml

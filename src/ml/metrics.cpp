@@ -1,0 +1,57 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace exiot::ml {
+
+Confusion confusion_at(const std::vector<int>& labels,
+                       const std::vector<double>& scores, double threshold) {
+  Confusion c;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      predicted ? ++c.tp : ++c.fn;
+    } else {
+      predicted ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+double roc_auc(const std::vector<int>& labels,
+               const std::vector<double>& scores) {
+  const std::size_t n = labels.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Average ranks over tied scores, then use the Mann-Whitney U statistic.
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  std::size_t positives = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++positives;
+    }
+  }
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = pos_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+}  // namespace exiot::ml

@@ -1,0 +1,35 @@
+// Common interface for the binary classifiers compared in the paper
+// (Random Forest, SVM, Gaussian Naive Bayes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace exiot::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Score in [0,1]: the paper's "prediction score" accompanying each
+  /// label (probability-like; threshold at 0.5 for the hard label).
+  virtual double predict_score(const FeatureVector& row) const = 0;
+
+  int predict(const FeatureVector& row) const {
+    return predict_score(row) >= 0.5 ? 1 : 0;
+  }
+
+  std::vector<double> predict_scores(
+      const std::vector<FeatureVector>& rows) const {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) out.push_back(predict_score(row));
+    return out;
+  }
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace exiot::ml

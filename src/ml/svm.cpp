@@ -1,0 +1,54 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace exiot::ml {
+
+LinearSvm LinearSvm::train(const Dataset& data, const SvmParams& params,
+                           std::uint64_t seed) {
+  LinearSvm svm;
+  if (data.size() == 0) return svm;
+  const std::size_t width = data.width();
+  svm.weights_.assign(width, 0.0);
+  Rng rng(seed);
+
+  const auto n = data.size();
+  std::size_t t = 1;
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    for (std::size_t step = 0; step < n; ++step, ++t) {
+      const std::size_t i = rng.next_below(n);
+      const double y = data.labels[i] == 1 ? 1.0 : -1.0;
+      const double eta = 1.0 / (params.lambda * static_cast<double>(t));
+      double margin = svm.bias_;
+      const auto& x = data.rows[i];
+      for (std::size_t j = 0; j < width; ++j) {
+        margin += svm.weights_[j] * x[j];
+      }
+      const double scale = 1.0 - eta * params.lambda;
+      for (auto& w : svm.weights_) w *= scale;
+      if (y * margin < 1.0) {
+        for (std::size_t j = 0; j < width; ++j) {
+          svm.weights_[j] += eta * y * x[j];
+        }
+        svm.bias_ += eta * y;
+      }
+    }
+  }
+  return svm;
+}
+
+double LinearSvm::margin(const FeatureVector& row) const {
+  double m = bias_;
+  for (std::size_t j = 0; j < row.size() && j < weights_.size(); ++j) {
+    m += weights_[j] * row[j];
+  }
+  return m;
+}
+
+double LinearSvm::predict_score(const FeatureVector& row) const {
+  return 1.0 / (1.0 + std::exp(-margin(row)));
+}
+
+}  // namespace exiot::ml

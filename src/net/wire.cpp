@@ -1,0 +1,264 @@
+#include "net/wire.h"
+
+namespace exiot::net {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
+}
+
+/// Encodes TCP options into 32-bit-aligned option bytes. Order is fixed
+/// (MSS, SACK-permitted, TIMESTAMP, WSCALE, explicit NOPs, SACK marker) so
+/// serialization is deterministic.
+std::vector<std::uint8_t> encode_tcp_options(const TcpOptions& o) {
+  std::vector<std::uint8_t> opt;
+  if (o.mss) {
+    opt.insert(opt.end(), {2, 4, static_cast<std::uint8_t>(*o.mss >> 8),
+                           static_cast<std::uint8_t>(*o.mss)});
+  }
+  if (o.sack_permitted) opt.insert(opt.end(), {4, 2});
+  if (o.timestamp) {
+    opt.insert(opt.end(), {8, 10});
+    opt.push_back(static_cast<std::uint8_t>(o.ts_val >> 24));
+    opt.push_back(static_cast<std::uint8_t>(o.ts_val >> 16));
+    opt.push_back(static_cast<std::uint8_t>(o.ts_val >> 8));
+    opt.push_back(static_cast<std::uint8_t>(o.ts_val));
+    // Echo reply field (zero on probes).
+    opt.insert(opt.end(), {0, 0, 0, 0});
+  }
+  if (o.wscale) opt.insert(opt.end(), {3, 3, *o.wscale});
+  if (o.nop) opt.push_back(1);
+  if (o.sack) {
+    // A zero-length SACK block marker (kind 5, len 2) — telescope probes
+    // carry the flag, not meaningful blocks.
+    opt.insert(opt.end(), {5, 2});
+  }
+  while (opt.size() % 4 != 0) opt.push_back(0);  // End-of-options padding.
+  return opt;
+}
+
+Result<TcpOptions> decode_tcp_options(std::span<const std::uint8_t> bytes) {
+  TcpOptions o;
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    std::uint8_t kind = bytes[i];
+    if (kind == 0) break;  // End of options list.
+    if (kind == 1) {       // NOP
+      o.nop = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= bytes.size()) return make_error("tcp_opt", "truncated option");
+    std::uint8_t len = bytes[i + 1];
+    if (len < 2 || i + len > bytes.size()) {
+      return make_error("tcp_opt", "bad option length");
+    }
+    switch (kind) {
+      case 2:
+        if (len != 4) return make_error("tcp_opt", "bad MSS length");
+        o.mss = get_u16(bytes, i + 2);
+        break;
+      case 3:
+        if (len != 3) return make_error("tcp_opt", "bad WSCALE length");
+        o.wscale = bytes[i + 2];
+        break;
+      case 4: o.sack_permitted = true; break;
+      case 5: o.sack = true; break;
+      case 8:
+        if (len != 10) return make_error("tcp_opt", "bad TIMESTAMP length");
+        o.timestamp = true;
+        o.ts_val = get_u32(bytes, i + 2);
+        break;
+      default: break;  // Unknown options are skipped, as real stacks do.
+    }
+    i += len;
+  }
+  return o;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
+  }
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::size_t serialize_to(const Packet& pkt, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+
+  std::vector<std::uint8_t> l4;
+  switch (pkt.proto) {
+    case IpProto::kTcp: {
+      auto opts = encode_tcp_options(pkt.opts);
+      const std::uint8_t offset =
+          static_cast<std::uint8_t>(5 + opts.size() / 4);
+      put_u16(l4, pkt.src_port);
+      put_u16(l4, pkt.dst_port);
+      put_u32(l4, pkt.seq);
+      put_u32(l4, pkt.ack);
+      put_u8(l4, static_cast<std::uint8_t>((offset << 4) |
+                                           (pkt.reserved & 0x0F)));
+      put_u8(l4, pkt.flags);
+      put_u16(l4, pkt.window);
+      put_u16(l4, 0);  // Checksum placeholder (needs pseudo-header).
+      put_u16(l4, pkt.urgent);
+      l4.insert(l4.end(), opts.begin(), opts.end());
+      break;
+    }
+    case IpProto::kUdp: {
+      put_u16(l4, pkt.src_port);
+      put_u16(l4, pkt.dst_port);
+      put_u16(l4, static_cast<std::uint16_t>(
+                      pkt.total_length > 20 ? pkt.total_length - 20 : 8));
+      put_u16(l4, 0);
+      break;
+    }
+    case IpProto::kIcmp: {
+      put_u8(l4, pkt.icmp_type_v);
+      put_u8(l4, pkt.icmp_code);
+      put_u16(l4, 0);  // Checksum placeholder.
+      put_u32(l4, 0);  // Rest-of-header.
+      std::uint16_t csum = internet_checksum(l4);
+      l4[2] = static_cast<std::uint8_t>(csum >> 8);
+      l4[3] = static_cast<std::uint8_t>(csum);
+      break;
+    }
+  }
+
+  const std::uint16_t wire_total =
+      static_cast<std::uint16_t>(20 + l4.size());
+  // The advertised total_length may exceed the wire image (payload elided);
+  // keep the larger of the two so decode restores the original field.
+  const std::uint16_t advertised =
+      pkt.total_length > wire_total ? pkt.total_length : wire_total;
+
+  std::vector<std::uint8_t> ip;
+  put_u8(ip, 0x45);  // Version 4, IHL 5.
+  put_u8(ip, pkt.tos);
+  put_u16(ip, advertised);
+  put_u16(ip, pkt.ip_id);
+  put_u16(ip, 0x4000);  // Don't Fragment, offset 0.
+  put_u8(ip, pkt.ttl);
+  put_u8(ip, static_cast<std::uint8_t>(pkt.proto));
+  put_u16(ip, 0);  // Header checksum placeholder.
+  put_u32(ip, pkt.src.value());
+  put_u32(ip, pkt.dst.value());
+  std::uint16_t csum = internet_checksum(ip);
+  ip[10] = static_cast<std::uint8_t>(csum >> 8);
+  ip[11] = static_cast<std::uint8_t>(csum);
+
+  // TCP checksum over pseudo-header + segment.
+  if (pkt.proto == IpProto::kTcp || pkt.proto == IpProto::kUdp) {
+    std::vector<std::uint8_t> pseudo;
+    put_u32(pseudo, pkt.src.value());
+    put_u32(pseudo, pkt.dst.value());
+    put_u8(pseudo, 0);
+    put_u8(pseudo, static_cast<std::uint8_t>(pkt.proto));
+    put_u16(pseudo, static_cast<std::uint16_t>(l4.size()));
+    pseudo.insert(pseudo.end(), l4.begin(), l4.end());
+    std::uint16_t l4sum = internet_checksum(pseudo);
+    const std::size_t csum_off = pkt.proto == IpProto::kTcp ? 16 : 6;
+    l4[csum_off] = static_cast<std::uint8_t>(l4sum >> 8);
+    l4[csum_off + 1] = static_cast<std::uint8_t>(l4sum);
+  }
+
+  out.insert(out.end(), ip.begin(), ip.end());
+  out.insert(out.end(), l4.begin(), l4.end());
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> serialize(const Packet& pkt) {
+  std::vector<std::uint8_t> out;
+  serialize_to(pkt, out);
+  return out;
+}
+
+Result<Packet> parse(std::span<const std::uint8_t> bytes, TimeMicros ts) {
+  if (bytes.size() < 20) return make_error("wire", "short IPv4 header");
+  if ((bytes[0] >> 4) != 4) return make_error("wire", "not IPv4");
+  const std::size_t ihl = static_cast<std::size_t>(bytes[0] & 0x0F) * 4;
+  if (ihl < 20 || bytes.size() < ihl) {
+    return make_error("wire", "bad IHL");
+  }
+  if (internet_checksum(bytes.subspan(0, ihl)) != 0) {
+    return make_error("wire", "IPv4 checksum mismatch");
+  }
+
+  Packet p;
+  p.ts = ts;
+  p.tos = bytes[1];
+  p.total_length = get_u16(bytes, 2);
+  p.ip_id = get_u16(bytes, 4);
+  p.ttl = bytes[8];
+  p.src = Ipv4(get_u32(bytes, 12));
+  p.dst = Ipv4(get_u32(bytes, 16));
+
+  auto l4 = bytes.subspan(ihl);
+  switch (bytes[9]) {
+    case 6: {
+      p.proto = IpProto::kTcp;
+      if (l4.size() < 20) return make_error("wire", "short TCP header");
+      p.src_port = get_u16(l4, 0);
+      p.dst_port = get_u16(l4, 2);
+      p.seq = get_u32(l4, 4);
+      p.ack = get_u32(l4, 8);
+      p.data_offset = l4[12] >> 4;
+      p.reserved = l4[12] & 0x0F;
+      p.flags = l4[13];
+      p.window = get_u16(l4, 14);
+      p.urgent = get_u16(l4, 18);
+      const std::size_t hdr_len = std::size_t{p.data_offset} * 4;
+      if (hdr_len < 20 || l4.size() < hdr_len) {
+        return make_error("wire", "bad TCP data offset");
+      }
+      auto opts = decode_tcp_options(l4.subspan(20, hdr_len - 20));
+      if (!opts.ok()) return opts.error();
+      p.opts = std::move(opts).take();
+      break;
+    }
+    case 17: {
+      p.proto = IpProto::kUdp;
+      if (l4.size() < 8) return make_error("wire", "short UDP header");
+      p.src_port = get_u16(l4, 0);
+      p.dst_port = get_u16(l4, 2);
+      break;
+    }
+    case 1: {
+      p.proto = IpProto::kIcmp;
+      if (l4.size() < 8) return make_error("wire", "short ICMP header");
+      p.icmp_type_v = l4[0];
+      p.icmp_code = l4[1];
+      break;
+    }
+    default:
+      return make_error("wire", "unsupported IP protocol " +
+                                    std::to_string(bytes[9]));
+  }
+  return p;
+}
+
+}  // namespace exiot::net

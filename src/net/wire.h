@@ -1,0 +1,33 @@
+// Wire-format encoding/decoding of packets: real IPv4 + TCP/UDP/ICMP header
+// layouts with checksums. Used by the trace file format and by the
+// throughput benchmarks, which measure parse speed at telescope rates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "net/packet.h"
+
+namespace exiot::net {
+
+/// Serializes the packet headers (no payload bytes; telescope analysis is
+/// header-only, and sampled records keep header fields only — §III of the
+/// paper). If total_length implies a payload, the wire image still contains
+/// only headers; the length fields are preserved so decoding round-trips.
+std::vector<std::uint8_t> serialize(const Packet& pkt);
+
+/// Appends serialization to an existing buffer (amortizes allocation on the
+/// hot path). Returns the number of bytes appended.
+std::size_t serialize_to(const Packet& pkt, std::vector<std::uint8_t>& out);
+
+/// Decodes a packet from wire bytes. `ts` is carried out-of-band (the trace
+/// record header owns the timestamp, as in pcap). Validates header lengths
+/// and the IPv4 checksum.
+Result<Packet> parse(std::span<const std::uint8_t> bytes, TimeMicros ts = 0);
+
+/// RFC 1071 Internet checksum over a byte range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+}  // namespace exiot::net

@@ -1,0 +1,52 @@
+// The in-memory FIFO between pipeline stages — the paper's 15 GB mbuffer
+// that "curbs the effect of mismatched processing delays among the
+// modules". Bounded; a full buffer exerts back-pressure on the producer
+// instead of dropping (the paper's no-data-loss requirement).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+namespace exiot::pipeline {
+
+template <typename T>
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues unless full. Returns false (back-pressure) when at capacity.
+  bool push(T item) {
+    if (items_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    high_watermark_ = std::max(high_watermark_, items_.size());
+    return true;
+  }
+
+  /// Dequeues the oldest item, or nullopt when empty.
+  std::optional<T> pop() {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+  /// Peak occupancy observed (capacity-planning signal).
+  std::size_t high_watermark() const { return high_watermark_; }
+  /// Push attempts refused by back-pressure.
+  std::size_t rejected() const { return rejected_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::size_t high_watermark_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace exiot::pipeline

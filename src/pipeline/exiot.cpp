@@ -1,0 +1,272 @@
+#include "pipeline/exiot.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "enrich/flow_stats.h"
+#include "ml/features.h"
+
+namespace exiot::pipeline {
+
+ExIotPipeline::ExIotPipeline(const inet::Population& population,
+                             const inet::WorldModel& world,
+                             PipelineConfig config)
+    : population_(population),
+      config_(config),
+      synth_(population, config.telescope),
+      detector_(
+          config.detector,
+          flow::DetectorEvents{
+              .on_scanner =
+                  [this](const flow::FlowSummary& summary) {
+                    // New scanner: the detection ships over the tunnel and
+                    // enters the scan-module batch on the processing clock.
+                    auto& pending = pending_[summary.src.value()];
+                    pending = PendingRecord{};
+                    pending.summary = summary;
+                    const TimeMicros at =
+                        tunnel_.deliver(processing_time(summary.detect_time));
+                    handle_probe_outcomes(
+                        scan_module_.submit(summary.src, at));
+                  },
+              .on_sample =
+                  [this](Ipv4 src, const std::vector<net::Packet>& pkts) {
+                    auto it = pending_.find(src.value());
+                    if (it == pending_.end()) return;
+                    PendingRecord& pending = it->second;
+                    pending.sample_ready_at = tunnel_.deliver(
+                        processing_time(pkts.back().ts));
+                    auto bundle = organizer_.organize(src, pkts);
+                    if (!bundle.has_value()) {
+                      pending.dropped = true;
+                    } else {
+                      pending.bundle = std::move(bundle);
+                    }
+                    try_publish(pending);
+                  },
+              .on_flow_end =
+                  [this](const flow::FlowSummary& summary) {
+                    const TimeMicros at = tunnel_.deliver(
+                        processing_time(summary.last_seen) +
+                        config_.processing_per_hour);
+                    auto it = pending_.find(summary.src.value());
+                    if (it != pending_.end()) {
+                      // Record not yet published: fold the end into it so
+                      // the record is born already closed.
+                      it->second.summary.last_seen = summary.last_seen;
+                      it->second.summary.total_packets =
+                          summary.total_packets;
+                      it->second.ended = true;
+                      it->second.end_ts = summary.last_seen;
+                      it->second.dropped =
+                          it->second.dropped || !it->second.bundle;
+                      if (it->second.dropped) pending_.erase(it);
+                      return;
+                    }
+                    if (feed_.mark_ended(summary.src, summary.last_seen,
+                                         at)) {
+                      ++stats_.records_ended;
+                    }
+                  },
+              .on_report =
+                  [this](const flow::SecondReport& report) {
+                    ++stats_.report_messages;
+                    reports_.ingest(report);
+                  }},
+          probe::table1_ports()),
+      organizer_(config.organizer),
+      prober_(population, config.prober),
+      scan_module_(prober_, fingerprint::RuleDb::standard(), config.batcher),
+      trainer_(config.trainer),
+      enrich_(world, population),
+      notifications_([this](const feed::EmailMessage& message) {
+        outbox_.push_back(message);
+      }) {}
+
+TimeMicros ExIotPipeline::processing_time(TimeMicros traffic_ts) const {
+  const std::int64_t hour = traffic_ts / kMicrosPerHour;
+  const TimeMicros ready = config_.collection.file_ready_time(hour);
+  const double frac =
+      static_cast<double>(traffic_ts - hour * kMicrosPerHour) /
+      static_cast<double>(kMicrosPerHour);
+  return ready + static_cast<TimeMicros>(
+                     frac * static_cast<double>(config_.processing_per_hour));
+}
+
+void ExIotPipeline::handle_probe_outcomes(
+    std::vector<ProbeOutcome> outcomes) {
+  for (auto& outcome : outcomes) {
+    auto it = pending_.find(outcome.src.value());
+    if (it == pending_.end()) continue;
+    it->second.probe = std::move(outcome);
+    try_publish(it->second);
+  }
+}
+
+void ExIotPipeline::try_publish(PendingRecord& pending) {
+  if (!pending.probe.has_value()) return;
+  if (pending.dropped) {
+    pending_.erase(pending.summary.src.value());
+    return;
+  }
+  if (!pending.bundle.has_value()) return;
+  publish_record(pending);
+}
+
+void ExIotPipeline::publish_record(PendingRecord& pending) {
+  const ProbeOutcome& probe = *pending.probe;
+  const ScannerBundle& bundle = *pending.bundle;
+  const TimeMicros published =
+      std::max(probe.completed_at, pending.sample_ready_at) +
+      config_.annotate_latency;
+
+  // Feature extraction over the sampled flow.
+  ml::FeatureVector features = ml::flow_features(bundle.sample);
+
+  // Banner-derived training label feeds the Update Classifier.
+  if (probe.training_label != -1) {
+    trainer_.add_example(published, features, probe.training_label);
+    ++stats_.labeled_examples;
+  }
+
+  feed::CtiRecord record;
+  record.src = pending.summary.src;
+  record.scan_start = pending.summary.first_seen;
+  record.detect_time = pending.summary.detect_time;
+  record.published_at = published;
+  record.banner_returned = probe.banner_returned;
+
+  // Classification: benign research scanners by rDNS allowlist; otherwise
+  // the latest deployed model; before the first model, fall back to the
+  // banner label when one exists.
+  const std::string rdns = enrich_.rdns(record.src);
+  record.rdns = rdns;
+  if (enrich::EnrichmentService::is_benign_scanner_rdns(rdns)) {
+    record.label = feed::kLabelBenign;
+    record.score = 0.0;
+    ++stats_.benign_records;
+  } else if (const DeployedModel* model = trainer_.model_at(published)) {
+    record.score = model->score(features);
+    record.label =
+        record.score >= 0.5 ? feed::kLabelIot : feed::kLabelNonIot;
+  } else if (probe.training_label == 1) {
+    record.label = feed::kLabelIot;
+    record.score = 1.0;
+  } else if (probe.training_label == 0) {
+    record.label = feed::kLabelNonIot;
+    record.score = 0.0;
+  } else {
+    record.label = feed::kLabelUnlabeled;
+    record.score = 0.5;
+    ++stats_.unlabeled_records;
+  }
+  if (record.label == feed::kLabelIot) ++stats_.iot_records;
+  if (record.label == feed::kLabelNonIot) ++stats_.noniot_records;
+
+  // Device identity from banners.
+  if (probe.device.has_value()) {
+    record.vendor = probe.device->vendor;
+    record.device_type = probe.device->device_type;
+    record.model = probe.device->model;
+    record.firmware = probe.device->firmware;
+  }
+  for (const auto& banner : probe.banners) {
+    record.open_ports.push_back(banner.port);
+  }
+  std::sort(record.open_ports.begin(), record.open_ports.end());
+  record.open_ports.erase(
+      std::unique(record.open_ports.begin(), record.open_ports.end()),
+      record.open_ports.end());
+
+  // Tool fingerprinting from the sampled packets.
+  record.tool = fingerprint::fingerprint_tool(bundle.sample).tool;
+
+  // Enrichment lookups.
+  if (auto geo = enrich_.geo(record.src)) {
+    record.country = geo->country;
+    record.country_code = geo->country_code;
+    record.continent = geo->continent;
+    record.latitude = geo->latitude;
+    record.longitude = geo->longitude;
+    record.asn = geo->asn;
+    record.isp = geo->isp;
+  }
+  if (auto whois = enrich_.whois(record.src)) {
+    record.organization = whois->organization;
+    record.sector = whois->sector;
+    record.abuse_email = whois->abuse_email;
+  }
+
+  // Flow statistics.
+  const enrich::FlowStats flow_stats =
+      enrich::compute_flow_stats(bundle.sample);
+  record.scan_rate = flow_stats.scan_rate;
+  record.address_repetition = flow_stats.address_repetition_ratio;
+  record.targeted_ports = flow_stats.port_distribution;
+
+  record.active = !pending.ended;
+  record.scan_end = pending.ended ? pending.end_ts : 0;
+  (void)feed_.publish(record, published);
+  if (pending.ended) {
+    // The record was born closed; retire its active-cache entry.
+    (void)feed_.mark_ended(record.src, pending.end_ts, published);
+    ++stats_.records_ended;
+  }
+  (void)notifications_.on_record_published(record, published);
+  ++stats_.records_published;
+
+  pending_.erase(record.src.value());
+}
+
+void ExIotPipeline::run_hours(std::int64_t first_hour,
+                              std::int64_t last_hour) {
+  for (std::int64_t hour = first_hour; hour < last_hour; ++hour) {
+    const TimeMicros start = hour * kMicrosPerHour;
+    const TimeMicros end = start + kMicrosPerHour;
+    synth_.run(start, end,
+               [this](const net::Packet& pkt) { detector_.process(pkt); });
+    detector_.end_of_hour(end);
+
+    const TimeMicros processing_end =
+        config_.collection.file_ready_time(hour) +
+        config_.processing_per_hour;
+    handle_probe_outcomes(scan_module_.tick(processing_end));
+    if (trainer_.maybe_retrain(processing_end).has_value()) {
+      ++stats_.models_trained;
+      EXIOT_LOG(LogLevel::kInfo, "pipeline",
+                "retrained model at " + format_time(processing_end));
+    }
+    feed_.expire(processing_end);
+
+    stats_.packets_processed = detector_.stats().packets_processed;
+    stats_.scanners_detected = detector_.stats().scanners_detected;
+    next_hour_ = hour + 1;
+  }
+}
+
+void ExIotPipeline::finish() {
+  detector_.finish();
+  const TimeMicros processing_end =
+      config_.collection.file_ready_time(next_hour_) +
+      config_.processing_per_hour;
+  handle_probe_outcomes(scan_module_.flush(processing_end));
+  // Publish whatever is complete; everything else (no probe or no sample)
+  // is dropped, as an aborted deployment would.
+  std::vector<std::uint32_t> keys;
+  keys.reserve(pending_.size());
+  for (auto& [key, pending] : pending_) keys.push_back(key);
+  for (auto key : keys) {
+    auto it = pending_.find(key);
+    if (it == pending_.end()) continue;
+    if (it->second.probe.has_value() && it->second.bundle.has_value() &&
+        !it->second.dropped) {
+      publish_record(it->second);
+    } else {
+      pending_.erase(it);
+    }
+  }
+  stats_.packets_processed = detector_.stats().packets_processed;
+  stats_.scanners_detected = detector_.stats().scanners_detected;
+}
+
+}  // namespace exiot::pipeline

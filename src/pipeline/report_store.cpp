@@ -1,0 +1,77 @@
+#include "pipeline/report_store.h"
+
+#include <algorithm>
+
+namespace exiot::pipeline {
+
+json::Value HourlyTelescopeStats::to_json() const {
+  json::Value doc;
+  doc["hour"] = hour_index;
+  doc["packets"] = static_cast<std::int64_t>(packets);
+  doc["tcp"] = static_cast<std::int64_t>(tcp);
+  doc["udp"] = static_cast<std::int64_t>(udp);
+  doc["icmp"] = static_cast<std::int64_t>(icmp);
+  doc["backscatter_filtered"] =
+      static_cast<std::int64_t>(backscatter_filtered);
+  doc["new_scanners"] = static_cast<std::int64_t>(new_scanners);
+  doc["active_seconds"] = static_cast<std::int64_t>(active_seconds);
+  doc["peak_pps"] = static_cast<std::int64_t>(peak_pps);
+  doc["mean_pps"] = mean_pps();
+  json::Object ports;
+  for (const auto& [port, count] : per_port) {
+    ports[std::to_string(port)] = static_cast<std::int64_t>(count);
+  }
+  doc["per_port"] = std::move(ports);
+  return doc;
+}
+
+void ReportStore::ingest(const flow::SecondReport& report) {
+  const std::int64_t hour_index = report.second_start / kMicrosPerHour;
+  HourlyTelescopeStats& stats = hours_[hour_index];
+  stats.hour_index = hour_index;
+  stats.packets += report.total;
+  stats.tcp += report.tcp;
+  stats.udp += report.udp;
+  stats.icmp += report.icmp;
+  stats.backscatter_filtered += report.backscatter_filtered;
+  stats.new_scanners += report.new_scanners;
+  if (report.total > 0) ++stats.active_seconds;
+  stats.peak_pps = std::max(stats.peak_pps, report.total);
+  for (const auto& [port, count] : report.per_port) {
+    stats.per_port[port] += count;
+  }
+}
+
+std::optional<HourlyTelescopeStats> ReportStore::hour(
+    std::int64_t hour_index) const {
+  auto it = hours_.find(hour_index);
+  if (it == hours_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<HourlyTelescopeStats> ReportStore::all_hours() const {
+  std::vector<HourlyTelescopeStats> out;
+  out.reserve(hours_.size());
+  for (const auto& [hour_index, stats] : hours_) out.push_back(stats);
+  return out;
+}
+
+HourlyTelescopeStats ReportStore::totals() const {
+  HourlyTelescopeStats total;
+  for (const auto& [hour_index, stats] : hours_) {
+    total.packets += stats.packets;
+    total.tcp += stats.tcp;
+    total.udp += stats.udp;
+    total.icmp += stats.icmp;
+    total.backscatter_filtered += stats.backscatter_filtered;
+    total.new_scanners += stats.new_scanners;
+    total.active_seconds += stats.active_seconds;
+    total.peak_pps = std::max(total.peak_pps, stats.peak_pps);
+    for (const auto& [port, count] : stats.per_port) {
+      total.per_port[port] += count;
+    }
+  }
+  return total;
+}
+
+}  // namespace exiot::pipeline

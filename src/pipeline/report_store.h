@@ -1,0 +1,59 @@
+// The report-message path of Figure 2: the flow-detection module emits a
+// packet-level report every second; the Receiver forwards these over the
+// tunnel and stores them (the paper keeps them in MongoDB). Second-level
+// reports are aggregated into hourly telescope statistics, which back the
+// dashboard's "Internet snapshot" and the API's /v1/telescope endpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "flow/detector.h"
+#include "json/json.h"
+
+namespace exiot::pipeline {
+
+/// One hour of aggregated telescope statistics.
+struct HourlyTelescopeStats {
+  std::int64_t hour_index = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t tcp = 0;
+  std::uint64_t udp = 0;
+  std::uint64_t icmp = 0;
+  std::uint64_t backscatter_filtered = 0;
+  std::uint64_t new_scanners = 0;
+  /// Seconds of the hour with at least one packet (sparseness signal).
+  std::uint32_t active_seconds = 0;
+  /// Peak single-second packet count.
+  std::uint64_t peak_pps = 0;
+  std::map<std::uint16_t, std::uint64_t> per_port;
+
+  double mean_pps() const {
+    return static_cast<double>(packets) / 3600.0;
+  }
+  json::Value to_json() const;
+};
+
+class ReportStore {
+ public:
+  /// Ingests one per-second report from the detector.
+  void ingest(const flow::SecondReport& report);
+
+  /// Stats for one hour (nullopt when no packets were seen).
+  std::optional<HourlyTelescopeStats> hour(std::int64_t hour_index) const;
+
+  /// All hours, ascending.
+  std::vector<HourlyTelescopeStats> all_hours() const;
+
+  /// Totals across the deployment.
+  HourlyTelescopeStats totals() const;
+
+  std::size_t hours_recorded() const { return hours_.size(); }
+
+ private:
+  std::map<std::int64_t, HourlyTelescopeStats> hours_;
+};
+
+}  // namespace exiot::pipeline

@@ -1,0 +1,58 @@
+#include "pipeline/scan_module.h"
+
+namespace exiot::pipeline {
+
+ScanModule::ScanModule(const probe::ActiveProber& prober,
+                       fingerprint::RuleDb rules,
+                       probe::BatcherConfig batcher_config)
+    : prober_(prober), rules_(std::move(rules)), batcher_(batcher_config) {}
+
+std::vector<ProbeOutcome> ScanModule::probe_all(
+    const std::vector<Ipv4>& batch, TimeMicros now) {
+  std::vector<ProbeOutcome> outcomes;
+  if (batch.empty()) return outcomes;
+  auto results = prober_.probe_batch(batch, now);
+  probed_ += results.size();
+  outcomes.reserve(results.size());
+  for (auto& result : results) {
+    ProbeOutcome outcome;
+    outcome.src = result.addr;
+    outcome.banner_returned = result.responded;
+    outcome.completed_at = result.completed_at;
+    outcome.banners = std::move(result.banners);
+    for (const auto& banner : outcome.banners) {
+      auto match = rules_.match(banner.text);
+      if (match.has_value()) {
+        if (!outcome.device.has_value() ||
+            (outcome.device->vendor.empty() && !match->vendor.empty())) {
+          outcome.device = match;
+        }
+        // Any IoT-labeled banner marks the host IoT; a host is non-IoT
+        // only when every matching banner says so.
+        if (match->label == fingerprint::BannerLabel::kIot) {
+          outcome.training_label = 1;
+        } else if (outcome.training_label == -1) {
+          outcome.training_label = 0;
+        }
+      } else {
+        (void)unknown_log_.offer(banner.text);
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::vector<ProbeOutcome> ScanModule::submit(Ipv4 src, TimeMicros now) {
+  return probe_all(batcher_.add(src, now), now);
+}
+
+std::vector<ProbeOutcome> ScanModule::tick(TimeMicros now) {
+  return probe_all(batcher_.tick(now), now);
+}
+
+std::vector<ProbeOutcome> ScanModule::flush(TimeMicros now) {
+  return probe_all(batcher_.flush(), now);
+}
+
+}  // namespace exiot::pipeline

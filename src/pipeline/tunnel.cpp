@@ -1,0 +1,45 @@
+#include "pipeline/tunnel.h"
+
+#include <algorithm>
+
+namespace exiot::pipeline {
+
+void ReconnectingTunnel::schedule_outage(TimeMicros from, TimeMicros to) {
+  if (to <= from) return;
+  outages_.push_back({from, to});
+  std::sort(outages_.begin(), outages_.end(),
+            [](const Outage& a, const Outage& b) { return a.from < b.from; });
+}
+
+bool ReconnectingTunnel::connected_at(TimeMicros t) const {
+  for (const auto& outage : outages_) {
+    if (t >= outage.from && t < outage.to) return false;
+  }
+  return true;
+}
+
+TimeMicros ReconnectingTunnel::delivery_time(TimeMicros sent_at) const {
+  TimeMicros t = sent_at;
+  // Cascade: a reconnect landing inside the next outage keeps the message
+  // queued until that one ends too.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& outage : outages_) {
+      if (t >= outage.from && t < outage.to) {
+        t = outage.to + reconnect_delay_;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+TimeMicros ReconnectingTunnel::deliver(TimeMicros sent_at) {
+  ++messages_;
+  const TimeMicros at = delivery_time(sent_at);
+  if (at != sent_at) ++delayed_;
+  return at;
+}
+
+}  // namespace exiot::pipeline

@@ -1,0 +1,50 @@
+// The CAIDA-to-feed-server transport: Socat binds the flow detector's
+// output to a local port, and the Receiver maintains an SSH tunnel to it.
+// When the tunnel drops, the sender goes idle until the receiver
+// reconnects — messages are delayed, never lost. This model reproduces
+// those semantics on the virtual clock, with injectable outages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace exiot::pipeline {
+
+class ReconnectingTunnel {
+ public:
+  /// `reconnect_delay`: how long re-establishing the SSH tunnel takes after
+  /// an outage ends.
+  explicit ReconnectingTunnel(TimeMicros reconnect_delay = seconds(5))
+      : reconnect_delay_(reconnect_delay) {}
+
+  /// Injects a connectivity outage over [from, to). Outages may be added
+  /// in any order; overlaps are allowed.
+  void schedule_outage(TimeMicros from, TimeMicros to);
+
+  /// When a message sent at `sent_at` reaches the receiver: immediately if
+  /// connected, else at outage end + reconnect delay (cascading through
+  /// back-to-back outages). Also counts the message.
+  TimeMicros deliver(TimeMicros sent_at);
+
+  /// Pure query form of `deliver` (no counting).
+  TimeMicros delivery_time(TimeMicros sent_at) const;
+
+  bool connected_at(TimeMicros t) const;
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t delayed_messages() const { return delayed_; }
+
+ private:
+  struct Outage {
+    TimeMicros from;
+    TimeMicros to;
+  };
+  TimeMicros reconnect_delay_;
+  std::vector<Outage> outages_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace exiot::pipeline

@@ -1,0 +1,92 @@
+#include "pipeline/update_classifier.h"
+
+#include "common/log.h"
+
+namespace exiot::pipeline {
+
+void UpdateClassifier::add_example(TimeMicros ts, ml::FeatureVector features,
+                                   int label) {
+  examples_.push_back({ts, std::move(features), label});
+}
+
+void UpdateClassifier::prune(TimeMicros now) {
+  // Publication times are only approximately ordered (batch completion
+  // times interleave), so prune by value rather than popping a sorted
+  // front.
+  const TimeMicros cutoff = now - config_.window;
+  std::erase_if(examples_,
+                [cutoff](const Example& ex) { return ex.ts < cutoff; });
+}
+
+std::optional<std::size_t> UpdateClassifier::maybe_retrain(TimeMicros now) {
+  if (!models_.empty() && now - last_train_ < config_.retrain_interval) {
+    return std::nullopt;
+  }
+  return retrain(now);
+}
+
+std::optional<std::size_t> UpdateClassifier::retrain(TimeMicros now) {
+  prune(now);
+  std::size_t pos = 0, neg = 0;
+  for (const auto& ex : examples_) {
+    (ex.label == 1 ? pos : neg)++;
+  }
+  if (pos < config_.min_examples_per_class ||
+      neg < config_.min_examples_per_class) {
+    return std::nullopt;
+  }
+
+  std::vector<ml::FeatureVector> raw;
+  raw.reserve(examples_.size());
+  for (const auto& ex : examples_) raw.push_back(ex.features);
+  ml::Normalizer normalizer = ml::Normalizer::fit(raw);
+
+  ml::Dataset data;
+  data.rows.reserve(examples_.size());
+  for (std::size_t i = 0; i < examples_.size(); ++i) {
+    data.add(normalizer.transform(raw[i]), examples_[i].label);
+  }
+
+  ml::SelectionConfig selection = config_.selection;
+  // Derive the search seed from the training time so daily models differ
+  // deterministically.
+  selection.seed ^= static_cast<std::uint64_t>(now / kMicrosPerSecond);
+  DeployedModel deployed;
+  deployed.normalizer = std::move(normalizer);
+  deployed.selected = ml::select_random_forest(data, selection, now);
+  deployed.trained_at = now;
+  deployed.training_examples = examples_.size();
+  if (!config_.model_dir.empty()) {
+    ml::PersistedModel persisted;
+    persisted.forest = deployed.selected.model;  // Copy for the archive.
+    persisted.normalizer = deployed.normalizer;
+    persisted.trained_at = now;
+    persisted.test_auc = deployed.selected.test_auc;
+    persisted.training_examples = deployed.training_examples;
+    ml::ModelDirectory directory(config_.model_dir);
+    if (auto saved = directory.save(persisted); !saved.ok()) {
+      EXIOT_LOG(LogLevel::kWarn, "update_classifier",
+                "model persistence failed: " + saved.error().message);
+    }
+  }
+  models_.push_back(std::move(deployed));
+  last_train_ = now;
+  return models_.size() - 1;
+}
+
+const DeployedModel* UpdateClassifier::model_at(TimeMicros t) const {
+  const DeployedModel* best = nullptr;
+  for (const auto& m : models_) {
+    if (m.trained_at <= t &&
+        (best == nullptr || m.trained_at > best->trained_at)) {
+      best = &m;
+    }
+  }
+  return best;
+}
+
+const DeployedModel* UpdateClassifier::latest() const {
+  return models_.empty() ? nullptr : &models_.back();
+}
+
+}  // namespace exiot::pipeline

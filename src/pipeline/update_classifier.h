@@ -1,0 +1,88 @@
+// The Update Classifier module: accumulates banner-labeled flows, keeps a
+// 14-day sliding window, and retrains the random forest every 24 hours —
+// "the model is always updated based on the latest information and can
+// comprehend the patterns related to emerging IoT malware". Each deployed
+// model bundles the MinMax normalizer fit on its own training window.
+#pragma once
+
+#include <deque>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "ml/features.h"
+#include "ml/persist.h"
+#include "ml/selection.h"
+
+namespace exiot::pipeline {
+
+struct TrainerConfig {
+  TimeMicros window = 14 * kMicrosPerDay;
+  TimeMicros retrain_interval = kMicrosPerDay;
+  /// Minimum labeled examples (per class) before the first model trains.
+  std::size_t min_examples_per_class = 25;
+  /// When non-empty, every daily model is persisted here, stamped with its
+  /// training time (the paper's reproducibility directory).
+  std::filesystem::path model_dir;
+  ml::SelectionConfig selection = [] {
+    ml::SelectionConfig s;
+    // Banner-labeled IoT flows are a small minority of the window; train
+    // with balanced bootstraps so scores calibrate (see ForestParams).
+    s.balanced_bootstrap = true;
+    return s;
+  }();
+};
+
+/// A deployed model: the selected forest plus its normalizer.
+struct DeployedModel {
+  ml::Normalizer normalizer;
+  ml::SelectedModel selected;
+  TimeMicros trained_at = 0;
+  std::size_t training_examples = 0;
+
+  /// Applies normalizer + forest to raw (unnormalized) flow features.
+  double score(const ml::FeatureVector& raw) const {
+    return selected.model.predict_score(normalizer.transform(raw));
+  }
+};
+
+class UpdateClassifier {
+ public:
+  explicit UpdateClassifier(TrainerConfig config = {})
+      : config_(config) {}
+
+  /// Adds a banner-labeled example (raw, unnormalized features).
+  void add_example(TimeMicros ts, ml::FeatureVector features, int label);
+
+  /// Retrains if the retrain interval elapsed and data suffices. Returns
+  /// the new model's registry index, or nullopt when nothing happened.
+  std::optional<std::size_t> maybe_retrain(TimeMicros now);
+
+  /// Forces a retrain attempt regardless of the interval.
+  std::optional<std::size_t> retrain(TimeMicros now);
+
+  /// The newest model whose training time is <= t (nullptr before first).
+  const DeployedModel* model_at(TimeMicros t) const;
+  const DeployedModel* latest() const;
+
+  std::size_t window_size() const { return examples_.size(); }
+  std::size_t models_trained() const { return models_.size(); }
+  const std::vector<DeployedModel>& registry() const { return models_; }
+
+ private:
+  struct Example {
+    TimeMicros ts;
+    ml::FeatureVector features;
+    int label;
+  };
+  void prune(TimeMicros now);
+
+  TrainerConfig config_;
+  std::deque<Example> examples_;  // Time-ordered.
+  std::vector<DeployedModel> models_;
+  TimeMicros last_train_ = std::numeric_limits<TimeMicros>::min();
+};
+
+}  // namespace exiot::pipeline

@@ -1,0 +1,25 @@
+#include "probe/batcher.h"
+
+namespace exiot::probe {
+
+std::vector<Ipv4> ScanBatcher::add(Ipv4 addr, TimeMicros now) {
+  if (pending_.empty()) oldest_ = now;
+  pending_.push_back(addr);
+  if (pending_.size() >= config_.max_records) return flush();
+  return tick(now);
+}
+
+std::vector<Ipv4> ScanBatcher::tick(TimeMicros now) {
+  if (!pending_.empty() && now - oldest_ >= config_.max_wait) {
+    return flush();
+  }
+  return {};
+}
+
+std::vector<Ipv4> ScanBatcher::flush() {
+  std::vector<Ipv4> out;
+  out.swap(pending_);
+  return out;
+}
+
+}  // namespace exiot::probe

@@ -1,0 +1,41 @@
+// Scan-module batching: newly detected scanners are buffered and flushed
+// to the prober when the batch reaches 100k records or 60 minutes have
+// elapsed, exactly as in the paper's Scan Module.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace exiot::probe {
+
+struct BatcherConfig {
+  std::size_t max_records = 100'000;
+  TimeMicros max_wait = minutes(60);
+};
+
+/// Accumulates scanner addresses; `add`/`tick` return a full batch when one
+/// of the flush conditions fires (empty vector otherwise).
+class ScanBatcher {
+ public:
+  explicit ScanBatcher(BatcherConfig config = {}) : config_(config) {}
+
+  /// Adds a record at virtual time `now`; returns a batch if full.
+  std::vector<Ipv4> add(Ipv4 addr, TimeMicros now);
+
+  /// Time-based flush check (call periodically).
+  std::vector<Ipv4> tick(TimeMicros now);
+
+  /// Flushes whatever is pending.
+  std::vector<Ipv4> flush();
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  BatcherConfig config_;
+  std::vector<Ipv4> pending_;
+  TimeMicros oldest_ = 0;
+};
+
+}  // namespace exiot::probe

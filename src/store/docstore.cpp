@@ -1,0 +1,111 @@
+#include "store/docstore.h"
+
+#include <algorithm>
+
+namespace exiot::store {
+
+void DocumentStore::ensure_index(const std::string& field) {
+  indexes_.try_emplace(field);
+}
+
+std::string DocumentStore::index_key(const json::Value& doc,
+                                     const std::string& field) {
+  const json::Value* v = doc.find(field);
+  if (v == nullptr) return "";
+  if (v->is_string()) return v->as_string();
+  if (v->is_number()) return std::to_string(v->as_int());
+  return "";
+}
+
+void DocumentStore::index_insert(const ObjectId& id, const json::Value& doc) {
+  for (auto& [field, buckets] : indexes_) {
+    const std::string key = index_key(doc, field);
+    if (!key.empty()) buckets[key].push_back(id);
+  }
+}
+
+void DocumentStore::index_remove(const ObjectId& id, const json::Value& doc) {
+  for (auto& [field, buckets] : indexes_) {
+    const std::string key = index_key(doc, field);
+    auto it = buckets.find(key);
+    if (it == buckets.end()) continue;
+    std::erase(it->second, id);
+    if (it->second.empty()) buckets.erase(it);
+  }
+}
+
+ObjectId DocumentStore::insert(json::Value doc, TimeMicros now) {
+  ObjectId id = ObjectId::make(now, next_sequence_++);
+  doc["_id"] = id.to_hex();
+  doc["updated_at"] = static_cast<std::int64_t>(now);
+  index_insert(id, doc);
+  docs_.emplace(id, std::move(doc));
+  return id;
+}
+
+const json::Value* DocumentStore::get(const ObjectId& id) const {
+  auto it = docs_.find(id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+bool DocumentStore::update(const ObjectId& id, TimeMicros now,
+                           const std::function<void(json::Value&)>& mutate) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  index_remove(id, it->second);
+  mutate(it->second);
+  it->second["updated_at"] = static_cast<std::int64_t>(now);
+  it->second["_id"] = id.to_hex();  // The id field is not mutable.
+  index_insert(id, it->second);
+  return true;
+}
+
+bool DocumentStore::remove(const ObjectId& id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return false;
+  index_remove(id, it->second);
+  docs_.erase(it);
+  return true;
+}
+
+std::vector<ObjectId> DocumentStore::find_by(const std::string& field,
+                                             const std::string& value) const {
+  auto index_it = indexes_.find(field);
+  if (index_it == indexes_.end()) return {};
+  auto bucket_it = index_it->second.find(value);
+  if (bucket_it == index_it->second.end()) return {};
+  return bucket_it->second;
+}
+
+std::vector<ObjectId> DocumentStore::find_if(
+    const std::function<bool(const json::Value&)>& pred) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, doc] : docs_) {
+    if (pred(doc)) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t DocumentStore::expire(TimeMicros now) {
+  if (retention_ < 0) return 0;
+  const TimeMicros cutoff = now - retention_;
+  std::size_t removed = 0;
+  for (auto it = docs_.begin(); it != docs_.end();) {
+    if (it->second.get_int("updated_at") < cutoff) {
+      index_remove(it->first, it->second);
+      it = docs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void DocumentStore::for_each(
+    const std::function<void(const ObjectId&, const json::Value&)>& fn)
+    const {
+  for (const auto& [id, doc] : docs_) fn(id, doc);
+}
+
+}  // namespace exiot::store

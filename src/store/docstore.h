@@ -1,0 +1,78 @@
+// An in-memory JSON document store playing MongoDB's role in the feed
+// architecture: ObjectID-keyed documents, single-field secondary indexes,
+// filtered queries, and the two-week lapse policy of the historical
+// database. All times are virtual (TimeMicros).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/json.h"
+#include "store/objectid.h"
+
+namespace exiot::store {
+
+class DocumentStore {
+ public:
+  /// `retention` < 0 disables expiry (the "latest" DB); the historical DB
+  /// uses the paper's two-week lapse.
+  explicit DocumentStore(TimeMicros retention = -1)
+      : retention_(retention) {}
+
+  /// Declares a secondary index over a top-level string/int field. Must be
+  /// called before documents are inserted.
+  void ensure_index(const std::string& field);
+
+  /// Inserts a document at virtual time `now`; stamps "_id" and
+  /// "updated_at" fields and returns the id.
+  ObjectId insert(json::Value doc, TimeMicros now);
+
+  /// Direct id lookup (nullptr if absent).
+  const json::Value* get(const ObjectId& id) const;
+
+  /// In-place update through a mutator; refreshes "updated_at". Returns
+  /// false if the document is gone.
+  bool update(const ObjectId& id, TimeMicros now,
+              const std::function<void(json::Value&)>& mutate);
+
+  /// Removes a document. Returns whether it existed.
+  bool remove(const ObjectId& id);
+
+  /// Index lookup: ids of documents whose `field` stringifies to `value`.
+  std::vector<ObjectId> find_by(const std::string& field,
+                                const std::string& value) const;
+
+  /// Full scan with predicate (the query-builder path).
+  std::vector<ObjectId> find_if(
+      const std::function<bool(const json::Value&)>& pred) const;
+
+  /// Applies the retention policy: drops documents whose "updated_at" is
+  /// older than `now - retention`. Returns the number removed.
+  std::size_t expire(TimeMicros now);
+
+  std::size_t size() const { return docs_.size(); }
+
+  /// Iterates documents in id (i.e. insertion-time) order.
+  void for_each(
+      const std::function<void(const ObjectId&, const json::Value&)>& fn)
+      const;
+
+ private:
+  static std::string index_key(const json::Value& doc,
+                               const std::string& field);
+  void index_insert(const ObjectId& id, const json::Value& doc);
+  void index_remove(const ObjectId& id, const json::Value& doc);
+
+  TimeMicros retention_;
+  std::uint64_t next_sequence_ = 1;
+  std::map<ObjectId, json::Value> docs_;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<ObjectId>>>
+      indexes_;
+};
+
+}  // namespace exiot::store

@@ -1,0 +1,76 @@
+#include "store/kvstore.h"
+
+#include <charconv>
+
+namespace exiot::store {
+
+void KvStore::set(const std::string& key, std::string value) {
+  strings_[key] = std::move(value);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = strings_.find(key);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::del(const std::string& key) {
+  return strings_.erase(key) > 0 || hashes_.erase(key) > 0;
+}
+
+bool KvStore::exists(const std::string& key) const {
+  return strings_.contains(key) || hashes_.contains(key);
+}
+
+void KvStore::hset(const std::string& key, const std::string& field,
+                   std::string value) {
+  hashes_[key][field] = std::move(value);
+}
+
+std::optional<std::string> KvStore::hget(const std::string& key,
+                                         const std::string& field) const {
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return std::nullopt;
+  auto field_it = it->second.find(field);
+  if (field_it == it->second.end()) return std::nullopt;
+  return field_it->second;
+}
+
+bool KvStore::hdel(const std::string& key, const std::string& field) {
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return false;
+  const bool removed = it->second.erase(field) > 0;
+  if (it->second.empty()) hashes_.erase(it);
+  return removed;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::hgetall(
+    const std::string& key) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::int64_t KvStore::incr(const std::string& key) {
+  std::int64_t value = 0;
+  auto it = strings_.find(key);
+  if (it != strings_.end()) {
+    (void)std::from_chars(it->second.data(),
+                          it->second.data() + it->second.size(), value);
+  }
+  ++value;
+  strings_[key] = std::to_string(value);
+  return value;
+}
+
+std::vector<std::string> KvStore::keys() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const auto& [k, v] : strings_) out.push_back(k);
+  for (const auto& [k, v] : hashes_) out.push_back(k);
+  return out;
+}
+
+}  // namespace exiot::store

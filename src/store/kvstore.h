@@ -1,0 +1,45 @@
+// A Redis-style in-memory key-value store. The pipeline keeps the ObjectID
+// of every *active* compromised device here, keyed by source IP, so that
+// END_FLOW control messages update MongoDB records by direct id instead of
+// a search — the paper's stated reason for the Redis tier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exiot::store {
+
+class KvStore {
+ public:
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  /// Removes a key. Returns whether it existed.
+  bool del(const std::string& key);
+  bool exists(const std::string& key) const;
+
+  /// Hash-field operations (HSET/HGET/HDEL analogues).
+  void hset(const std::string& key, const std::string& field,
+            std::string value);
+  std::optional<std::string> hget(const std::string& key,
+                                  const std::string& field) const;
+  bool hdel(const std::string& key, const std::string& field);
+  std::vector<std::pair<std::string, std::string>> hgetall(
+      const std::string& key) const;
+
+  /// Atomic counter (INCR analogue); missing keys start at 0.
+  std::int64_t incr(const std::string& key);
+
+  std::size_t size() const { return strings_.size() + hashes_.size(); }
+  std::vector<std::string> keys() const;
+
+ private:
+  std::unordered_map<std::string, std::string> strings_;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::string>>
+      hashes_;
+};
+
+}  // namespace exiot::store

@@ -1,0 +1,48 @@
+#include "store/objectid.h"
+
+#include <cstdio>
+
+namespace exiot::store {
+
+ObjectId ObjectId::make(TimeMicros created_at, std::uint64_t sequence) {
+  ObjectId id;
+  id.hi_ = static_cast<std::uint64_t>(created_at / kMicrosPerSecond);
+  id.lo_ = sequence;
+  return id;
+}
+
+std::string ObjectId::to_hex() const {
+  char buf[25];
+  std::snprintf(buf, sizeof(buf), "%08llx%016llx",
+                static_cast<unsigned long long>(hi_ & 0xFFFFFFFF),
+                static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+std::optional<ObjectId> ObjectId::parse(const std::string& hex) {
+  if (hex.size() != 24) return std::nullopt;
+  std::uint64_t hi = 0, lo = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    const char c = hex[i];
+    unsigned digit;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+    else return std::nullopt;
+    if (i < 8) {
+      hi = (hi << 4) | digit;
+    } else {
+      lo = (lo << 4) | digit;
+    }
+  }
+  ObjectId id;
+  id.hi_ = hi;
+  id.lo_ = lo;
+  return id;
+}
+
+TimeMicros ObjectId::created_at() const {
+  return static_cast<TimeMicros>(hi_ & 0xFFFFFFFF) * kMicrosPerSecond;
+}
+
+}  // namespace exiot::store

@@ -1,0 +1,48 @@
+// MongoDB-style ObjectIDs: a timestamp-prefixed, monotonically ordered
+// 12-byte identifier. The pipeline caches the ObjectID of every active
+// device record in the KV store so END_FLOW updates hit the document
+// directly instead of searching (the paper's Redis optimization).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace exiot::store {
+
+class ObjectId {
+ public:
+  ObjectId() = default;
+
+  /// Builds an id from the (virtual) creation time and a process-unique
+  /// sequence number.
+  static ObjectId make(TimeMicros created_at, std::uint64_t sequence);
+
+  /// Parses the 24-hex-char representation.
+  static std::optional<ObjectId> parse(const std::string& hex);
+
+  std::string to_hex() const;
+  TimeMicros created_at() const;
+
+  bool operator==(const ObjectId&) const = default;
+  auto operator<=>(const ObjectId&) const = default;
+
+  std::uint64_t hi() const { return hi_; }
+  std::uint64_t lo() const { return lo_; }
+
+ private:
+  std::uint64_t hi_ = 0;  // Seconds since epoch (32 bits used) | flags.
+  std::uint64_t lo_ = 0;  // Sequence.
+};
+
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& id) const {
+    return static_cast<std::size_t>(id.hi() * 0x9E3779B97F4A7C15ull ^
+                                    id.lo());
+  }
+};
+
+}  // namespace exiot::store

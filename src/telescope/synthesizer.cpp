@@ -1,0 +1,148 @@
+#include "telescope/synthesizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace exiot::telescope {
+
+HostStream::HostStream(const inet::Population& pop, const inet::Host& host,
+                       Cidr aperture)
+    : pop_(pop), host_(host), aperture_(aperture), rng_(host.seed) {
+  const inet::ScanBehavior* behavior = pop.behavior_of(host);
+  if (behavior != nullptr) {
+    synth_.emplace(*behavior, host.addr, aperture, rng_.next_u64());
+    iat_regularity_ = behavior->iat_regularity;
+  } else if (host.cls == inet::HostClass::kBackscatterVictim) {
+    static constexpr std::uint16_t kAttackedServices[] = {80, 443, 53, 22,
+                                                          25};
+    victim_service_port_ =
+        kAttackedServices[rng_.next_below(std::size(kAttackedServices))];
+    victim_reply_flags_ =
+        rng_.bernoulli(0.6)
+            ? (net::tcp_flags::kSyn | net::tcp_flags::kAck)
+            : (net::tcp_flags::kRst | net::tcp_flags::kAck);
+  } else if (host.cls == inet::HostClass::kMisconfigured) {
+    misconfig_dst_ = aperture.address_at(rng_.next_below(aperture.size()));
+    misconfig_port_ =
+        static_cast<std::uint16_t>(rng_.uniform_int(1, 65535));
+  }
+  if (!host_.sessions.empty()) {
+    next_ts_ = host_.sessions[0].start + draw_iat();
+    if (next_ts_ >= host_.sessions[0].end) advance();
+  }
+}
+
+TimeMicros HostStream::draw_iat() {
+  const double rate = host_.sessions[session_idx_].rate;
+  double iat_s;
+  if (iat_regularity_ > 0.0 && rng_.bernoulli(iat_regularity_)) {
+    iat_s = (1.0 / rate) * rng_.uniform(0.95, 1.05);
+  } else {
+    iat_s = rng_.exponential(rate);
+  }
+  return std::max<TimeMicros>(1, static_cast<TimeMicros>(
+                                     iat_s * kMicrosPerSecond));
+}
+
+void HostStream::advance() {
+  while (session_idx_ < host_.sessions.size()) {
+    const inet::Session& s = host_.sessions[session_idx_];
+    const TimeMicros base = std::max(next_ts_, s.start);
+    const TimeMicros candidate = base + draw_iat();
+    if (candidate < s.end) {
+      next_ts_ = candidate;
+      return;
+    }
+    ++session_idx_;
+    if (session_idx_ < host_.sessions.size()) {
+      next_ts_ = host_.sessions[session_idx_].start;
+    }
+  }
+  next_ts_ = kNever;
+}
+
+net::Packet HostStream::make_packet(TimeMicros ts) {
+  if (synth_.has_value()) return synth_->make_probe(ts);
+
+  net::Packet p;
+  p.ts = ts;
+  p.src = host_.addr;
+  if (host_.cls == inet::HostClass::kBackscatterVictim) {
+    // A reply to a spoofed SYN: source is the attacked service, the
+    // destination (and its port) are whatever the attacker forged.
+    p.proto = net::IpProto::kTcp;
+    p.src_port = victim_service_port_;
+    p.dst = aperture_.address_at(rng_.next_below(aperture_.size()));
+    p.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+    p.flags = victim_reply_flags_;
+    p.seq = static_cast<std::uint32_t>(rng_.next_u64());
+    p.ack = static_cast<std::uint32_t>(rng_.next_u64());
+    p.window = p.has_flag(net::tcp_flags::kRst) ? 0 : 29200;
+    p.ttl = static_cast<std::uint8_t>(rng_.uniform_int(40, 60));
+    p.ip_id = static_cast<std::uint16_t>(rng_.next_u64());
+    p.total_length = 40;
+  } else {
+    // Misconfiguration: a node repeatedly contacting one dead address —
+    // e.g. a service moved out of the telescope space or a typo'd config.
+    p.proto = rng_.bernoulli(0.5) ? net::IpProto::kUdp : net::IpProto::kTcp;
+    p.dst = misconfig_dst_;
+    p.dst_port = misconfig_port_;
+    p.src_port = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+    if (p.proto == net::IpProto::kTcp) {
+      p.flags = net::tcp_flags::kSyn;
+      p.seq = static_cast<std::uint32_t>(rng_.next_u64());
+      p.window = 29200;
+      p.total_length = 40;
+      p.opts.mss = 1460;
+    } else {
+      p.total_length = 48;
+    }
+    p.ttl = static_cast<std::uint8_t>(rng_.uniform_int(40, 120));
+    p.ip_id = static_cast<std::uint16_t>(rng_.next_u64());
+  }
+  return p;
+}
+
+std::optional<net::Packet> HostStream::next() {
+  if (next_ts_ == kNever) return std::nullopt;
+  net::Packet p = make_packet(next_ts_);
+  advance();
+  return p;
+}
+
+TrafficSynthesizer::TrafficSynthesizer(const inet::Population& pop,
+                                       Cidr aperture) {
+  streams_.reserve(pop.hosts().size());
+  for (const auto& host : pop.hosts()) {
+    streams_.emplace_back(pop, host, aperture);
+  }
+}
+
+std::size_t TrafficSynthesizer::run(
+    TimeMicros t0, TimeMicros t1,
+    const std::function<void(const net::Packet&)>& fn) {
+  // Min-heap over stream indices keyed by the next arrival time.
+  using Entry = std::pair<TimeMicros, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    // Skip ahead: drop packets before the window without emitting.
+    while (streams_[i].peek_ts() < t0) (void)streams_[i].next();
+    if (streams_[i].peek_ts() < t1) heap.emplace(streams_[i].peek_ts(), i);
+  }
+  std::size_t count = 0;
+  while (!heap.empty()) {
+    auto [ts, idx] = heap.top();
+    heap.pop();
+    auto pkt = streams_[idx].next();
+    if (!pkt.has_value()) continue;
+    if (pkt->ts >= t1) continue;
+    fn(*pkt);
+    ++count;
+    if (streams_[idx].peek_ts() < t1) {
+      heap.emplace(streams_[idx].peek_ts(), idx);
+    }
+  }
+  return count;
+}
+
+}  // namespace exiot::telescope

@@ -1,0 +1,72 @@
+// The telescope traffic synthesizer: merges every simulated host's probe /
+// backscatter / misconfiguration stream into one time-ordered packet stream
+// as observed by the /8 darknet aperture. This is the substitute for the
+// CAIDA capture: downstream modules consume exactly what they would consume
+// from the real telescope (decoded packets in arrival order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "inet/population.h"
+#include "net/packet.h"
+
+namespace exiot::telescope {
+
+/// Streams the packets of one host (all sessions, in order).
+class HostStream {
+ public:
+  HostStream(const inet::Population& pop, const inet::Host& host,
+             Cidr aperture);
+
+  /// The next packet, or nullopt when the host is done.
+  std::optional<net::Packet> next();
+
+  /// Timestamp of the packet `next()` would return (kNever when done).
+  TimeMicros peek_ts() const { return next_ts_; }
+
+  static constexpr TimeMicros kNever =
+      std::numeric_limits<TimeMicros>::max();
+
+ private:
+  void advance();
+  net::Packet make_packet(TimeMicros ts);
+  TimeMicros draw_iat();
+
+  const inet::Population& pop_;
+  const inet::Host& host_;
+  Cidr aperture_;
+  Rng rng_;
+  std::optional<inet::PacketSynthesizer> synth_;
+  std::size_t session_idx_ = 0;
+  TimeMicros next_ts_ = kNever;
+  double iat_regularity_ = 0.0;
+  // Backscatter victims reply from a fixed attacked service port with a
+  // fixed reply style chosen per victim.
+  std::uint16_t victim_service_port_ = 80;
+  std::uint8_t victim_reply_flags_ = 0;
+  // Misconfigured hosts hammer one fixed telescope destination.
+  Ipv4 misconfig_dst_;
+  std::uint16_t misconfig_port_ = 0;
+};
+
+/// Merges all host streams into arrival order.
+class TrafficSynthesizer {
+ public:
+  TrafficSynthesizer(const inet::Population& pop, Cidr aperture);
+
+  /// Emits every packet with ts in [t0, t1) in non-decreasing order.
+  /// Returns the number of packets emitted.
+  std::size_t run(TimeMicros t0, TimeMicros t1,
+                  const std::function<void(const net::Packet&)>& fn);
+
+ private:
+  std::vector<HostStream> streams_;
+};
+
+}  // namespace exiot::telescope

@@ -1,0 +1,193 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/wire.h"
+
+namespace exiot::trace {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'E', 'X', 'T', '1'};
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_varint(const std::vector<std::uint8_t>& in, std::size_t& pos,
+                std::uint64_t& out) {
+  out = 0;
+  int shift = 0;
+  while (pos < in.size() && shift < 64) {
+    std::uint8_t b = in[pos++];
+    out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+/// ZigZag maps signed deltas to unsigned varints (timestamps can regress
+/// slightly across merge boundaries).
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+TraceEncoder::TraceEncoder() {
+  buffer_.assign(std::begin(kMagic), std::end(kMagic));
+}
+
+void TraceEncoder::add(const net::Packet& pkt) {
+  put_varint(buffer_, zigzag(pkt.ts - last_ts_));
+  last_ts_ = pkt.ts;
+  std::vector<std::uint8_t> wire = net::serialize(pkt);
+  put_varint(buffer_, wire.size());
+  buffer_.insert(buffer_.end(), wire.begin(), wire.end());
+  ++count_;
+}
+
+std::vector<std::uint8_t> TraceEncoder::finish() {
+  std::vector<std::uint8_t> out = std::move(buffer_);
+  buffer_.assign(std::begin(kMagic), std::end(kMagic));
+  last_ts_ = 0;
+  count_ = 0;
+  return out;
+}
+
+TraceDecoder::TraceDecoder(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {
+  valid_ = bytes_.size() >= 4 && std::equal(std::begin(kMagic),
+                                            std::end(kMagic), bytes_.begin());
+  pos_ = 4;
+  if (!valid_) last_error_ = "bad trace magic";
+}
+
+bool TraceDecoder::next(net::Packet& out) {
+  if (!valid_ || pos_ >= bytes_.size()) return false;
+  std::uint64_t delta_zz = 0;
+  std::uint64_t len = 0;
+  if (!get_varint(bytes_, pos_, delta_zz) ||
+      !get_varint(bytes_, pos_, len)) {
+    last_error_ = "truncated record header";
+    valid_ = false;
+    return false;
+  }
+  if (pos_ + len > bytes_.size()) {
+    last_error_ = "truncated packet body";
+    valid_ = false;
+    return false;
+  }
+  TimeMicros ts = last_ts_ + unzigzag(delta_zz);
+  auto parsed = net::parse(
+      std::span<const std::uint8_t>(bytes_.data() + pos_, len), ts);
+  pos_ += len;
+  if (!parsed.ok()) {
+    last_error_ = parsed.error().message;
+    valid_ = false;
+    return false;
+  }
+  last_ts_ = ts;
+  out = std::move(parsed).take();
+  return true;
+}
+
+HourlyTraceWriter::HourlyTraceWriter(std::filesystem::path dir)
+    : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+HourlyTraceWriter::~HourlyTraceWriter() { (void)close(); }
+
+std::string HourlyTraceWriter::file_name(std::int64_t hour_index) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "telescope-%06lld.ext",
+                static_cast<long long>(hour_index));
+  return buf;
+}
+
+Status HourlyTraceWriter::add(const net::Packet& pkt) {
+  const std::int64_t hour = pkt.ts / kMicrosPerHour;
+  if (hour != current_hour_) {
+    if (auto s = rotate_to(hour); !s.ok()) return s;
+  }
+  encoder_.add(pkt);
+  return Ok{};
+}
+
+Status HourlyTraceWriter::rotate_to(std::int64_t hour_index) {
+  if (auto s = close(); !s.ok()) return s;
+  current_hour_ = hour_index;
+  open_ = true;
+  return Ok{};
+}
+
+Status HourlyTraceWriter::close() {
+  if (!open_) return Ok{};
+  auto bytes = encoder_.finish();
+  auto path = dir_ / file_name(current_hour_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return make_error("trace_io", "cannot open " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return make_error("trace_io", "write failed: " + path.string());
+  }
+  open_ = false;
+  return Ok{};
+}
+
+Result<std::size_t> read_trace_file(
+    const std::filesystem::path& file,
+    const std::function<void(const net::Packet&)>& fn) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return make_error("trace_io", "cannot open " + file.string());
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  TraceDecoder dec(std::move(bytes));
+  if (!dec.valid()) return make_error("trace_io", dec.last_error());
+  std::size_t n = 0;
+  net::Packet pkt;
+  while (dec.next(pkt)) {
+    fn(pkt);
+    ++n;
+  }
+  if (!dec.last_error().empty()) {
+    return make_error("trace_io", dec.last_error());
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> encode_packets(
+    const std::vector<net::Packet>& pkts) {
+  TraceEncoder enc;
+  for (const auto& p : pkts) enc.add(p);
+  return enc.finish();
+}
+
+Result<std::vector<net::Packet>> decode_packets(
+    std::vector<std::uint8_t> bytes) {
+  TraceDecoder dec(std::move(bytes));
+  if (!dec.valid()) return make_error("trace_io", dec.last_error());
+  std::vector<net::Packet> out;
+  net::Packet pkt;
+  while (dec.next(pkt)) out.push_back(pkt);
+  if (!dec.last_error().empty()) {
+    return make_error("trace_io", dec.last_error());
+  }
+  return out;
+}
+
+}  // namespace exiot::trace

@@ -1,0 +1,100 @@
+// A pcap-like packet trace format with hourly rotation, mirroring the role
+// libtrace + CAIDA's hourly compressed captures play in the paper. Records
+// are framed with varint-delta timestamps (a light, dependency-free
+// compression that exploits the near-monotone arrival clock).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/packet.h"
+
+namespace exiot::trace {
+
+/// In-memory encoder producing the trace byte stream.
+class TraceEncoder {
+ public:
+  TraceEncoder();
+
+  /// Appends one packet (wire-serialized) to the stream.
+  void add(const net::Packet& pkt);
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::size_t packet_count() const { return count_; }
+
+  /// Releases the encoded stream and resets the encoder.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  TimeMicros last_ts_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Streaming decoder over a trace byte stream.
+class TraceDecoder {
+ public:
+  explicit TraceDecoder(std::vector<std::uint8_t> bytes);
+
+  /// True if the stream header was valid.
+  bool valid() const { return valid_; }
+
+  /// Decodes the next packet into `out`. Returns false at end of stream.
+  /// Decode errors surface through `last_error()` and also end the stream.
+  bool next(net::Packet& out);
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  TimeMicros last_ts_ = 0;
+  bool valid_ = false;
+  std::string last_error_;
+};
+
+/// Writes packets into hour-aligned trace files under a directory, the way
+/// CAIDA publishes the telescope capture. File names are
+/// "telescope-<hour_index>.ext" where hour_index = ts / 1h.
+class HourlyTraceWriter {
+ public:
+  explicit HourlyTraceWriter(std::filesystem::path dir);
+  ~HourlyTraceWriter();
+
+  HourlyTraceWriter(const HourlyTraceWriter&) = delete;
+  HourlyTraceWriter& operator=(const HourlyTraceWriter&) = delete;
+
+  /// Packets must be fed in non-decreasing hour order (within an hour,
+  /// arbitrary order is fine — the real capture is merge-sorted upstream).
+  Status add(const net::Packet& pkt);
+
+  /// Flushes and closes the current hour file, if any.
+  Status close();
+
+  static std::string file_name(std::int64_t hour_index);
+
+ private:
+  Status rotate_to(std::int64_t hour_index);
+
+  std::filesystem::path dir_;
+  TraceEncoder encoder_;
+  std::int64_t current_hour_ = -1;
+  bool open_ = false;
+};
+
+/// Reads one hour file and invokes `fn` per packet. Returns the packet
+/// count, or an error if the file is missing/corrupt.
+Result<std::size_t> read_trace_file(
+    const std::filesystem::path& file,
+    const std::function<void(const net::Packet&)>& fn);
+
+/// Convenience: encode a packet vector to bytes / decode bytes to packets.
+std::vector<std::uint8_t> encode_packets(const std::vector<net::Packet>& pkts);
+Result<std::vector<net::Packet>> decode_packets(
+    std::vector<std::uint8_t> bytes);
+
+}  // namespace exiot::trace

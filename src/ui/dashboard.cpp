@@ -1,0 +1,211 @@
+#include "ui/dashboard.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "feed/record.h"
+
+namespace exiot::ui {
+namespace {
+
+struct Rollups {
+  int total = 0;
+  int active = 0;
+  std::map<std::string, int> by_label;
+  std::map<std::string, int> by_country;
+  std::map<std::string, int> by_vendor;
+  std::map<std::uint16_t, int> by_port;
+  std::set<std::uint32_t> unique_ips;
+  std::vector<std::pair<double, double>> map_points;  // lat, lon (IoT only).
+  TimeMicros newest = 0;
+};
+
+Rollups collect(const feed::FeedManager& feed,
+                const DashboardOptions& options) {
+  Rollups r;
+  feed.latest_store().for_each([&](const store::ObjectId&,
+                                   const json::Value& doc) {
+    feed::CtiRecord record = feed::CtiRecord::from_json(doc);
+    ++r.total;
+    if (record.active) ++r.active;
+    ++r.by_label[record.label];
+    if (!record.country.empty()) ++r.by_country[record.country];
+    if (!record.vendor.empty() && record.device_type != "Server" &&
+        record.device_type != "Desktop" &&
+        record.device_type != "Mail Server") {
+      ++r.by_vendor[record.vendor];
+    }
+    for (const auto& [port, count] : record.targeted_ports) {
+      r.by_port[port] += count;
+    }
+    r.unique_ips.insert(record.src.value());
+    r.newest = std::max(r.newest, record.published_at);
+    const bool in_window =
+        options.now == 0 ||
+        record.published_at >= options.now - options.map_window;
+    if (in_window && record.label == feed::kLabelIot) {
+      r.map_points.emplace_back(record.latitude, record.longitude);
+    }
+  });
+  return r;
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+template <typename Key>
+std::vector<std::pair<Key, int>> top_n(const std::map<Key, int>& counts,
+                                       int n) {
+  std::vector<std::pair<Key, int>> ranked(counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (static_cast<int>(ranked.size()) > n) {
+    ranked.resize(static_cast<std::size_t>(n));
+  }
+  return ranked;
+}
+
+/// A horizontal-bar chart block.
+template <typename Key>
+void bar_chart(std::ostringstream& out, const std::string& title,
+               const std::vector<std::pair<Key, int>>& rows) {
+  out << "<div class=\"chart\"><h3>" << html_escape(title) << "</h3>\n";
+  int max_count = 1;
+  for (const auto& [key, count] : rows) max_count = std::max(max_count, count);
+  for (const auto& [key, count] : rows) {
+    std::ostringstream label;
+    label << key;
+    const int width = 100 * count / max_count;
+    out << "<div class=\"row\"><span class=\"key\">"
+        << html_escape(label.str()) << "</span>"
+        << "<span class=\"bar\" style=\"width:" << width << "%\"></span>"
+        << "<span class=\"count\">" << count << "</span></div>\n";
+  }
+  out << "</div>\n";
+}
+
+/// Equirectangular projection of (lat, lon) into an SVG viewport.
+void world_map(std::ostringstream& out,
+               const std::vector<std::pair<double, double>>& points) {
+  constexpr int kWidth = 720, kHeight = 360;
+  out << "<div class=\"chart\"><h3>Compromised IoT devices — past week</h3>"
+      << "<svg viewBox=\"0 0 " << kWidth << " " << kHeight
+      << "\" class=\"map\">"
+      << "<rect width=\"" << kWidth << "\" height=\"" << kHeight
+      << "\" class=\"ocean\"/>"
+      // Equator and meridian gridlines for orientation.
+      << "<line x1=\"0\" y1=\"180\" x2=\"720\" y2=\"180\" class=\"grid\"/>"
+      << "<line x1=\"360\" y1=\"0\" x2=\"360\" y2=\"360\" class=\"grid\"/>";
+  for (const auto& [lat, lon] : points) {
+    const double x = (lon + 180.0) / 360.0 * kWidth;
+    const double y = (90.0 - lat) / 180.0 * kHeight;
+    out << "<circle cx=\"" << x << "\" cy=\"" << y
+        << "\" r=\"1.6\" class=\"pt\"/>";
+  }
+  out << "</svg><p class=\"caption\">" << points.size()
+      << " IoT infection data points</p></div>\n";
+}
+
+}  // namespace
+
+std::string render_html(const feed::FeedManager& feed,
+                        const DashboardOptions& options) {
+  const Rollups r = collect(feed, options);
+  std::ostringstream out;
+  out << "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+      << "<title>eX-IoT — exploited IoT CTI feed</title><style>\n"
+      << "body{font-family:system-ui,sans-serif;margin:2rem;"
+      << "background:#10141a;color:#dfe6ee}\n"
+      << "h1{font-weight:600} h3{margin:.2rem 0 .6rem}\n"
+      << ".tiles{display:flex;gap:1rem;flex-wrap:wrap}\n"
+      << ".tile{background:#1a212b;border-radius:8px;padding:1rem 1.4rem;"
+      << "min-width:10rem}\n"
+      << ".tile .num{font-size:1.9rem;font-weight:700;color:#6cc5ff}\n"
+      << ".chart{background:#1a212b;border-radius:8px;padding:1rem;"
+      << "margin-top:1rem;max-width:46rem}\n"
+      << ".row{display:flex;align-items:center;gap:.5rem;margin:.15rem 0}\n"
+      << ".key{width:11rem;overflow:hidden;text-overflow:ellipsis;"
+      << "white-space:nowrap}\n"
+      << ".bar{background:#3b82c4;height:.8rem;border-radius:3px;"
+      << "display:inline-block}\n"
+      << ".count{color:#9fb3c8}\n"
+      << ".map .ocean{fill:#0c1117}.map .grid{stroke:#223041}"
+      << ".map .pt{fill:#ff6b5e;opacity:.75}\n"
+      << ".caption{color:#9fb3c8;font-size:.85rem}\n"
+      << "</style></head><body>\n"
+      << "<h1>eX-IoT</h1><p>Operational CTI feed for exploited IoT "
+      << "devices — Internet snapshot</p>\n";
+
+  // (1) Internet snapshot tiles.
+  out << "<div class=\"tiles\">\n";
+  auto tile = [&](const std::string& label, std::size_t value) {
+    out << "<div class=\"tile\"><div class=\"num\">" << value
+        << "</div><div>" << html_escape(label) << "</div></div>\n";
+  };
+  tile("CTI records", static_cast<std::size_t>(r.total));
+  tile("unique sources", r.unique_ips.size());
+  auto iot_it = r.by_label.find(feed::kLabelIot);
+  tile("compromised IoT",
+       iot_it == r.by_label.end() ? 0
+                                  : static_cast<std::size_t>(iot_it->second));
+  tile("active scans", static_cast<std::size_t>(r.active));
+  out << "</div>\n";
+
+  // (2) World map of recent IoT data points.
+  world_map(out, r.map_points);
+
+  // (3) Roll-up charts.
+  bar_chart(out, "Labels", top_n(r.by_label, options.top_n));
+  bar_chart(out, "Top countries", top_n(r.by_country, options.top_n));
+  bar_chart(out, "Top device vendors", top_n(r.by_vendor, options.top_n));
+  bar_chart(out, "Top targeted ports", top_n(r.by_port, options.top_n));
+
+  // (4) Query-builder pointer.
+  out << "<div class=\"chart\"><h3>Query builder</h3><p>POST your filter "
+      << "expressions to <code>/v1/query?q=…</code> — e.g. <code>label == "
+      << "&quot;IoT&quot; &amp;&amp; country_code == &quot;CN&quot; &amp;"
+      << "&amp; score &gt;= 0.9</code></p></div>\n";
+  out << "<p class=\"caption\">generated at " << format_time(r.newest)
+      << " (virtual time)</p></body></html>\n";
+  return out.str();
+}
+
+std::string render_text_snapshot(const feed::FeedManager& feed,
+                                 const DashboardOptions& options) {
+  const Rollups r = collect(feed, options);
+  std::ostringstream out;
+  out << "eX-IoT Internet snapshot\n";
+  out << "  records: " << r.total << "  unique sources: "
+      << r.unique_ips.size() << "  active: " << r.active << "\n";
+  out << "  labels:";
+  for (const auto& [label, count] : r.by_label) {
+    out << " " << label << "=" << count;
+  }
+  out << "\n  top countries:";
+  for (const auto& [country, count] : top_n(r.by_country, options.top_n)) {
+    out << " " << country << "(" << count << ")";
+  }
+  out << "\n  top vendors:";
+  for (const auto& [vendor, count] : top_n(r.by_vendor, options.top_n)) {
+    out << " " << vendor << "(" << count << ")";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace exiot::ui

@@ -1,0 +1,33 @@
+// The web interface of §IV, rendered as a static page: (1) an Internet
+// snapshot with high-level real-time numbers, (2) a world map of recent
+// data points (SVG scatter over an equirectangular projection), (3) a
+// dashboard of roll-up charts (labels, countries, vendors, target ports as
+// horizontal bars), and (4) a link to the query builder (served by the
+// API's /v1/query). A text-mode snapshot is also provided for terminals.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "feed/manager.h"
+
+namespace exiot::ui {
+
+struct DashboardOptions {
+  /// Only records published in [now - window, now] are shown on the map
+  /// (the paper's map shows "all data points in the past week").
+  TimeMicros map_window = 7 * kMicrosPerDay;
+  TimeMicros now = 0;  // 0 = everything.
+  int top_n = 5;
+};
+
+/// Renders the full HTML page (self-contained; inline SVG + CSS, no
+/// external assets).
+std::string render_html(const feed::FeedManager& feed,
+                        const DashboardOptions& options = {});
+
+/// The terminal variant of part (1): a compact multi-line status text.
+std::string render_text_snapshot(const feed::FeedManager& feed,
+                                 const DashboardOptions& options = {});
+
+}  // namespace exiot::ui

@@ -1,0 +1,128 @@
+// Tests for feed analytics: daily summaries and emerging-port detection.
+#include <gtest/gtest.h>
+
+#include "analytics/trends.h"
+
+namespace exiot::analytics {
+namespace {
+
+feed::CtiRecord record(const char* ip, int day, const char* label,
+                       std::vector<std::pair<std::uint16_t, int>> ports) {
+  feed::CtiRecord r;
+  r.src = *Ipv4::parse(ip);
+  r.scan_start = day * kMicrosPerDay + hours(2);
+  r.published_at = day * kMicrosPerDay + hours(7);
+  r.label = label;
+  r.targeted_ports = std::move(ports);
+  return r;
+}
+
+class AnalyticsTest : public ::testing::Test {
+ protected:
+  void publish(const feed::CtiRecord& r) {
+    (void)feed_.publish(r, r.published_at);
+  }
+  feed::FeedManager feed_;
+};
+
+TEST_F(AnalyticsTest, DailySummariesSplitNewAndRecurring) {
+  publish(record("1.1.1.1", 0, "IoT", {{23, 200}}));
+  publish(record("2.2.2.2", 0, "non-IoT", {{22, 200}}));
+  publish(record("1.1.1.1", 1, "IoT", {{23, 200}}));  // Recurs on day 1.
+  publish(record("3.3.3.3", 1, "IoT", {{23, 200}}));
+
+  auto days = daily_summaries(feed_);
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[0].day, 0);
+  EXPECT_EQ(days[0].records, 2);
+  EXPECT_EQ(days[0].new_sources, 2);
+  EXPECT_EQ(days[0].recurring_sources, 0);
+  EXPECT_EQ(days[1].new_sources, 1);
+  EXPECT_EQ(days[1].recurring_sources, 1);
+  EXPECT_EQ(days[0].by_label.at("IoT"), 1);
+  EXPECT_EQ(days[1].by_label.at("IoT"), 2);
+}
+
+TEST_F(AnalyticsTest, PortSourcesUseDominanceThreshold) {
+  // Port 80 got only 5% of the flow's probes: below the 10% floor.
+  publish(record("1.1.1.1", 0, "IoT", {{23, 190}, {80, 10}}));
+  auto days = daily_summaries(feed_);
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].port_sources.count(23), 1u);
+  EXPECT_EQ(days[0].port_sources.count(80), 0u);
+}
+
+TEST_F(AnalyticsTest, EmergingPortAlarmOnJump) {
+  // Port 23 steady; port 9530 erupts on day 2 (a "new exploit" wave).
+  for (int day = 0; day < 3; ++day) {
+    for (int i = 0; i < 10; ++i) {
+      publish(record(("10.0." + std::to_string(day) + "." +
+                      std::to_string(i + 1)).c_str(),
+                     day, "IoT", {{23, 200}}));
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    publish(record(("20.0.2." + std::to_string(i + 1)).c_str(), 2, "IoT",
+                   {{9530, 200}}));
+  }
+
+  auto alarms = emerging_ports(daily_summaries(feed_));
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_EQ(alarms[0].port, 9530);
+  EXPECT_EQ(alarms[0].day, 2);
+  EXPECT_EQ(alarms[0].sources, 8);
+  EXPECT_DOUBLE_EQ(alarms[0].baseline, 0.0);
+  // Steady port 23 must not alarm.
+  for (const auto& alarm : alarms) EXPECT_NE(alarm.port, 23);
+}
+
+TEST_F(AnalyticsTest, NoAlarmBelowMinSources) {
+  publish(record("1.1.1.1", 0, "IoT", {{23, 200}}));
+  publish(record("2.2.2.2", 1, "IoT", {{9999, 200}}));  // Single source.
+  auto alarms = emerging_ports(daily_summaries(feed_));
+  EXPECT_TRUE(alarms.empty());
+}
+
+TEST_F(AnalyticsTest, GradualGrowthBelowRatioDoesNotAlarm) {
+  TrendConfig config;
+  config.min_sources = 3;
+  config.ratio_threshold = 3.0;
+  // 6 -> 8 sources: ratio 1.33, no alarm.
+  for (int i = 0; i < 6; ++i) {
+    publish(record(("10.0.0." + std::to_string(i + 1)).c_str(), 0, "IoT",
+                   {{8080, 200}}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    publish(record(("10.0.1." + std::to_string(i + 1)).c_str(), 1, "IoT",
+                   {{8080, 200}}));
+  }
+  EXPECT_TRUE(emerging_ports(daily_summaries(feed_), config).empty());
+}
+
+TEST_F(AnalyticsTest, AlarmsSortedByRatio) {
+  for (int i = 0; i < 6; ++i) {
+    publish(record(("10.0.0." + std::to_string(i + 1)).c_str(), 0, "IoT",
+                   {{23, 200}}));
+  }
+  for (int i = 0; i < 30; ++i) {
+    publish(record(("10.1.0." + std::to_string(i + 1)).c_str(), 1, "IoT",
+                   {{5555, 200}}));
+  }
+  for (int i = 0; i < 7; ++i) {
+    publish(record(("10.2.0." + std::to_string(i + 1)).c_str(), 1, "IoT",
+                   {{7547, 200}}));
+  }
+  auto alarms = emerging_ports(daily_summaries(feed_));
+  ASSERT_GE(alarms.size(), 2u);
+  EXPECT_EQ(alarms[0].port, 5555);
+  EXPECT_GE(alarms[0].ratio, alarms[1].ratio);
+}
+
+TEST(AnalyticsEmptyTest, EmptyFeedYieldsNothing) {
+  feed::FeedManager feed;
+  EXPECT_TRUE(daily_summaries(feed).empty());
+  EXPECT_TRUE(emerging_ports({}).empty());
+}
+
+}  // namespace
+}  // namespace exiot::analytics

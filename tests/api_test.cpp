@@ -1,0 +1,247 @@
+// Tests for the REST API: HTTP parsing, auth, endpoints, and the TCP
+// loopback binding.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/server.h"
+#include "api/tcp.h"
+#include "feed/manager.h"
+
+namespace exiot::api {
+namespace {
+
+// ----------------------------------------------------------------- HTTP ----
+
+TEST(HttpTest, ParsesRequestLineAndHeaders) {
+  auto req = HttpRequest::parse(
+      "GET /v1/records?label=IoT&limit=10 HTTP/1.1\r\n"
+      "Host: feed.example\r\nAuthorization: Bearer abc\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/v1/records");
+  EXPECT_EQ(req->query_param("label"), "IoT");
+  EXPECT_EQ(req->query_param("limit"), "10");
+  EXPECT_EQ(req->query_param("missing", "zz"), "zz");
+  EXPECT_EQ(req->header("authorization"), "Bearer abc");
+  EXPECT_EQ(req->header("host"), "feed.example");
+}
+
+TEST(HttpTest, ParsesBody) {
+  auto req = HttpRequest::parse(
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body, "hi");
+}
+
+TEST(HttpTest, RejectsMalformed) {
+  EXPECT_FALSE(HttpRequest::parse("").has_value());
+  EXPECT_FALSE(HttpRequest::parse("GET /\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::parse("garbage\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      HttpRequest::parse("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").has_value());
+}
+
+TEST(HttpTest, UrlDecoding) {
+  EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(url_decode("%2Fv1%2fx"), "/v1/x");
+  EXPECT_EQ(url_decode("100%"), "100%");  // Trailing % passes through.
+}
+
+TEST(HttpTest, ResponseSerialization) {
+  auto res = HttpResponse::json(200, R"({"ok":true})");
+  const std::string wire = res.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with(R"({"ok":true})"));
+}
+
+// ------------------------------------------------------------- Endpoints ----
+
+class ApiTest : public ::testing::Test {
+ protected:
+  ApiTest() : server_(feed_) {
+    server_.add_token("secret");
+    feed::CtiRecord r;
+    r.src = Ipv4(50, 1, 2, 3);
+    r.label = feed::kLabelIot;
+    r.country_code = "CN";
+    r.asn = 4134;
+    r.vendor = "MikroTik";
+    r.country = "China";
+    r.published_at = hours(5);
+    (void)feed_.publish(r, hours(5));
+    r.src = Ipv4(60, 1, 2, 3);
+    r.label = feed::kLabelNonIot;
+    r.country_code = "US";
+    r.asn = 7922;
+    r.vendor = "";
+    r.country = "United States";
+    r.published_at = hours(7);
+    (void)feed_.publish(r, hours(7));
+  }
+
+  HttpResponse get(const std::string& target, bool with_auth = true) {
+    std::string raw = "GET " + target + " HTTP/1.1\r\n";
+    if (with_auth) raw += "Authorization: Bearer secret\r\n";
+    raw += "\r\n";
+    auto req = HttpRequest::parse(raw);
+    EXPECT_TRUE(req.has_value());
+    return server_.handle(*req);
+  }
+
+  json::Value body_of(const HttpResponse& res) {
+    auto parsed = json::parse(res.body);
+    EXPECT_TRUE(parsed.ok()) << res.body;
+    return parsed.ok() ? parsed.value() : json::Value();
+  }
+
+  feed::FeedManager feed_;
+  ApiServer server_;
+};
+
+TEST_F(ApiTest, HealthNeedsNoAuth) {
+  auto res = get("/v1/health", false);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(body_of(res).get_string("status"), "ok");
+}
+
+TEST_F(ApiTest, MissingTokenRejected) {
+  EXPECT_EQ(get("/v1/stats", false).status, 401);
+}
+
+TEST_F(ApiTest, WrongTokenRejected) {
+  auto req = HttpRequest::parse(
+      "GET /v1/stats HTTP/1.1\r\nAuthorization: Bearer wrong\r\n\r\n");
+  EXPECT_EQ(server_.handle(*req).status, 401);
+}
+
+TEST_F(ApiTest, StatsCounters) {
+  auto body = body_of(get("/v1/stats"));
+  EXPECT_EQ(body.get_int("total_records"), 2);
+  EXPECT_EQ(body.get_int("active_sources"), 2);
+}
+
+TEST_F(ApiTest, RecordsFilterByLabel) {
+  auto body = body_of(get("/v1/records?label=IoT"));
+  EXPECT_EQ(body.get_int("count"), 1);
+  EXPECT_EQ(body.find("records")->as_array()[0].get_string("country_code"),
+            "CN");
+}
+
+TEST_F(ApiTest, RecordsFilterByCountryAndAsn) {
+  EXPECT_EQ(body_of(get("/v1/records?country=US")).get_int("count"), 1);
+  EXPECT_EQ(body_of(get("/v1/records?asn=4134")).get_int("count"), 1);
+  EXPECT_EQ(body_of(get("/v1/records?country=US&asn=4134")).get_int("count"),
+            0);
+}
+
+TEST_F(ApiTest, RecordsTimeWindowAndLimit) {
+  EXPECT_EQ(body_of(get("/v1/records?since=" +
+                        std::to_string(hours(6))))
+                .get_int("count"),
+            1);
+  EXPECT_EQ(body_of(get("/v1/records?limit=1")).get_int("count"), 1);
+  EXPECT_EQ(get("/v1/records?since=abc").status, 400);
+}
+
+TEST_F(ApiTest, RecordsForIp) {
+  auto res = get("/v1/records/50.1.2.3");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(body_of(res).get_int("count"), 1);
+  EXPECT_EQ(get("/v1/records/9.9.9.9").status, 404);
+  EXPECT_EQ(get("/v1/records/not-an-ip").status, 400);
+}
+
+TEST_F(ApiTest, SnapshotAggregates) {
+  auto body = body_of(get("/v1/snapshot"));
+  EXPECT_EQ(body.get_int("total"), 2);
+  EXPECT_EQ(body.find("by_label")->get_int("IoT"), 1);
+  EXPECT_EQ(body.find("by_country")->get_int("China"), 1);
+  EXPECT_EQ(body.find("by_vendor")->get_int("MikroTik"), 1);
+  EXPECT_EQ(body.find("by_asn")->get_int("4134"), 1);
+}
+
+TEST_F(ApiTest, QueryEndpointEvaluatesExpressions) {
+  auto res = get("/v1/query?q=" +
+                 std::string("label%20==%20%22IoT%22%20&&%20asn%20==%204134"));
+  EXPECT_EQ(res.status, 200);
+  auto body = body_of(res);
+  EXPECT_EQ(body.get_int("matched"), 1);
+  EXPECT_EQ(body.find("records")->as_array()[0].get_string("src_ip"),
+            "50.1.2.3");
+}
+
+TEST_F(ApiTest, QueryEndpointLimitAndErrors) {
+  EXPECT_EQ(get("/v1/query").status, 400);                  // Missing q.
+  EXPECT_EQ(get("/v1/query?q=label%20==").status, 400);     // Parse error.
+  auto res = get("/v1/query?q=has(label)&limit=1");
+  EXPECT_EQ(res.status, 200);
+  auto body = body_of(res);
+  EXPECT_EQ(body.get_int("matched"), 2);  // Both records match...
+  EXPECT_EQ(body.get_int("count"), 1);    // ...but only one returned.
+}
+
+TEST_F(ApiTest, ExtraJsonEndpoints) {
+  server_.add_json_endpoint("/v1/telescope", [] {
+    json::Value body;
+    body["packets"] = 12345;
+    return body;
+  });
+  auto res = get("/v1/telescope");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(body_of(res).get_int("packets"), 12345);
+  // Extra endpoints still require auth.
+  EXPECT_EQ(get("/v1/telescope", false).status, 401);
+}
+
+TEST_F(ApiTest, UnknownEndpointAndMethod) {
+  EXPECT_EQ(get("/v1/nope").status, 404);
+  auto req = HttpRequest::parse(
+      "DELETE /v1/records HTTP/1.1\r\nAuthorization: Bearer secret\r\n\r\n");
+  EXPECT_EQ(server_.handle(*req).status, 405);
+}
+
+// ------------------------------------------------------------------ TCP ----
+
+TEST_F(ApiTest, ServesOverLoopbackTcp) {
+  TcpListener listener(server_);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: "
+                 << port.error().message;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port.value());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET /v1/stats HTTP/1.1\r\nAuthorization: Bearer secret\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ::shutdown(fd, SHUT_WR);
+
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  listener.stop();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("total_records"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exiot::api

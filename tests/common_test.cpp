@@ -1,0 +1,235 @@
+// Unit tests for the common module: IPv4/CIDR parsing, time formatting, and
+// the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace exiot {
+namespace {
+
+TEST(Ipv4Test, ParsesDottedQuad) {
+  auto a = Ipv4::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->octet(0), 192);
+  EXPECT_EQ(a->octet(1), 0);
+  EXPECT_EQ(a->octet(2), 2);
+  EXPECT_EQ(a->octet(3), 1);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4Test, RoundTripsExtremes) {
+  for (const char* s : {"0.0.0.0", "255.255.255.255", "10.0.0.1"}) {
+    auto a = Ipv4::parse(s);
+    ASSERT_TRUE(a.has_value()) << s;
+    EXPECT_EQ(a->to_string(), s);
+  }
+}
+
+TEST(Ipv4Test, RejectsMalformed) {
+  for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x",
+                        "1..2.3", " 1.2.3.4", "1.2.3.4 "}) {
+    EXPECT_FALSE(Ipv4::parse(s).has_value()) << s;
+  }
+}
+
+TEST(Ipv4Test, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+TEST(CidrTest, ContainsAndSize) {
+  auto c = Cidr::parse("44.0.0.0/8");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 1u << 24);
+  EXPECT_TRUE(c->contains(Ipv4(44, 1, 2, 3)));
+  EXPECT_TRUE(c->contains(Ipv4(44, 255, 255, 255)));
+  EXPECT_FALSE(c->contains(Ipv4(45, 0, 0, 0)));
+  EXPECT_FALSE(c->contains(Ipv4(43, 255, 255, 255)));
+}
+
+TEST(CidrTest, NormalizesHostBits) {
+  Cidr c(Ipv4(10, 20, 30, 40), 16);
+  EXPECT_EQ(c.network().to_string(), "10.20.0.0");
+  EXPECT_EQ(c.to_string(), "10.20.0.0/16");
+}
+
+TEST(CidrTest, BareAddressIsSlash32) {
+  auto c = Cidr::parse("1.2.3.4");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->prefix_len(), 32);
+  EXPECT_TRUE(c->contains(Ipv4(1, 2, 3, 4)));
+  EXPECT_FALSE(c->contains(Ipv4(1, 2, 3, 5)));
+}
+
+TEST(CidrTest, RejectsMalformed) {
+  for (const char* s : {"1.2.3.4/33", "1.2.3.4/-1", "1.2.3/8", "x/8",
+                        "1.2.3.4/8x"}) {
+    EXPECT_FALSE(Cidr::parse(s).has_value()) << s;
+  }
+}
+
+TEST(CidrTest, AddressAtIteratesNetwork) {
+  Cidr c(Ipv4(192, 168, 1, 0), 30);
+  EXPECT_EQ(c.address_at(0).to_string(), "192.168.1.0");
+  EXPECT_EQ(c.address_at(3).to_string(), "192.168.1.3");
+}
+
+TEST(TimeTest, FormatsDaysHoursMinutes) {
+  EXPECT_EQ(format_time(0), "0+00:00:00.000");
+  EXPECT_EQ(format_time(hours(25) + minutes(3) + seconds(4.5)),
+            "1+01:03:04.500");
+}
+
+TEST(TimeTest, ConstantsAreConsistent) {
+  EXPECT_EQ(seconds(1.0), kMicrosPerSecond);
+  EXPECT_EQ(minutes(1.0), kMicrosPerMinute);
+  EXPECT_EQ(hours(24.0), kMicrosPerDay);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // Drawing from the child must not affect the parent's future stream.
+  Rng parent2(7);
+  (void)parent2.split();
+  for (int i = 0; i < 10; ++i) (void)child.next_u64();
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(5, 8));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{5, 6, 7, 8}));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / double(n), 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasExpectedMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(RngTest, WeightedIndexMatchesWeights) {
+  Rng rng(21);
+  std::vector<double> w{1.0, 3.0, 6.0};
+  std::map<std::size_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexZeroTotalThrows) {
+  Rng rng(1);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(make_error("nope", "broken"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "nope");
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, TrimStripsWhitespace) {
+  EXPECT_EQ(trim("  hi\t\r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(to_lower("MiKrOtIk"), "mikrotik");
+  EXPECT_TRUE(starts_with("telescope-0001.ext", "telescope-"));
+  EXPECT_TRUE(ends_with("telescope-0001.ext", ".ext"));
+  EXPECT_FALSE(starts_with("abc", "abcd"));
+  EXPECT_TRUE(contains_icase("AXIS Q6115-E Network Camera", "network camera"));
+  EXPECT_FALSE(contains_icase("abc", "abd"));
+  EXPECT_TRUE(contains_icase("anything", ""));
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace exiot

@@ -1,0 +1,168 @@
+// Tests for enrichment lookups (GeoIP/WHOIS/rDNS substitutes) and flow
+// statistics.
+#include <gtest/gtest.h>
+
+#include "enrich/enrichment.h"
+#include "enrich/flow_stats.h"
+
+namespace exiot::enrich {
+namespace {
+
+Cidr scope() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+class EnrichTest : public ::testing::Test {
+ protected:
+  static inet::PopulationConfig config() {
+    inet::PopulationConfig c;
+    c.iot_per_day = 200;
+    c.generic_per_day = 200;
+    c.benign_per_day = 10;
+    c.misconfig_per_day = 0;
+    c.victims_per_day = 0;
+    return c;
+  }
+  inet::WorldModel world_ = inet::WorldModel::standard(scope());
+  inet::Population pop_ = inet::Population::generate(config(), world_);
+  EnrichmentService service_{world_, pop_};
+};
+
+TEST_F(EnrichTest, GeoMatchesWorldModel) {
+  for (const auto& host : pop_.hosts()) {
+    auto geo = service_.geo(host.addr);
+    ASSERT_TRUE(geo.has_value()) << host.addr.to_string();
+    EXPECT_EQ(geo->asn, host.asn);
+    const inet::AsInfo* as = world_.lookup(host.addr);
+    ASSERT_NE(as, nullptr);
+    EXPECT_EQ(geo->country, as->country);
+    EXPECT_EQ(geo->isp, as->isp);
+  }
+}
+
+TEST_F(EnrichTest, GeoCoordinatesNearCountryAnchor) {
+  int checked = 0;
+  for (const auto& host : pop_.hosts()) {
+    auto geo = service_.geo(host.addr);
+    ASSERT_TRUE(geo.has_value());
+    if (geo->country_code == "CN") {
+      EXPECT_NEAR(geo->latitude, 35.0, 3.5);
+      EXPECT_NEAR(geo->longitude, 105.0, 3.5);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(EnrichTest, GeoIsDeterministic) {
+  Ipv4 addr = pop_.hosts()[0].addr;
+  auto a = service_.geo(addr);
+  auto b = service_.geo(addr);
+  EXPECT_EQ(a->latitude, b->latitude);
+  EXPECT_EQ(a->longitude, b->longitude);
+}
+
+TEST_F(EnrichTest, UnallocatedSpaceMissesLikeMaxmind) {
+  EXPECT_FALSE(service_.geo(Ipv4(44, 1, 2, 3)).has_value());
+  EXPECT_FALSE(service_.whois(Ipv4(44, 1, 2, 3)).has_value());
+}
+
+TEST_F(EnrichTest, WhoisHasOrganizationSectorAndAbuseEmail) {
+  auto whois = service_.whois(pop_.hosts()[0].addr);
+  ASSERT_TRUE(whois.has_value());
+  EXPECT_FALSE(whois->organization.empty());
+  EXPECT_FALSE(whois->sector.empty());
+  EXPECT_TRUE(whois->abuse_email.starts_with("abuse@"));
+  EXPECT_NE(whois->abuse_email.find('.'), std::string::npos);
+}
+
+TEST_F(EnrichTest, RdnsServesPopulationPtrRecords) {
+  int with_ptr = 0;
+  for (const auto& host : pop_.hosts()) {
+    EXPECT_EQ(service_.rdns(host.addr), host.rdns);
+    if (!host.rdns.empty()) ++with_ptr;
+  }
+  EXPECT_GT(with_ptr, 0);
+  EXPECT_EQ(service_.rdns(Ipv4(203, 0, 113, 99)), "");
+}
+
+TEST_F(EnrichTest, BenignRdnsDetection) {
+  EXPECT_TRUE(EnrichmentService::is_benign_scanner_rdns(
+      "scanner-05.censys-scanner.com"));
+  EXPECT_TRUE(
+      EnrichmentService::is_benign_scanner_rdns("census1.shodan.io"));
+  EXPECT_TRUE(EnrichmentService::is_benign_scanner_rdns(
+      "ResearchScan041.EECS.UMICH.EDU"));
+  EXPECT_FALSE(
+      EnrichmentService::is_benign_scanner_rdns("host-123.pool.isp.net"));
+  EXPECT_FALSE(EnrichmentService::is_benign_scanner_rdns(""));
+  // Substring is not enough; must be a domain suffix.
+  EXPECT_FALSE(EnrichmentService::is_benign_scanner_rdns(
+      "shodan.io.attacker.com"));
+}
+
+TEST_F(EnrichTest, EveryBenignScannerIsAllowlisted) {
+  for (const auto& host : pop_.hosts()) {
+    if (host.cls == inet::HostClass::kBenignScanner) {
+      EXPECT_TRUE(
+          EnrichmentService::is_benign_scanner_rdns(service_.rdns(host.addr)))
+          << host.rdns;
+    }
+  }
+}
+
+// ---------------------------------------------------------- FlowStats ----
+
+net::Packet probe_to(TimeMicros ts, std::uint32_t dst, std::uint16_t port) {
+  return net::make_syn(ts, Ipv4(1, 2, 3, 4), Ipv4(dst), 40000, port);
+}
+
+TEST(FlowStatsTest, EmptySampleIsZero) {
+  auto stats = compute_flow_stats({});
+  EXPECT_EQ(stats.packets, 0);
+  EXPECT_DOUBLE_EQ(stats.scan_rate, 0.0);
+}
+
+TEST(FlowStatsTest, RateFromSpan) {
+  // 11 packets over 10 seconds -> 1 pps.
+  std::vector<net::Packet> pkts;
+  for (int i = 0; i <= 10; ++i) {
+    pkts.push_back(probe_to(seconds(i), 0x2C000000u + i, 23));
+  }
+  auto stats = compute_flow_stats(pkts);
+  EXPECT_NEAR(stats.scan_rate, 1.0, 1e-9);
+  EXPECT_EQ(stats.unique_targets, 11);
+  EXPECT_DOUBLE_EQ(stats.address_repetition_ratio, 1.0);
+}
+
+TEST(FlowStatsTest, RepetitionRatioCountsRevisits) {
+  std::vector<net::Packet> pkts;
+  for (int i = 0; i < 10; ++i) {
+    pkts.push_back(probe_to(seconds(i), 0x2C000001u, 23));  // Same target.
+  }
+  auto stats = compute_flow_stats(pkts);
+  EXPECT_EQ(stats.unique_targets, 1);
+  EXPECT_DOUBLE_EQ(stats.address_repetition_ratio, 10.0);
+}
+
+TEST(FlowStatsTest, PortDistributionSortedByCount) {
+  std::vector<net::Packet> pkts;
+  for (int i = 0; i < 7; ++i) pkts.push_back(probe_to(i * 1000, 100 + i, 23));
+  for (int i = 0; i < 3; ++i) {
+    pkts.push_back(probe_to(seconds(1) + i, 200 + i, 80));
+  }
+  auto stats = compute_flow_stats(pkts);
+  ASSERT_EQ(stats.port_distribution.size(), 2u);
+  EXPECT_EQ(stats.port_distribution[0].first, 23);
+  EXPECT_EQ(stats.port_distribution[0].second, 7);
+  EXPECT_EQ(stats.port_distribution[1].first, 80);
+  EXPECT_EQ(stats.port_distribution[1].second, 3);
+}
+
+TEST(FlowStatsTest, SinglePacketFlow) {
+  auto stats = compute_flow_stats({probe_to(0, 1, 23)});
+  EXPECT_EQ(stats.packets, 1);
+  EXPECT_DOUBLE_EQ(stats.scan_rate, 1.0);
+  EXPECT_DOUBLE_EQ(stats.address_repetition_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace exiot::enrich

@@ -1,0 +1,145 @@
+// Tests for the external-feed simulators (GreyNoise / DShield) and the
+// validation partners.
+#include <gtest/gtest.h>
+
+#include "extfeeds/extfeeds.h"
+
+namespace exiot::extfeeds {
+namespace {
+
+Cidr scope() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+class ExtFeedsTest : public ::testing::Test {
+ protected:
+  static inet::PopulationConfig config() {
+    inet::PopulationConfig c;
+    c.iot_per_day = 400;
+    c.generic_per_day = 1600;
+    c.benign_per_day = 10;
+    c.misconfig_per_day = 200;
+    c.victims_per_day = 30;
+    return c;
+  }
+  inet::WorldModel world_ = inet::WorldModel::standard(scope());
+  inet::Population pop_ = inet::Population::generate(config(), world_);
+};
+
+TEST_F(ExtFeedsTest, SmallerApertureSeesFewerSources) {
+  auto greynoise = observe_day(pop_, greynoise_config(), 0);
+  SensorFeedConfig full = greynoise_config();
+  full.aperture_ratio = 1.0;
+  auto telescope_scale = observe_day(pop_, full, 0);
+  EXPECT_LT(greynoise.records.size(), telescope_scale.records.size());
+  EXPECT_GT(greynoise.records.size(), 0u);
+}
+
+TEST_F(ExtFeedsTest, DeterministicPerDayAndSeed) {
+  auto a = observe_day(pop_, greynoise_config(), 0);
+  auto b = observe_day(pop_, greynoise_config(), 0);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].src, b.records[i].src);
+    EXPECT_EQ(a.records[i].tag, b.records[i].tag);
+  }
+}
+
+TEST_F(ExtFeedsTest, VictimsNeverAppear) {
+  auto day = observe_day(pop_, greynoise_config(), 0);
+  for (const auto& record : day.records) {
+    const inet::Host* host = pop_.find(record.src);
+    ASSERT_NE(host, nullptr);
+    EXPECT_NE(host->cls, inet::HostClass::kBackscatterVictim);
+  }
+}
+
+TEST_F(ExtFeedsTest, IotUnderrepresentedInSmallAperture) {
+  // The core Table III effect: low-rate IoT scanners fall below a smaller
+  // aperture's detection threshold disproportionately often.
+  auto greynoise = observe_day(pop_, greynoise_config(), 0);
+  int iot_seen = 0;
+  for (const auto& record : greynoise.records) {
+    if (pop_.find(record.src)->cls == inet::HostClass::kInfectedIot) {
+      ++iot_seen;
+    }
+  }
+  int iot_total = pop_.count_by_class()[inet::HostClass::kInfectedIot];
+  EXPECT_LT(iot_seen, iot_total / 2);
+}
+
+TEST_F(ExtFeedsTest, MiraiTagsOnlyOnMiraiFamilies) {
+  auto greynoise = observe_day(pop_, greynoise_config(), 0);
+  int tagged = 0;
+  for (const auto& record : greynoise.records) {
+    const inet::Host* host = pop_.find(record.src);
+    const inet::ScanBehavior* behavior = pop_.behavior_of(host == nullptr
+                                                              ? pop_.hosts()[0]
+                                                              : *host);
+    if (!record.tag.empty()) {
+      ++tagged;
+      ASSERT_NE(behavior, nullptr);
+      EXPECT_TRUE(behavior->family.starts_with("mirai"))
+          << behavior->family;
+    }
+  }
+  EXPECT_GT(tagged, 0);
+  EXPECT_LT(tagged, static_cast<int>(greynoise.records.size()));
+}
+
+TEST_F(ExtFeedsTest, DshieldNeverTags) {
+  auto dshield = observe_day(pop_, dshield_config(), 0);
+  EXPECT_GT(dshield.records.size(), 0u);
+  for (const auto& record : dshield.records) {
+    EXPECT_TRUE(record.tag.empty());
+  }
+  EXPECT_TRUE(dshield.sources_tagged("Mirai").empty());
+}
+
+TEST_F(ExtFeedsTest, IndexingLatencyApplied) {
+  auto greynoise = observe_day(pop_, greynoise_config(), 0);
+  for (const auto& record : greynoise.records) {
+    EXPECT_GE(record.first_seen, greynoise_config().indexing_latency);
+  }
+}
+
+TEST_F(ExtFeedsTest, BenignScannersClassifiedBenign) {
+  SensorFeedConfig wide = greynoise_config();
+  wide.aperture_ratio = 1.0;  // See everything.
+  wide.detection_threshold = 1;
+  auto day = observe_day(pop_, wide, 0);
+  int benign = 0;
+  for (const auto& record : day.records) {
+    if (pop_.find(record.src)->cls == inet::HostClass::kBenignScanner) {
+      EXPECT_EQ(record.classification, "benign");
+      ++benign;
+    }
+  }
+  EXPECT_GT(benign, 0);
+}
+
+TEST_F(ExtFeedsTest, ValidatorsConfirmConfiguredFraction) {
+  auto confirmed =
+      validator_confirmed(pop_, world_, badpackets_config(), 0);
+  int infected = pop_.count_by_class()[inet::HostClass::kInfectedIot] +
+                 pop_.count_by_class()[inet::HostClass::kInfectedGeneric];
+  EXPECT_NEAR(confirmed.size() / double(infected), 0.70, 0.04);
+}
+
+TEST_F(ExtFeedsTest, CzechValidatorScopedToCountry) {
+  auto confirmed =
+      validator_confirmed(pop_, world_, czech_csirt_config(), 0);
+  for (std::uint32_t value : confirmed) {
+    const inet::AsInfo* as = world_.lookup(Ipv4(value));
+    ASSERT_NE(as, nullptr);
+    EXPECT_EQ(as->country_code, "CZ");
+  }
+}
+
+TEST_F(ExtFeedsTest, InactiveDayProducesNothing) {
+  auto day = observe_day(pop_, greynoise_config(), 5);  // Beyond config.days.
+  EXPECT_TRUE(day.records.empty());
+  EXPECT_TRUE(
+      validator_confirmed(pop_, world_, badpackets_config(), 5).empty());
+}
+
+}  // namespace
+}  // namespace exiot::extfeeds

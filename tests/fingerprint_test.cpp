@@ -1,0 +1,198 @@
+// Tests for banner fingerprinting rules and packet-level tool signatures.
+#include <gtest/gtest.h>
+
+#include "fingerprint/rules.h"
+#include "fingerprint/tools.h"
+#include "inet/behavior.h"
+#include "inet/device_catalog.h"
+
+namespace exiot::fingerprint {
+namespace {
+
+class RuleDbTest : public ::testing::Test {
+ protected:
+  RuleDb db_ = RuleDb::standard();
+};
+
+TEST_F(RuleDbTest, MatchesMikrotikRouterOs) {
+  auto m = db_.match("HTTP/1.1 200 OK\r\n\r\n<title>RouterOS v6.45.9</title>");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->vendor, "MikroTik");
+  EXPECT_EQ(m->label, BannerLabel::kIot);
+  EXPECT_EQ(m->firmware, "6.45.9");
+}
+
+TEST_F(RuleDbTest, MatchesAxisCameraWithModelAndFirmware) {
+  auto m = db_.match(
+      "220 AXIS Q6115-E PTZ Dome Network Camera 6.20.1.2 (2016) ready.");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->vendor, "AXIS");
+  EXPECT_EQ(m->model, "Q6115-E");
+  EXPECT_EQ(m->firmware, "6.20.1.2");
+}
+
+TEST_F(RuleDbTest, MatchesHikvisionRealm) {
+  auto m = db_.match(
+      "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic "
+      "realm=\"HikvisionDS-2CD2042WD\"\r\n\r\n");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->vendor, "Hikvision");
+  EXPECT_EQ(m->model, "DS-2CD2042WD");
+}
+
+TEST_F(RuleDbTest, MatchesOpenSshAsNonIot) {
+  auto m = db_.match("SSH-2.0-OpenSSH_7.4");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->label, BannerLabel::kNonIot);
+}
+
+TEST_F(RuleDbTest, DropbearLeansIot) {
+  auto m = db_.match("SSH-2.0-dropbear_2017.75");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->label, BannerLabel::kIot);
+}
+
+TEST_F(RuleDbTest, ScrubbedBannersMatchNothingIdentifying) {
+  // The scrubbed httpd banner must not match an IoT vendor rule.
+  auto m = db_.match("HTTP/1.1 401 Unauthorized\r\nServer: httpd\r\n\r\n");
+  EXPECT_FALSE(m.has_value());
+  EXPECT_FALSE(db_.match("login:").has_value());
+  EXPECT_FALSE(db_.match("220 FTP server ready").has_value());
+}
+
+TEST_F(RuleDbTest, CaseInsensitive) {
+  EXPECT_TRUE(db_.match("routeros V6.44.6").has_value());
+}
+
+TEST_F(RuleDbTest, CoversEveryTextualCatalogBanner) {
+  // Every textual banner in the device catalog must resolve to the right
+  // vendor with an IoT label (the training-label path depends on it).
+  auto catalog = inet::DeviceCatalog::standard();
+  for (const auto& model : catalog.models()) {
+    for (const auto& banner : model.banners) {
+      if (!banner.textual_info) continue;
+      auto m = db_.match(banner.text);
+      ASSERT_TRUE(m.has_value()) << model.vendor << ": " << banner.text;
+      EXPECT_EQ(m->label, BannerLabel::kIot) << banner.text;
+      if (!m->vendor.empty()) {
+        EXPECT_EQ(m->vendor, model.vendor) << banner.text;
+      }
+    }
+  }
+}
+
+TEST_F(RuleDbTest, FirstRuleWinsOrdering) {
+  auto db = RuleDb::from_rules(
+      {{"specific", "abc123", BannerLabel::kIot, "V1", "T1", 0, 0},
+       {"broad", "abc", BannerLabel::kNonIot, "V2", "T2", 0, 0}});
+  auto m = db.match("xx abc123 yy");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->rule_name, "specific");
+}
+
+TEST(DeviceTextTest, GenericRuleMatchesProductIdentifiers) {
+  EXPECT_TRUE(looks_like_device_text("model hg8245h detected"));
+  EXPECT_TRUE(looks_like_device_text("TL-WR841N"));
+  EXPECT_TRUE(looks_like_device_text("ds-7608ni"));
+  EXPECT_FALSE(looks_like_device_text("hello world"));
+  EXPECT_FALSE(looks_like_device_text(""));
+  EXPECT_FALSE(looks_like_device_text("......."));
+}
+
+TEST(DeviceTextTest, UnknownBannerLogKeepsPromisingOnly) {
+  UnknownBannerLog log;
+  EXPECT_TRUE(log.offer("Welcome to ACME x500-b terminal"));
+  EXPECT_FALSE(log.offer("plain text banner"));
+  EXPECT_EQ(log.entries().size(), 1u);
+}
+
+// -------------------------------------------------------------- Tools ----
+
+std::vector<net::Packet> synth_sample(const inet::ScanBehavior& behavior,
+                                      int n) {
+  inet::PacketSynthesizer synth(behavior, Ipv4(1, 2, 3, 4),
+                                Cidr(Ipv4(44, 0, 0, 0), 8), 42);
+  std::vector<net::Packet> out;
+  for (int i = 0; i < n; ++i) out.push_back(synth.make_probe(i * 100000));
+  return out;
+}
+
+const inet::ScanBehavior& family(const inet::BehaviorRoster& roster,
+                                 const std::string& name) {
+  for (const auto& b : roster.iot_families) {
+    if (b.family == name) return b;
+  }
+  for (const auto& b : roster.generic_families) {
+    if (b.family == name) return b;
+  }
+  throw std::runtime_error("no family " + name);
+}
+
+class ToolFingerprintTest : public ::testing::Test {
+ protected:
+  inet::BehaviorRoster roster_ = inet::BehaviorRoster::standard();
+};
+
+TEST_F(ToolFingerprintTest, IdentifiesMirai) {
+  auto match = fingerprint_tool(synth_sample(family(roster_, "mirai"), 200));
+  EXPECT_EQ(match.tool, "Mirai");
+  EXPECT_DOUBLE_EQ(match.confidence, 1.0);
+}
+
+TEST_F(ToolFingerprintTest, IdentifiesZmap) {
+  auto match = fingerprint_tool(synth_sample(family(roster_, "zmap"), 200));
+  EXPECT_EQ(match.tool, "Zmap");
+}
+
+TEST_F(ToolFingerprintTest, IdentifiesMasscan) {
+  auto match =
+      fingerprint_tool(synth_sample(family(roster_, "masscan"), 200));
+  EXPECT_EQ(match.tool, "Masscan");
+}
+
+TEST_F(ToolFingerprintTest, IdentifiesNmap) {
+  auto match = fingerprint_tool(synth_sample(family(roster_, "nmap"), 200));
+  EXPECT_EQ(match.tool, "Nmap");
+}
+
+TEST_F(ToolFingerprintTest, IdentifiesUnicorn) {
+  auto match =
+      fingerprint_tool(synth_sample(family(roster_, "unicorn"), 200));
+  EXPECT_EQ(match.tool, "Unicorn");
+}
+
+TEST_F(ToolFingerprintTest, UnicornRequiresConstantSourcePort) {
+  auto sample = synth_sample(family(roster_, "unicorn"), 50);
+  ASSERT_TRUE(matches_unicorn(sample));
+  sample[10].src_port = static_cast<std::uint16_t>(sample[10].src_port + 1);
+  EXPECT_FALSE(matches_unicorn(sample));
+}
+
+TEST_F(ToolFingerprintTest, GenericMalwareIsUnknown) {
+  auto match =
+      fingerprint_tool(synth_sample(family(roster_, "ssh_bruteforce"), 200));
+  EXPECT_EQ(match.tool, "unknown");
+}
+
+TEST_F(ToolFingerprintTest, EmptySampleIsUnknown) {
+  EXPECT_EQ(fingerprint_tool({}).tool, "unknown");
+}
+
+TEST_F(ToolFingerprintTest, MixedSampleBelowDominanceIsUnknown) {
+  auto mirai = synth_sample(family(roster_, "mirai"), 100);
+  auto nmap = synth_sample(family(roster_, "nmap"), 100);
+  mirai.insert(mirai.end(), nmap.begin(), nmap.end());
+  EXPECT_EQ(fingerprint_tool(mirai).tool, "unknown");
+}
+
+TEST(ToolPredicateTest, MiraiSignatureExact) {
+  net::Packet p = net::make_syn(0, Ipv4(1, 1, 1, 1), Ipv4(44, 2, 3, 4),
+                                4000, 23);
+  p.seq = p.dst.value();
+  EXPECT_TRUE(matches_mirai(p));
+  p.seq += 1;
+  EXPECT_FALSE(matches_mirai(p));
+}
+
+}  // namespace
+}  // namespace exiot::fingerprint

@@ -1,0 +1,265 @@
+// Tests for the flow module: the TRW sequential test and the operational
+// flow detector (thresholds, sampling, expiry, reports).
+#include <gtest/gtest.h>
+
+#include "flow/detector.h"
+#include "flow/trw.h"
+
+namespace exiot::flow {
+namespace {
+
+// ---------------------------------------------------------------- TRW ----
+
+TEST(TrwTest, AllFailuresConvergeToScanner) {
+  TrwState state;
+  TrwVerdict v = TrwVerdict::kPending;
+  int steps = 0;
+  while (v == TrwVerdict::kPending && steps < 100) {
+    v = state.observe(false);
+    ++steps;
+  }
+  EXPECT_EQ(v, TrwVerdict::kScanner);
+  EXPECT_EQ(steps, TrwState::failures_to_detect(TrwParams{}));
+}
+
+TEST(TrwTest, AllSuccessesConvergeToBenign) {
+  TrwState state;
+  TrwVerdict v = TrwVerdict::kPending;
+  for (int i = 0; i < 100 && v == TrwVerdict::kPending; ++i) {
+    v = state.observe(true);
+  }
+  EXPECT_EQ(v, TrwVerdict::kBenign);
+}
+
+TEST(TrwTest, VerdictIsSticky) {
+  TrwState state;
+  while (state.observe(false) == TrwVerdict::kPending) {
+  }
+  EXPECT_EQ(state.verdict(), TrwVerdict::kScanner);
+  // Later successes cannot undo an accepted hypothesis.
+  EXPECT_EQ(state.observe(true), TrwVerdict::kScanner);
+}
+
+TEST(TrwTest, MixedOutcomesMoveRatioBothWays) {
+  TrwState state;
+  (void)state.observe(false);
+  const double after_fail = state.log_likelihood_ratio();
+  EXPECT_GT(after_fail, 0.0);
+  (void)state.observe(true);
+  EXPECT_LT(state.log_likelihood_ratio(), after_fail);
+}
+
+TEST(TrwTest, StricterAlphaNeedsMoreEvidence) {
+  TrwParams loose;
+  loose.alpha = 1e-3;
+  TrwParams strict;
+  strict.alpha = 1e-9;
+  EXPECT_LT(TrwState::failures_to_detect(loose),
+            TrwState::failures_to_detect(strict));
+}
+
+// ----------------------------------------------------------- Detector ----
+
+/// Test fixture capturing all detector events.
+class DetectorTest : public ::testing::Test {
+ protected:
+  DetectorTest() { reset(DetectorConfig{}); }
+
+  void reset(DetectorConfig config) {
+    scanners_.clear();
+    samples_.clear();
+    ends_.clear();
+    reports_.clear();
+    DetectorEvents events;
+    events.on_scanner = [this](const FlowSummary& s) {
+      scanners_.push_back(s);
+    };
+    events.on_sample = [this](Ipv4 src,
+                              const std::vector<net::Packet>& pkts) {
+      samples_.emplace_back(src, pkts);
+    };
+    events.on_flow_end = [this](const FlowSummary& s) {
+      ends_.push_back(s);
+    };
+    events.on_report = [this](const SecondReport& r) {
+      reports_.push_back(r);
+    };
+    detector_.emplace(config, std::move(events),
+                      std::vector<std::uint16_t>{23, 80});
+  }
+
+  /// Feeds `n` SYNs from `src` starting at `start`, spaced by `gap`.
+  TimeMicros feed(Ipv4 src, int n, TimeMicros start, TimeMicros gap) {
+    TimeMicros ts = start;
+    for (int i = 0; i < n; ++i) {
+      detector_->process(net::make_syn(ts, src, Ipv4(44, 0, 0, 1), 40000,
+                                       23, static_cast<std::uint32_t>(i)));
+      ts += gap;
+    }
+    return ts - gap;
+  }
+
+  std::optional<FlowDetector> detector_;
+  std::vector<FlowSummary> scanners_;
+  std::vector<std::pair<Ipv4, std::vector<net::Packet>>> samples_;
+  std::vector<FlowSummary> ends_;
+  std::vector<SecondReport> reports_;
+};
+
+TEST_F(DetectorTest, DetectsSustainedScanner) {
+  feed(Ipv4(1, 2, 3, 4), 150, 0, seconds(1));
+  ASSERT_EQ(scanners_.size(), 1u);
+  EXPECT_EQ(scanners_[0].src, Ipv4(1, 2, 3, 4));
+  // Detection at the 100th packet (1-min duration already satisfied at
+  // packet 100 given 1s spacing).
+  EXPECT_EQ(scanners_[0].total_packets, 100u);
+}
+
+TEST_F(DetectorTest, BelowPacketThresholdNotDetected) {
+  feed(Ipv4(1, 2, 3, 4), 99, 0, seconds(1));
+  EXPECT_TRUE(scanners_.empty());
+}
+
+TEST_F(DetectorTest, ShortBurstNotDetected) {
+  // 150 packets in 15 ms: crosses the packet threshold but not the 1-minute
+  // duration floor — the misconfiguration filter.
+  feed(Ipv4(1, 2, 3, 4), 150, 0, 100);
+  EXPECT_TRUE(scanners_.empty());
+}
+
+TEST_F(DetectorTest, BurstThenSustainedIsDetectedOnceDurationMet) {
+  // The duration check is evaluated as packets keep arriving.
+  feed(Ipv4(1, 2, 3, 4), 150, 0, seconds(2));
+  ASSERT_EQ(scanners_.size(), 1u);
+  EXPECT_GE(scanners_[0].detect_time - scanners_[0].first_seen, minutes(1));
+}
+
+TEST_F(DetectorTest, LargeGapResetsPendingFlow) {
+  feed(Ipv4(1, 2, 3, 4), 60, 0, seconds(1));
+  // 10-minute silence, then 60 more packets: the paper's 300 s inter-
+  // arrival cap means the flow restarts and never reaches 100.
+  feed(Ipv4(1, 2, 3, 4), 60, minutes(10), seconds(1));
+  EXPECT_TRUE(scanners_.empty());
+  EXPECT_GE(detector_->stats().pending_resets, 1u);
+}
+
+TEST_F(DetectorTest, GapDoesNotResetDetectedScanner) {
+  feed(Ipv4(1, 2, 3, 4), 150, 0, seconds(1));
+  ASSERT_EQ(scanners_.size(), 1u);
+  // Detected scanners only have last_seen refreshed, even after a gap.
+  feed(Ipv4(1, 2, 3, 4), 10, minutes(20), seconds(1));
+  EXPECT_EQ(scanners_.size(), 1u);
+}
+
+TEST_F(DetectorTest, SamplesExactlyConfiguredCount) {
+  DetectorConfig config;
+  config.sample_count = 50;
+  reset(config);
+  feed(Ipv4(1, 2, 3, 4), 100 + 50 + 30, 0, seconds(1));
+  ASSERT_EQ(samples_.size(), 1u);
+  EXPECT_EQ(samples_[0].second.size(), 50u);
+  // The sample starts right after the detection packet.
+  EXPECT_EQ(samples_[0].second.front().seq, 100u);
+}
+
+TEST_F(DetectorTest, BackscatterIsFilteredBeforeFlowTracking) {
+  for (int i = 0; i < 200; ++i) {
+    net::Packet p = net::make_syn(seconds(i), Ipv4(9, 9, 9, 9),
+                                  Ipv4(44, 0, 0, 1), 80, 40000);
+    p.flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+    detector_->process(p);
+  }
+  EXPECT_TRUE(scanners_.empty());
+  EXPECT_EQ(detector_->stats().backscatter_filtered, 200u);
+  EXPECT_EQ(detector_->tracked_sources(), 0u);
+}
+
+TEST_F(DetectorTest, EndOfHourExpiresIdleScanner) {
+  const TimeMicros last = feed(Ipv4(1, 2, 3, 4), 150, 0, seconds(1));
+  detector_->end_of_hour(last + minutes(30));
+  EXPECT_TRUE(ends_.empty());  // Only 30 minutes idle.
+  detector_->end_of_hour(last + kMicrosPerHour + seconds(1));
+  ASSERT_EQ(ends_.size(), 1u);
+  EXPECT_EQ(ends_[0].src, Ipv4(1, 2, 3, 4));
+  EXPECT_EQ(ends_[0].last_seen, last);
+}
+
+TEST_F(DetectorTest, IncompleteSampleShipsOnExpiry) {
+  DetectorConfig config;
+  config.sample_count = 200;
+  reset(config);
+  const TimeMicros last = feed(Ipv4(1, 2, 3, 4), 130, 0, seconds(1));
+  detector_->end_of_hour(last + 2 * kMicrosPerHour);
+  ASSERT_EQ(samples_.size(), 1u);
+  EXPECT_EQ(samples_[0].second.size(), 30u);  // 130 - 100 detection packets.
+}
+
+TEST_F(DetectorTest, FinishFlushesEverything) {
+  feed(Ipv4(1, 2, 3, 4), 150, 0, seconds(1));
+  feed(Ipv4(5, 6, 7, 8), 150, 0, seconds(1));
+  detector_->finish();
+  EXPECT_EQ(ends_.size(), 2u);
+  EXPECT_EQ(detector_->tracked_sources(), 0u);
+}
+
+TEST_F(DetectorTest, PerSecondReportsCountProtocolsAndPorts) {
+  // 3 TCP to port 23 in second 0, 2 UDP in second 1.
+  for (int i = 0; i < 3; ++i) {
+    detector_->process(net::make_syn(seconds(0.1) * (i + 1),
+                                     Ipv4(1, 1, 1, 1), Ipv4(44, 0, 0, 1),
+                                     40000, 23));
+  }
+  for (int i = 0; i < 2; ++i) {
+    net::Packet p;
+    p.ts = seconds(1) + i * 1000;
+    p.proto = net::IpProto::kUdp;
+    p.src = Ipv4(2, 2, 2, 2);
+    p.dst = Ipv4(44, 0, 0, 2);
+    p.src_port = 999;
+    p.dst_port = 53;
+    detector_->process(p);
+  }
+  detector_->finish();
+  ASSERT_EQ(reports_.size(), 2u);
+  EXPECT_EQ(reports_[0].total, 3u);
+  EXPECT_EQ(reports_[0].tcp, 3u);
+  EXPECT_EQ(reports_[0].per_port.at(23), 3u);
+  EXPECT_EQ(reports_[1].udp, 2u);
+  EXPECT_EQ(reports_[1].per_port.count(53), 0u);  // 53 not a report port.
+}
+
+TEST_F(DetectorTest, DistinctSourcesTrackedIndependently) {
+  feed(Ipv4(1, 1, 1, 1), 150, 0, seconds(1));
+  feed(Ipv4(2, 2, 2, 2), 99, 0, seconds(1));
+  EXPECT_EQ(scanners_.size(), 1u);
+  EXPECT_EQ(detector_->stats().scanners_detected, 1u);
+  EXPECT_EQ(detector_->tracked_sources(), 2u);
+}
+
+class ThresholdSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ThresholdSweep, DetectionMatchesThreshold) {
+  auto [threshold, packets, expect_detect] = GetParam();
+  DetectorConfig config;
+  config.scanner_packet_threshold = threshold;
+  std::vector<FlowSummary> scanners;
+  DetectorEvents events;
+  events.on_scanner = [&](const FlowSummary& s) { scanners.push_back(s); };
+  FlowDetector det(config, std::move(events));
+  for (int i = 0; i < packets; ++i) {
+    det.process(net::make_syn(seconds(2) * i, Ipv4(1, 2, 3, 4),
+                              Ipv4(44, 0, 0, 1), 40000, 23));
+  }
+  EXPECT_EQ(!scanners.empty(), expect_detect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, ThresholdSweep,
+    ::testing::Values(std::tuple{50, 49, false}, std::tuple{50, 50, true},
+                      std::tuple{100, 99, false}, std::tuple{100, 100, true},
+                      std::tuple{200, 150, false},
+                      std::tuple{200, 250, true}));
+
+}  // namespace
+}  // namespace exiot::flow

@@ -1,0 +1,158 @@
+// Unit tests for the JSON library: value model, parser, serializer, and
+// round-trip properties.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace exiot::json {
+namespace {
+
+TEST(JsonValue, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value(3).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValue, NumericCoercion) {
+  EXPECT_EQ(Value(3.9).as_int(), 3);
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+}
+
+TEST(JsonValue, IndexingBuildsObjects) {
+  Value v;
+  v["ip"] = "1.2.3.4";
+  v["count"] = 7;
+  v["nested"]["deep"] = true;
+  EXPECT_EQ(v.get_string("ip"), "1.2.3.4");
+  EXPECT_EQ(v.get_int("count"), 7);
+  ASSERT_NE(v.find("nested"), nullptr);
+  EXPECT_TRUE(v.find("nested")->get_bool("deep"));
+}
+
+TEST(JsonValue, GettersReturnDefaults) {
+  Value v;
+  v["present"] = "yes";
+  EXPECT_EQ(v.get_string("absent", "fallback"), "fallback");
+  EXPECT_EQ(v.get_int("absent", -2), -2);
+  EXPECT_DOUBLE_EQ(v.get_double("absent", 1.5), 1.5);
+  EXPECT_TRUE(v.get_bool("absent", true));
+  // Wrong-typed fields also fall back.
+  EXPECT_EQ(v.get_int("present", 9), 9);
+}
+
+TEST(JsonDump, CompactFormats) {
+  Value v;
+  v["b"] = 2;
+  v["a"] = Array{Value(1), Value("x"), Value(nullptr)};
+  EXPECT_EQ(v.dump(), R"({"a":[1,"x",null],"b":2})");
+}
+
+TEST(JsonDump, EscapesControlAndQuotes) {
+  Value v(std::string("line\none\t\"quoted\"\\\x01"));
+  EXPECT_EQ(v.dump(), "\"line\\none\\t\\\"quoted\\\"\\\\\\u0001\"");
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").value().is_null());
+  EXPECT_TRUE(parse("true").value().as_bool());
+  EXPECT_FALSE(parse("false").value().as_bool());
+  EXPECT_EQ(parse("42").value().as_int(), 42);
+  EXPECT_EQ(parse("-17").value().as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("3.25").value().as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").value().as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerStaysInteger) {
+  auto v = parse("9007199254740993").value();  // Not representable in double.
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParse, NestedStructures) {
+  auto v = parse(R"({"ips":["1.1.1.1","2.2.2.2"],"meta":{"n":2}})").value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("ips")->as_array().size(), 2u);
+  EXPECT_EQ(v.find("meta")->get_int("n"), 2);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  auto v = parse(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n").value();
+  EXPECT_EQ(v.find("a")->as_array().size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb")").value().as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("A")").value().as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").value().as_string(), "\xC3\xA9");
+  EXPECT_EQ(parse(R"("\/")").value().as_string(), "/");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  for (const char* s :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated",
+        "{\"a\" 1}", "[1 2]", "--3", "{'a':1}", "nulll"}) {
+    EXPECT_FALSE(parse(s).ok()) << s;
+  }
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(JsonRoundTrip, DumpThenParseIsIdentity) {
+  Value v;
+  v["str"] = "value with \"escapes\" and \n newline";
+  v["int"] = std::int64_t{-123456789};
+  v["dbl"] = 0.125;
+  v["flag"] = false;
+  v["arr"] = Array{Value(1), Value(2.5), Value("three"), Value(nullptr)};
+  v["obj"]["inner"] = Array{Value(Object{{"k", Value("v")}})};
+  auto round = parse(v.dump());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), v);
+  // Pretty output parses to the same value too.
+  auto pretty = parse(v.dump_pretty());
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(pretty.value(), v);
+}
+
+TEST(JsonRoundTrip, CanonicalKeyOrder) {
+  auto a = parse(R"({"z":1,"a":2})").value();
+  auto b = parse(R"({"a":2,"z":1})").value();
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+class JsonParseRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonParseRoundTrip, ParseDumpParseIsStable) {
+  auto first = parse(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam();
+  auto second = parse(first.value().dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonParseRoundTrip,
+    ::testing::Values(
+        "null", "true", "0", "-0.5", "[]", "{}", "[[[[1]]]]",
+        R"({"a":{"b":{"c":[1,2,3]}}})",
+        R"(["mixed",1,2.5,null,true,{"k":"v"}])",
+        R"({"unicode":"café","tab":"\t"})",
+        R"({"big":123456789012345678})"));
+
+}  // namespace
+}  // namespace exiot::json

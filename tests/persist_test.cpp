@@ -1,0 +1,150 @@
+// Tests for model persistence: JSON round trips of normalizer and forest,
+// and the timestamped model directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/persist.h"
+
+namespace exiot::ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+Dataset gaussian_problem(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    FeatureVector row(6);
+    for (auto& x : row) x = rng.normal(label * 2.0, 1.0);
+    data.add(std::move(row), label);
+  }
+  return data;
+}
+
+TEST(PersistTest, NormalizerRoundTrip) {
+  auto data = gaussian_problem(100, 1);
+  Normalizer original = Normalizer::fit(data.rows);
+  auto loaded = normalizer_from_json(normalizer_to_json(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  for (const auto& row : data.rows) {
+    EXPECT_EQ(loaded.value().transform(row), original.transform(row));
+  }
+}
+
+TEST(PersistTest, ForestRoundTripPredictsIdentically) {
+  auto data = gaussian_problem(300, 2);
+  ForestParams params;
+  params.num_trees = 25;
+  RandomForest original = RandomForest::train(data, params, 3);
+  auto loaded = forest_from_json(forest_to_json(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  auto probe = gaussian_problem(100, 4);
+  for (const auto& row : probe.rows) {
+    EXPECT_DOUBLE_EQ(loaded.value().predict_score(row),
+                     original.predict_score(row));
+  }
+  EXPECT_EQ(loaded.value().trees().size(), original.trees().size());
+}
+
+TEST(PersistTest, ModelBundleCarriesMetadata) {
+  auto data = gaussian_problem(200, 5);
+  PersistedModel model;
+  model.normalizer = Normalizer::fit(data.rows);
+  model.forest = RandomForest::train(data, {}, 6);
+  model.trained_at = 3 * kMicrosPerDay + hours(4);
+  model.test_auc = 0.97;
+  model.training_examples = 200;
+  auto loaded = model_from_json(model_to_json(model));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().trained_at, model.trained_at);
+  EXPECT_DOUBLE_EQ(loaded.value().test_auc, 0.97);
+  EXPECT_EQ(loaded.value().training_examples, 200u);
+}
+
+TEST(PersistTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(model_from_json(json::Value()).ok());
+  json::Value wrong_format;
+  wrong_format["format"] = "something-else";
+  EXPECT_FALSE(model_from_json(wrong_format).ok());
+  // A forest with an out-of-range child index must be rejected.
+  json::Value bad;
+  bad["format"] = "exiot-model-v1";
+  bad["normalizer"] = normalizer_to_json(Normalizer::fit({{1.0}, {2.0}}));
+  json::Value tree;
+  tree["depth"] = 1;
+  tree["feature"] = json::Array{json::Value(0)};
+  tree["threshold"] = json::Array{json::Value(0.5)};
+  tree["left"] = json::Array{json::Value(99)};  // Out of range.
+  tree["right"] = json::Array{json::Value(0)};
+  tree["score"] = json::Array{json::Value(0.5)};
+  json::Value forest;
+  forest["trees"] = json::Array{tree};
+  bad["forest"] = forest;
+  EXPECT_FALSE(model_from_json(bad).ok());
+}
+
+class ModelDirectoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("exiot_models_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  PersistedModel make_model(TimeMicros trained_at, std::uint64_t seed) {
+    auto data = gaussian_problem(150, seed);
+    PersistedModel model;
+    model.normalizer = Normalizer::fit(data.rows);
+    ForestParams params;
+    params.num_trees = 10;
+    model.forest = RandomForest::train(data, params, seed);
+    model.trained_at = trained_at;
+    model.training_examples = 150;
+    return model;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ModelDirectoryTest, SaveListLoad) {
+  ModelDirectory models(dir_);
+  for (int day = 1; day <= 3; ++day) {
+    auto saved = models.save(make_model(day * kMicrosPerDay, day));
+    ASSERT_TRUE(saved.ok()) << saved.error().message;
+    EXPECT_TRUE(fs::exists(saved.value()));
+  }
+  auto files = models.list();
+  ASSERT_EQ(files.size(), 3u);
+  // Ascending by training time.
+  auto first = models.load(files[0]);
+  auto last = models.load(files[2]);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(last.ok());
+  EXPECT_LT(first.value().trained_at, last.value().trained_at);
+}
+
+TEST_F(ModelDirectoryTest, LoadAtPicksContemporaryModel) {
+  ModelDirectory models(dir_);
+  for (int day = 1; day <= 3; ++day) {
+    ASSERT_TRUE(models.save(make_model(day * kMicrosPerDay, day)).ok());
+  }
+  auto model = models.load_at(2 * kMicrosPerDay + hours(5));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().trained_at, 2 * kMicrosPerDay);
+  EXPECT_FALSE(models.load_at(hours(1)).ok());  // Before any model.
+}
+
+TEST_F(ModelDirectoryTest, EmptyDirectory) {
+  ModelDirectory models(dir_);
+  EXPECT_TRUE(models.list().empty());
+  EXPECT_FALSE(models.load_at(kMicrosPerDay).ok());
+}
+
+}  // namespace
+}  // namespace exiot::ml

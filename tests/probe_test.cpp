@@ -1,0 +1,186 @@
+// Tests for the active-probe simulator and the scan-module batcher.
+#include <gtest/gtest.h>
+
+#include "probe/batcher.h"
+#include "probe/prober.h"
+
+namespace exiot::probe {
+namespace {
+
+Cidr scope() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+class ProberTest : public ::testing::Test {
+ protected:
+  static inet::PopulationConfig config() {
+    inet::PopulationConfig c;
+    c.iot_per_day = 500;
+    c.generic_per_day = 300;
+    c.benign_per_day = 5;
+    c.misconfig_per_day = 0;
+    c.victims_per_day = 0;
+    return c;
+  }
+  inet::WorldModel world_ = inet::WorldModel::standard(scope());
+  inet::Population pop_ = inet::Population::generate(config(), world_);
+  ActiveProber prober_{pop_, ProberConfig::standard()};
+};
+
+TEST(Table1Test, PortAndProtocolCounts) {
+  EXPECT_EQ(table1_ports().size(), 50u);
+  EXPECT_EQ(table1_protocols().size(), 16u);
+  // Spot-check the signature IoT ports from the paper's Table I.
+  for (std::uint16_t port : {23, 2323, 7547, 8291, 554, 5555, 47808}) {
+    EXPECT_NE(std::find(table1_ports().begin(), table1_ports().end(), port),
+              table1_ports().end())
+        << port;
+  }
+}
+
+TEST_F(ProberTest, UnknownAddressDoesNotRespond) {
+  auto result = prober_.probe(Ipv4(203, 0, 113, 7), 0);
+  EXPECT_FALSE(result.responded);
+  EXPECT_TRUE(result.banners.empty());
+  EXPECT_GT(result.completed_at, 0);  // Sweep cost still paid.
+}
+
+TEST_F(ProberTest, RespondingIotHostServesCatalogBanner) {
+  const inet::Host* responder = nullptr;
+  for (const auto& h : pop_.hosts()) {
+    if (h.cls == inet::HostClass::kInfectedIot && h.responds_banner &&
+        !h.banner_scrubbed) {
+      responder = &h;
+      break;
+    }
+  }
+  ASSERT_NE(responder, nullptr);
+  auto result = prober_.probe(responder->addr, 0);
+  // A textual responder serves at least one banner on a probed port.
+  ASSERT_TRUE(result.responded);
+  const inet::DeviceModel* device = pop_.device_of(*responder);
+  bool any_matches_device = false;
+  for (const auto& banner : result.banners) {
+    for (const auto& dev_banner : device->banners) {
+      if (banner.port == dev_banner.port &&
+          banner.text == dev_banner.text) {
+        any_matches_device = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_matches_device);
+}
+
+TEST_F(ProberTest, ScrubbedHostNeverLeaksVendorText) {
+  int scrubbed_checked = 0;
+  for (const auto& h : pop_.hosts()) {
+    if (h.cls != inet::HostClass::kInfectedIot || !h.banner_scrubbed) {
+      continue;
+    }
+    auto result = prober_.probe(h.addr, 0);
+    const inet::DeviceModel* device = pop_.device_of(h);
+    for (const auto& banner : result.banners) {
+      EXPECT_EQ(banner.text.find(device->vendor), std::string::npos)
+          << device->vendor;
+    }
+    ++scrubbed_checked;
+  }
+  EXPECT_GT(scrubbed_checked, 0);
+}
+
+TEST_F(ProberTest, NonRespondersStaySilent) {
+  for (const auto& h : pop_.hosts()) {
+    if (h.cls == inet::HostClass::kInfectedIot && !h.responds_banner) {
+      auto result = prober_.probe(h.addr, 0);
+      EXPECT_FALSE(result.responded);
+      break;
+    }
+  }
+}
+
+TEST_F(ProberTest, ResponseRateMatchesPopulationKnob) {
+  int iot = 0, responded = 0;
+  for (const auto& h : pop_.hosts()) {
+    if (h.cls != inet::HostClass::kInfectedIot) continue;
+    ++iot;
+    if (prober_.probe(h.addr, 0).responded) ++responded;
+  }
+  // Responds-banner hosts may still expose no banner on probed ports, so
+  // observed response rate is at or below the configured 9.5%.
+  EXPECT_LE(responded / double(iot), 0.12);
+  EXPECT_GT(responded, 0);
+}
+
+TEST_F(ProberTest, ProbeTimeModelsSweepAndGrab) {
+  auto silent = prober_.probe(Ipv4(203, 0, 113, 7), seconds(100));
+  // 50 ports at 5000 pps: ~10 ms sweep.
+  EXPECT_NEAR(static_cast<double>(silent.completed_at - seconds(100)),
+              50.0 / 5000.0 * kMicrosPerSecond, 1000.0);
+
+  const inet::Host* responder = nullptr;
+  for (const auto& h : pop_.hosts()) {
+    if (h.responds_banner && h.cls == inet::HostClass::kInfectedIot &&
+        prober_.probe(h.addr, 0).responded) {
+      responder = &h;
+      break;
+    }
+  }
+  ASSERT_NE(responder, nullptr);
+  auto result = prober_.probe(responder->addr, seconds(100));
+  EXPECT_GE(result.completed_at,
+            seconds(100) + seconds(2));  // At least one grab latency.
+}
+
+TEST_F(ProberTest, BatchSweepSerializesCost) {
+  std::vector<Ipv4> addrs;
+  for (const auto& h : pop_.hosts()) {
+    addrs.push_back(h.addr);
+    if (addrs.size() == 100) break;
+  }
+  auto results = prober_.probe_batch(addrs, 0);
+  ASSERT_EQ(results.size(), 100u);
+  // 100 addrs x 50 ports at 5k pps = ~1 s minimum completion.
+  const TimeMicros min_done = static_cast<TimeMicros>(
+      100.0 * 50.0 / 5000.0 * kMicrosPerSecond);
+  for (const auto& r : results) {
+    EXPECT_GE(r.completed_at, min_done);
+  }
+}
+
+TEST(BatcherTest, FlushesAtMaxRecords) {
+  BatcherConfig config;
+  config.max_records = 3;
+  ScanBatcher batcher(config);
+  EXPECT_TRUE(batcher.add(Ipv4(1, 1, 1, 1), 0).empty());
+  EXPECT_TRUE(batcher.add(Ipv4(2, 2, 2, 2), 1).empty());
+  auto batch = batcher.add(Ipv4(3, 3, 3, 3), 2);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(BatcherTest, FlushesAfterMaxWait) {
+  BatcherConfig config;
+  config.max_wait = minutes(60);
+  ScanBatcher batcher(config);
+  EXPECT_TRUE(batcher.add(Ipv4(1, 1, 1, 1), 0).empty());
+  EXPECT_TRUE(batcher.tick(minutes(59)).empty());
+  auto batch = batcher.tick(minutes(60));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(BatcherTest, WaitClockStartsAtFirstPending) {
+  ScanBatcher batcher;
+  EXPECT_TRUE(batcher.tick(minutes(120)).empty());  // Nothing pending.
+  EXPECT_TRUE(batcher.add(Ipv4(1, 1, 1, 1), minutes(120)).empty());
+  EXPECT_TRUE(batcher.tick(minutes(179)).empty());
+  EXPECT_EQ(batcher.tick(minutes(180)).size(), 1u);
+}
+
+TEST(BatcherTest, ManualFlushDrains) {
+  ScanBatcher batcher;
+  (void)batcher.add(Ipv4(1, 1, 1, 1), 0);
+  (void)batcher.add(Ipv4(2, 2, 2, 2), 0);
+  EXPECT_EQ(batcher.flush().size(), 2u);
+  EXPECT_TRUE(batcher.flush().empty());
+}
+
+}  // namespace
+}  // namespace exiot::probe

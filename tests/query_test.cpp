@@ -1,0 +1,142 @@
+// Tests for the query-builder expression language.
+#include <gtest/gtest.h>
+
+#include "api/query.h"
+
+namespace exiot::api {
+namespace {
+
+json::Value sample_doc() {
+  json::Value doc;
+  doc["src_ip"] = "50.1.2.3";
+  doc["label"] = "IoT";
+  doc["score"] = 0.93;
+  doc["asn"] = 4134;
+  doc["country_code"] = "CN";
+  doc["vendor"] = "MikroTik";
+  doc["tool"] = "Mirai variant";
+  doc["active"] = true;
+  doc["nested"]["deep"] = 7;
+  return doc;
+}
+
+bool matches(const std::string& expr, const json::Value& doc) {
+  auto q = Query::compile(expr);
+  EXPECT_TRUE(q.ok()) << expr << ": "
+                      << (q.ok() ? "" : q.error().message);
+  return q.ok() && q.value().matches(doc);
+}
+
+TEST(QueryTest, StringEquality) {
+  auto doc = sample_doc();
+  EXPECT_TRUE(matches(R"(label == "IoT")", doc));
+  EXPECT_FALSE(matches(R"(label == "non-IoT")", doc));
+  EXPECT_TRUE(matches(R"(label != "non-IoT")", doc));
+}
+
+TEST(QueryTest, NumericComparisons) {
+  auto doc = sample_doc();
+  EXPECT_TRUE(matches("score >= 0.9", doc));
+  EXPECT_FALSE(matches("score >= 0.95", doc));
+  EXPECT_TRUE(matches("asn == 4134", doc));
+  EXPECT_TRUE(matches("asn < 5000 && asn > 4000", doc));
+  EXPECT_TRUE(matches("score != 1", doc));
+}
+
+TEST(QueryTest, BooleanLiterals) {
+  auto doc = sample_doc();
+  EXPECT_TRUE(matches("active == true", doc));
+  EXPECT_FALSE(matches("active == false", doc));
+  EXPECT_TRUE(matches("active != false", doc));
+}
+
+TEST(QueryTest, StringOperators) {
+  auto doc = sample_doc();
+  EXPECT_TRUE(matches(R"(tool contains "mirai")", doc));  // Case-insensitive.
+  EXPECT_FALSE(matches(R"(tool contains "zmap")", doc));
+  EXPECT_TRUE(matches(R"(tool startswith "Mirai")", doc));
+  EXPECT_FALSE(matches(R"(tool startswith "variant")", doc));
+}
+
+TEST(QueryTest, BooleanConnectivesAndPrecedence) {
+  auto doc = sample_doc();
+  // && binds tighter than ||.
+  EXPECT_TRUE(matches(
+      R"(label == "x" && asn == 1 || country_code == "CN")", doc));
+  EXPECT_FALSE(matches(
+      R"(label == "x" && (asn == 1 || country_code == "CN"))", doc));
+  EXPECT_TRUE(matches(R"(!(label == "non-IoT"))", doc));
+  EXPECT_TRUE(matches(R"(not (label == "non-IoT"))", doc));
+  EXPECT_TRUE(
+      matches(R"(label == "IoT" and country_code == "CN")", doc));
+  EXPECT_TRUE(matches(R"(asn == 1 or asn == 4134)", doc));
+}
+
+TEST(QueryTest, HasPredicate) {
+  auto doc = sample_doc();
+  EXPECT_TRUE(matches("has(vendor)", doc));
+  EXPECT_FALSE(matches("has(firmware)", doc));
+  EXPECT_TRUE(matches("!has(firmware)", doc));
+}
+
+TEST(QueryTest, DottedFieldPaths) {
+  auto doc = sample_doc();
+  EXPECT_TRUE(matches("nested.deep == 7", doc));
+  EXPECT_TRUE(matches("has(nested.deep)", doc));
+  EXPECT_FALSE(matches("has(nested.missing)", doc));
+}
+
+TEST(QueryTest, MissingFieldsCompareSafely) {
+  auto doc = sample_doc();
+  EXPECT_FALSE(matches(R"(firmware == "1.0")", doc));
+  EXPECT_TRUE(matches(R"(firmware != "1.0")", doc));
+  EXPECT_FALSE(matches("missing_number > 5", doc));
+  EXPECT_TRUE(matches("missing_number != 5", doc));
+}
+
+TEST(QueryTest, EscapedStringLiterals) {
+  json::Value doc;
+  doc["name"] = "say \"hi\"";
+  EXPECT_TRUE(matches(R"(name contains "\"hi\"")", doc));
+}
+
+TEST(QueryTest, CompileErrors) {
+  for (const char* expr :
+       {"", "label ==", "== \"IoT\"", "label = \"IoT\"", "(label == \"a\"",
+        "label == \"a\" &&", "label contains 5", "has(", "has()", "@#$",
+        "label == \"unterminated"}) {
+    EXPECT_FALSE(Query::compile(expr).ok()) << expr;
+  }
+}
+
+TEST(QueryTest, CompiledQueryIsReusable) {
+  auto q = Query::compile(R"(label == "IoT")");
+  ASSERT_TRUE(q.ok());
+  json::Value iot = sample_doc();
+  json::Value other = sample_doc();
+  other["label"] = "non-IoT";
+  EXPECT_TRUE(q.value().matches(iot));
+  EXPECT_FALSE(q.value().matches(other));
+  EXPECT_TRUE(q.value().matches(iot));  // No state between evaluations.
+  EXPECT_EQ(q.value().expression(), R"(label == "IoT")");
+}
+
+class QueryExpressionValidity
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QueryExpressionValidity, Compiles) {
+  EXPECT_TRUE(Query::compile(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RealisticQueries, QueryExpressionValidity,
+    ::testing::Values(
+        R"(label == "IoT" && country_code == "CN" && score >= 0.9)",
+        R"((asn == 4134 || asn == 4837) && tool contains "Mirai")",
+        R"(has(vendor) && !(sector == "Residential"))",
+        R"(scan_rate > 0.5 && address_repetition <= 1.1)",
+        R"(active == true && published_at > 86400000000)",
+        R"(vendor startswith "Mikro" or vendor startswith "Hik")"));
+
+}  // namespace
+}  // namespace exiot::api

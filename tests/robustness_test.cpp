@@ -1,0 +1,160 @@
+// Robustness tests: the parsers and decoders that face untrusted bytes
+// (wire packets, trace files, JSON documents, query expressions) must
+// reject garbage gracefully — errors, never crashes or hangs.
+#include <gtest/gtest.h>
+
+#include "api/query.h"
+#include "common/rng.h"
+#include "json/json.h"
+#include "net/wire.h"
+#include "trace/trace.h"
+
+namespace exiot {
+namespace {
+
+TEST(WireRobustness, RandomBytesNeverCrash) {
+  Rng rng(101);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> bytes(rng.next_below(120));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    auto parsed = net::parse(bytes);
+    // Random bytes essentially never carry a valid IPv4 checksum; both
+    // outcomes are acceptable, crashing is not.
+    (void)parsed;
+  }
+}
+
+TEST(WireRobustness, BitFlippedPacketsNeverCrash) {
+  Rng rng(103);
+  net::Packet p = net::make_syn(0, Ipv4(1, 2, 3, 4), Ipv4(44, 5, 6, 7),
+                                40000, 23);
+  p.opts.mss = 1460;
+  p.opts.timestamp = true;
+  const auto clean = net::serialize(p);
+  for (int round = 0; round < 2000; ++round) {
+    auto bytes = clean;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.next_below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    (void)net::parse(bytes);
+  }
+}
+
+TEST(TraceRobustness, CorruptedStreamsErrorOut) {
+  Rng rng(107);
+  std::vector<net::Packet> pkts;
+  for (int i = 0; i < 50; ++i) {
+    pkts.push_back(net::make_syn(i * 1000, Ipv4(1, 1, 1, 1),
+                                 Ipv4(44, 0, 0, 1), 4000, 23));
+  }
+  const auto clean = trace::encode_packets(pkts);
+  for (int round = 0; round < 500; ++round) {
+    auto bytes = clean;
+    // Corrupt a random span.
+    const std::size_t at = rng.next_below(bytes.size());
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.next_below(16), bytes.size() - at);
+    for (std::size_t i = 0; i < len; ++i) {
+      bytes[at + i] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    trace::TraceDecoder decoder(std::move(bytes));
+    net::Packet out;
+    std::size_t decoded = 0;
+    while (decoder.next(out) && decoded < 1000) ++decoded;
+    EXPECT_LE(decoded, pkts.size());  // Never invents extra packets.
+  }
+}
+
+TEST(TraceRobustness, TruncationAtEveryOffset) {
+  std::vector<net::Packet> pkts;
+  for (int i = 0; i < 5; ++i) {
+    pkts.push_back(net::make_syn(i * 1000, Ipv4(1, 1, 1, 1),
+                                 Ipv4(44, 0, 0, 1), 4000, 23));
+  }
+  const auto clean = trace::encode_packets(pkts);
+  for (std::size_t cut = 0; cut < clean.size(); ++cut) {
+    std::vector<std::uint8_t> bytes(clean.begin(),
+                                    clean.begin() +
+                                        static_cast<std::ptrdiff_t>(cut));
+    trace::TraceDecoder decoder(std::move(bytes));
+    net::Packet out;
+    std::size_t decoded = 0;
+    while (decoder.next(out)) ++decoded;
+    EXPECT_LE(decoded, pkts.size());
+  }
+}
+
+TEST(JsonRobustness, RandomAsciiNeverCrashes) {
+  Rng rng(109);
+  const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsnu \\/x";
+  for (int round = 0; round < 3000; ++round) {
+    std::string text;
+    const std::size_t len = rng.next_below(60);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    }
+    (void)json::parse(text);
+  }
+}
+
+TEST(JsonRobustness, MutatedValidDocumentsNeverCrash) {
+  Rng rng(113);
+  const std::string valid =
+      R"({"src_ip":"1.2.3.4","label":"IoT","score":0.93,)"
+      R"("open_ports":[22,80],"nested":{"deep":[1,2,3]}})";
+  for (int round = 0; round < 3000; ++round) {
+    std::string text = valid;
+    const std::size_t edits = 1 + rng.next_below(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      text[rng.next_below(text.size())] =
+          static_cast<char>(32 + rng.next_below(95));
+    }
+    auto parsed = json::parse(text);
+    if (parsed.ok()) {
+      // Whatever survived mutation must serialize cleanly too.
+      (void)parsed.value().dump();
+    }
+  }
+}
+
+TEST(QueryRobustness, RandomExpressionsNeverCrash) {
+  Rng rng(127);
+  const char* fragments[] = {"label",   "==",      "\"IoT\"", "&&",
+                             "||",      "!",       "(",       ")",
+                             "score",   ">=",      "0.9",     "has",
+                             "contains", "asn",    "4134",    "true",
+                             "startswith", "\"x\"", "<",      "not"};
+  json::Value doc;
+  doc["label"] = "IoT";
+  doc["score"] = 0.9;
+  for (int round = 0; round < 3000; ++round) {
+    std::string expr;
+    const std::size_t len = 1 + rng.next_below(10);
+    for (std::size_t i = 0; i < len; ++i) {
+      expr += fragments[rng.next_below(std::size(fragments))];
+      expr += ' ';
+    }
+    auto compiled = api::Query::compile(expr);
+    if (compiled.ok()) {
+      (void)compiled.value().matches(doc);  // Evaluation must not crash.
+    }
+  }
+}
+
+TEST(Ipv4Robustness, RandomStringsNeverCrash) {
+  Rng rng(131);
+  for (int round = 0; round < 3000; ++round) {
+    std::string text;
+    const std::size_t len = rng.next_below(24);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.next_below(256));
+    }
+    (void)Ipv4::parse(text);
+    (void)Cidr::parse(text);
+  }
+}
+
+}  // namespace
+}  // namespace exiot

@@ -1,0 +1,207 @@
+// Tests for the storage tier: ObjectIDs, the document store (indexes,
+// updates, retention), and the KV store.
+#include <gtest/gtest.h>
+
+#include "store/docstore.h"
+#include "store/kvstore.h"
+#include "store/objectid.h"
+
+namespace exiot::store {
+namespace {
+
+// ------------------------------------------------------------ ObjectId ----
+
+TEST(ObjectIdTest, HexRoundTrip) {
+  ObjectId id = ObjectId::make(hours(5), 12345);
+  auto parsed = ObjectId::parse(id.to_hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+  EXPECT_EQ(id.to_hex().size(), 24u);
+}
+
+TEST(ObjectIdTest, OrderedByCreationTime) {
+  ObjectId early = ObjectId::make(seconds(10), 99);
+  ObjectId late = ObjectId::make(seconds(11), 1);
+  EXPECT_LT(early, late);
+}
+
+TEST(ObjectIdTest, CreatedAtSecondGranularity) {
+  ObjectId id = ObjectId::make(seconds(123) + 456, 0);
+  EXPECT_EQ(id.created_at(), seconds(123));
+}
+
+TEST(ObjectIdTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ObjectId::parse("short").has_value());
+  EXPECT_FALSE(ObjectId::parse(std::string(24, 'z')).has_value());
+  EXPECT_FALSE(ObjectId::parse(std::string(25, 'a')).has_value());
+}
+
+// ------------------------------------------------------------ DocStore ----
+
+json::Value record(const std::string& ip, const std::string& label) {
+  json::Value doc;
+  doc["src_ip"] = ip;
+  doc["label"] = label;
+  return doc;
+}
+
+TEST(DocStoreTest, InsertStampsIdAndTimestamp) {
+  DocumentStore store;
+  ObjectId id = store.insert(record("1.2.3.4", "IoT"), seconds(42));
+  const json::Value* doc = store.get(id);
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->get_string("_id"), id.to_hex());
+  EXPECT_EQ(doc->get_int("updated_at"), seconds(42));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(DocStoreTest, IndexLookupFindsBySourceIp) {
+  DocumentStore store;
+  store.ensure_index("src_ip");
+  ObjectId a = store.insert(record("1.1.1.1", "IoT"), 0);
+  (void)store.insert(record("2.2.2.2", "non-IoT"), 0);
+  ObjectId c = store.insert(record("1.1.1.1", "IoT"), 0);
+
+  auto hits = store.find_by("src_ip", "1.1.1.1");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], a);
+  EXPECT_EQ(hits[1], c);
+  EXPECT_TRUE(store.find_by("src_ip", "9.9.9.9").empty());
+  EXPECT_TRUE(store.find_by("unindexed", "x").empty());
+}
+
+TEST(DocStoreTest, UpdateRefreshesTimestampAndIndex) {
+  DocumentStore store;
+  store.ensure_index("label");
+  ObjectId id = store.insert(record("1.1.1.1", "IoT"), seconds(1));
+  ASSERT_TRUE(store.update(id, seconds(5), [](json::Value& doc) {
+    doc["label"] = "ended";
+  }));
+  EXPECT_EQ(store.get(id)->get_int("updated_at"), seconds(5));
+  EXPECT_TRUE(store.find_by("label", "IoT").empty());
+  EXPECT_EQ(store.find_by("label", "ended").size(), 1u);
+}
+
+TEST(DocStoreTest, UpdateCannotChangeId) {
+  DocumentStore store;
+  ObjectId id = store.insert(record("1.1.1.1", "IoT"), 0);
+  (void)store.update(id, 1, [](json::Value& doc) { doc["_id"] = "forged"; });
+  EXPECT_EQ(store.get(id)->get_string("_id"), id.to_hex());
+}
+
+TEST(DocStoreTest, UpdateMissingReturnsFalse) {
+  DocumentStore store;
+  EXPECT_FALSE(store.update(ObjectId::make(0, 7), 0, [](json::Value&) {}));
+}
+
+TEST(DocStoreTest, RemoveCleansIndex) {
+  DocumentStore store;
+  store.ensure_index("src_ip");
+  ObjectId id = store.insert(record("1.1.1.1", "IoT"), 0);
+  EXPECT_TRUE(store.remove(id));
+  EXPECT_FALSE(store.remove(id));
+  EXPECT_EQ(store.get(id), nullptr);
+  EXPECT_TRUE(store.find_by("src_ip", "1.1.1.1").empty());
+}
+
+TEST(DocStoreTest, FindIfScansAll) {
+  DocumentStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.insert(record("10.0.0." + std::to_string(i),
+                        i % 2 ? "IoT" : "non-IoT"),
+                 0);
+  }
+  auto iot = store.find_if([](const json::Value& doc) {
+    return doc.get_string("label") == "IoT";
+  });
+  EXPECT_EQ(iot.size(), 5u);
+}
+
+TEST(DocStoreTest, TwoWeekLapseExpiresOldDocuments) {
+  // The paper's historical DB keeps a lapsing two-week window.
+  DocumentStore store(14 * kMicrosPerDay);
+  store.ensure_index("src_ip");
+  (void)store.insert(record("1.1.1.1", "IoT"), 0);
+  ObjectId fresh = store.insert(record("2.2.2.2", "IoT"), 10 * kMicrosPerDay);
+  EXPECT_EQ(store.expire(15 * kMicrosPerDay), 1u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_NE(store.get(fresh), nullptr);
+  EXPECT_TRUE(store.find_by("src_ip", "1.1.1.1").empty());
+}
+
+TEST(DocStoreTest, UpdatedDocumentsSurviveExpiry) {
+  DocumentStore store(14 * kMicrosPerDay);
+  ObjectId id = store.insert(record("1.1.1.1", "IoT"), 0);
+  (void)store.update(id, 10 * kMicrosPerDay, [](json::Value&) {});
+  EXPECT_EQ(store.expire(15 * kMicrosPerDay), 0u);
+  EXPECT_NE(store.get(id), nullptr);
+}
+
+TEST(DocStoreTest, NoRetentionNeverExpires) {
+  DocumentStore store;
+  (void)store.insert(record("1.1.1.1", "IoT"), 0);
+  EXPECT_EQ(store.expire(1000 * kMicrosPerDay), 0u);
+}
+
+TEST(DocStoreTest, ForEachIteratesInInsertionOrder) {
+  DocumentStore store;
+  store.insert(record("a", "1"), seconds(1));
+  store.insert(record("b", "2"), seconds(2));
+  std::vector<std::string> seen;
+  store.for_each([&](const ObjectId&, const json::Value& doc) {
+    seen.push_back(doc.get_string("src_ip"));
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+}
+
+// ------------------------------------------------------------- KvStore ----
+
+TEST(KvStoreTest, SetGetDel) {
+  KvStore kv;
+  kv.set("active:1.2.3.4", "oid123");
+  EXPECT_EQ(kv.get("active:1.2.3.4"), "oid123");
+  EXPECT_TRUE(kv.exists("active:1.2.3.4"));
+  EXPECT_TRUE(kv.del("active:1.2.3.4"));
+  EXPECT_FALSE(kv.del("active:1.2.3.4"));
+  EXPECT_FALSE(kv.get("active:1.2.3.4").has_value());
+}
+
+TEST(KvStoreTest, OverwriteReplaces) {
+  KvStore kv;
+  kv.set("k", "v1");
+  kv.set("k", "v2");
+  EXPECT_EQ(kv.get("k"), "v2");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStoreTest, HashOperations) {
+  KvStore kv;
+  kv.hset("device:1", "vendor", "MikroTik");
+  kv.hset("device:1", "type", "Router");
+  EXPECT_EQ(kv.hget("device:1", "vendor"), "MikroTik");
+  EXPECT_FALSE(kv.hget("device:1", "missing").has_value());
+  EXPECT_FALSE(kv.hget("missing", "vendor").has_value());
+  EXPECT_EQ(kv.hgetall("device:1").size(), 2u);
+  EXPECT_TRUE(kv.hdel("device:1", "type"));
+  EXPECT_FALSE(kv.hdel("device:1", "type"));
+  EXPECT_EQ(kv.hgetall("device:1").size(), 1u);
+}
+
+TEST(KvStoreTest, IncrCounts) {
+  KvStore kv;
+  EXPECT_EQ(kv.incr("counter"), 1);
+  EXPECT_EQ(kv.incr("counter"), 2);
+  kv.set("counter", "41");
+  EXPECT_EQ(kv.incr("counter"), 42);
+}
+
+TEST(KvStoreTest, KeysListsBothKinds) {
+  KvStore kv;
+  kv.set("s1", "v");
+  kv.hset("h1", "f", "v");
+  auto keys = kv.keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace exiot::store

@@ -1,0 +1,92 @@
+// Tests for the dashboard renderer (§IV web interface).
+#include <gtest/gtest.h>
+
+#include "ui/dashboard.h"
+
+namespace exiot::ui {
+namespace {
+
+feed::CtiRecord record(const char* ip, const char* label, double lat,
+                       double lon) {
+  feed::CtiRecord r;
+  r.src = *Ipv4::parse(ip);
+  r.label = label;
+  r.country = "China";
+  r.country_code = "CN";
+  r.vendor = label == std::string("IoT") ? "MikroTik" : "";
+  r.device_type = r.vendor.empty() ? "" : "Router";
+  r.latitude = lat;
+  r.longitude = lon;
+  r.targeted_ports = {{23, 150}, {2323, 50}};
+  r.published_at = hours(5);
+  return r;
+}
+
+class DashboardTest : public ::testing::Test {
+ protected:
+  DashboardTest() {
+    (void)feed_.publish(record("1.1.1.1", "IoT", 35.0, 105.0), hours(5));
+    (void)feed_.publish(record("2.2.2.2", "IoT", -10.0, -55.0), hours(6));
+    (void)feed_.publish(record("3.3.3.3", "non-IoT", 51.0, 9.0), hours(7));
+  }
+  feed::FeedManager feed_;
+};
+
+TEST_F(DashboardTest, HtmlContainsAllSections) {
+  const std::string html = render_html(feed_);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Internet snapshot"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);            // Map.
+  EXPECT_NE(html.find("Top countries"), std::string::npos);   // Charts.
+  EXPECT_NE(html.find("Query builder"), std::string::npos);   // Builder.
+  EXPECT_NE(html.find("MikroTik"), std::string::npos);
+  EXPECT_NE(html.find("China"), std::string::npos);
+}
+
+TEST_F(DashboardTest, MapPlotsOnlyIotPoints) {
+  const std::string html = render_html(feed_);
+  // Two IoT records -> two map circles.
+  std::size_t circles = 0, pos = 0;
+  while ((pos = html.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    pos += 7;
+  }
+  EXPECT_EQ(circles, 2u);
+  EXPECT_NE(html.find("2 IoT infection data points"), std::string::npos);
+}
+
+TEST_F(DashboardTest, MapWindowFiltersOldPoints) {
+  DashboardOptions options;
+  options.now = 30 * kMicrosPerDay;  // All records older than the window.
+  options.map_window = 7 * kMicrosPerDay;
+  const std::string html = render_html(feed_, options);
+  EXPECT_NE(html.find("0 IoT infection data points"), std::string::npos);
+}
+
+TEST_F(DashboardTest, HtmlEscapesUntrustedStrings) {
+  feed::CtiRecord hostile = record("4.4.4.4", "IoT", 0, 0);
+  hostile.country = "<script>alert(1)</script>";
+  (void)feed_.publish(hostile, hours(8));
+  const std::string html = render_html(feed_);
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST_F(DashboardTest, TextSnapshotSummarizes) {
+  const std::string text = render_text_snapshot(feed_);
+  EXPECT_NE(text.find("records: 3"), std::string::npos);
+  EXPECT_NE(text.find("IoT=2"), std::string::npos);
+  EXPECT_NE(text.find("China(3)"), std::string::npos);
+  EXPECT_NE(text.find("MikroTik(2)"), std::string::npos);
+}
+
+TEST(DashboardEmptyTest, EmptyFeedRenders) {
+  feed::FeedManager feed;
+  const std::string html = render_html(feed);
+  EXPECT_NE(html.find("0 IoT infection data points"), std::string::npos);
+  const std::string text = render_text_snapshot(feed);
+  EXPECT_NE(text.find("records: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exiot::ui

@@ -1,0 +1,253 @@
+// exiotctl — operator command line for the eX-IoT reproduction.
+//
+//   exiotctl capture   --dir DIR [--scale S] [--hours H] [--seed N]
+//       Synthesize telescope traffic into hourly trace files (the CAIDA
+//       capture format).
+//   exiotctl replay    --dir DIR
+//       Replay captured hours through the flow detector and print per-hour
+//       telescope statistics.
+//   exiotctl simulate  [--scale S] [--days N] [--seed N]
+//                      [--jsonl FILE] [--csv FILE] [--dashboard FILE]
+//       Run the full pipeline and export the resulting feed.
+//   exiotctl query     --jsonl FILE --q EXPR
+//       Evaluate a query-builder expression over an exported feed.
+//   exiotctl fingerprint --banner TEXT
+//       Match a banner against the rule database.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "api/query.h"
+#include "feed/export.h"
+#include "fingerprint/rules.h"
+#include "pipeline/exiot.h"
+#include "trace/trace.h"
+#include "ui/dashboard.h"
+
+namespace {
+
+using namespace exiot;
+
+/// Minimal --flag value argument scanner.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  std::string get(const std::string& flag, std::string fallback = "") const {
+    for (int i = 2; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) return argv_[i + 1];
+    }
+    return fallback;
+  }
+  double get_double(const std::string& flag, double fallback) const {
+    const std::string value = get(flag);
+    return value.empty() ? fallback : std::atof(value.c_str());
+  }
+  int get_int(const std::string& flag, int fallback) const {
+    const std::string value = get(flag);
+    return value.empty() ? fallback : std::atoi(value.c_str());
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+Cidr aperture() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+int cmd_capture(const Args& args) {
+  const std::string dir = args.get("--dir");
+  if (dir.empty()) {
+    std::fprintf(stderr, "capture: --dir is required\n");
+    return 2;
+  }
+  const double scale = args.get_double("--scale", 0.1);
+  const int hours_n = args.get_int("--hours", 6);
+  auto world = inet::WorldModel::standard(aperture());
+  inet::PopulationConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  auto population =
+      inet::Population::generate(config.scaled(scale), world);
+  telescope::TrafficSynthesizer synth(population, aperture());
+  auto manifest = telescope::capture_to_files(
+      synth, 0, hours(hours_n), dir, telescope::CollectionModel{});
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "capture failed: %s\n",
+                 manifest.error().message.c_str());
+    return 1;
+  }
+  std::size_t total = 0;
+  for (const auto& hour : manifest.value()) {
+    std::printf("  %s  %zu packets (available at %s)\n",
+                hour.file.filename().string().c_str(), hour.packet_count,
+                format_time(hour.ready_time).c_str());
+    total += hour.packet_count;
+  }
+  std::printf("captured %zu packets over %d hours into %s\n", total,
+              hours_n, dir.c_str());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const std::string dir = args.get("--dir");
+  if (dir.empty()) {
+    std::fprintf(stderr, "replay: --dir is required\n");
+    return 2;
+  }
+  std::map<std::string, std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ext") {
+      files[entry.path().filename().string()] = entry.path();
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "replay: no trace files in %s\n", dir.c_str());
+    return 1;
+  }
+  flow::DetectorEvents events;
+  std::size_t scanners = 0;
+  events.on_scanner = [&](const flow::FlowSummary&) { ++scanners; };
+  flow::FlowDetector detector(flow::DetectorConfig{}, std::move(events));
+  std::printf("%-26s %10s %10s\n", "file", "packets", "scanners");
+  for (const auto& [name, path] : files) {
+    const std::size_t before = scanners;
+    auto n = trace::read_trace_file(
+        path, [&](const net::Packet& pkt) { detector.process(pkt); });
+    if (!n.ok()) {
+      std::fprintf(stderr, "replay: %s: %s\n", name.c_str(),
+                   n.error().message.c_str());
+      return 1;
+    }
+    detector.end_of_hour(
+        (detector.stats().packets_processed > 0 ? 1 : 0) * kMicrosPerHour +
+        kMicrosPerHour);
+    std::printf("%-26s %10zu %10zu\n", name.c_str(), n.value(),
+                scanners - before);
+  }
+  detector.finish();
+  const auto& stats = detector.stats();
+  std::printf("total: %llu packets, %llu backscatter filtered, "
+              "%llu scanners detected\n",
+              static_cast<unsigned long long>(stats.packets_processed),
+              static_cast<unsigned long long>(stats.backscatter_filtered),
+              static_cast<unsigned long long>(stats.scanners_detected));
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const double scale = args.get_double("--scale", 0.2);
+  const int days = args.get_int("--days", 1);
+  auto world = inet::WorldModel::standard(aperture());
+  inet::PopulationConfig config;
+  config.days = days;
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  auto population =
+      inet::Population::generate(config.scaled(scale), world);
+  pipeline::ExIotPipeline pipe(population, world, {});
+  pipe.run_days(0, days);
+  pipe.finish();
+  std::printf("%s", ui::render_text_snapshot(pipe.feed()).c_str());
+
+  if (const std::string path = args.get("--jsonl"); !path.empty()) {
+    std::ofstream out(path);
+    std::printf("wrote %zu records to %s\n",
+                feed::export_jsonl(pipe.feed(), out), path.c_str());
+  }
+  if (const std::string path = args.get("--csv"); !path.empty()) {
+    std::ofstream out(path);
+    std::printf("wrote %zu records to %s\n",
+                feed::export_csv(pipe.feed(), out), path.c_str());
+  }
+  if (const std::string path = args.get("--dashboard"); !path.empty()) {
+    std::ofstream out(path);
+    out << ui::render_html(pipe.feed());
+    std::printf("wrote dashboard to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const std::string path = args.get("--jsonl");
+  const std::string expression = args.get("--q");
+  if (path.empty() || expression.empty()) {
+    std::fprintf(stderr, "query: --jsonl and --q are required\n");
+    return 2;
+  }
+  auto compiled = api::Query::compile(expression);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "query: %s\n", compiled.error().message.c_str());
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "query: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  std::size_t matched = 0, total = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto doc = json::parse(line);
+    if (!doc.ok()) continue;
+    ++total;
+    if (compiled.value().matches(doc.value())) {
+      ++matched;
+      if (matched <= 20) std::printf("%s\n", line.c_str());
+    }
+  }
+  std::printf("-- %zu of %zu records matched%s\n", matched, total,
+              matched > 20 ? " (first 20 shown)" : "");
+  return 0;
+}
+
+int cmd_fingerprint(const Args& args) {
+  const std::string banner = args.get("--banner");
+  if (banner.empty()) {
+    std::fprintf(stderr, "fingerprint: --banner is required\n");
+    return 2;
+  }
+  auto db = fingerprint::RuleDb::standard();
+  auto match = db.match(banner);
+  if (!match.has_value()) {
+    std::printf("no rule matched");
+    if (fingerprint::looks_like_device_text(banner)) {
+      std::printf(" (banner looks like device text — candidate for a new "
+                  "rule)");
+    }
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("rule: %s\nlabel: %s\nvendor: %s\ntype: %s\n",
+              match->rule_name.c_str(),
+              match->label == fingerprint::BannerLabel::kIot ? "IoT"
+                                                             : "non-IoT",
+              match->vendor.c_str(), match->device_type.c_str());
+  if (!match->model.empty()) std::printf("model: %s\n", match->model.c_str());
+  if (!match->firmware.empty()) {
+    std::printf("firmware: %s\n", match->firmware.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: exiotctl <capture|replay|simulate|query|"
+                 "fingerprint> [flags]\n");
+    return 2;
+  }
+  const Args args(argc, argv);
+  const std::string command = argv[1];
+  if (command == "capture") return cmd_capture(args);
+  if (command == "replay") return cmd_replay(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "query") return cmd_query(args);
+  if (command == "fingerprint") return cmd_fingerprint(args);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
