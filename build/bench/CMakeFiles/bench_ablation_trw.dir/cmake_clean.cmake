@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trw.dir/bench_ablation_trw.cpp.o"
+  "CMakeFiles/bench_ablation_trw.dir/bench_ablation_trw.cpp.o.d"
+  "bench_ablation_trw"
+  "bench_ablation_trw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_window.cpp" "bench/CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_window.dir/bench_ablation_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/exiot_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/exiot_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/exiot_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/exiot_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/exiot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/enrich/CMakeFiles/exiot_enrich.dir/DependInfo.cmake"
+  "/root/repo/build/src/feed/CMakeFiles/exiot_feed.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/exiot_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/exiot_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/exiot_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exiot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/exiot_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/exiot_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_ablation.dir/bench_ml_ablation.cpp.o"
+  "CMakeFiles/bench_ml_ablation.dir/bench_ml_ablation.cpp.o.d"
+  "bench_ml_ablation"
+  "bench_ml_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

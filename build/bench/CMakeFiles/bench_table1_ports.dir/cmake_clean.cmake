@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ports.dir/bench_table1_ports.cpp.o"
+  "CMakeFiles/bench_table1_ports.dir/bench_table1_ports.cpp.o.d"
+  "bench_table1_ports"
+  "bench_table1_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

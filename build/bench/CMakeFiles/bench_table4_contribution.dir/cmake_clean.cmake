@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_contribution.dir/bench_table4_contribution.cpp.o"
+  "CMakeFiles/bench_table4_contribution.dir/bench_table4_contribution.cpp.o.d"
+  "bench_table4_contribution"
+  "bench_table4_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_snapshot.dir/bench_table5_snapshot.cpp.o"
+  "CMakeFiles/bench_table5_snapshot.dir/bench_table5_snapshot.cpp.o.d"
+  "bench_table5_snapshot"
+  "bench_table5_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

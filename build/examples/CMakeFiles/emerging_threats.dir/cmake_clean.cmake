@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emerging_threats.dir/emerging_threats.cpp.o"
+  "CMakeFiles/emerging_threats.dir/emerging_threats.cpp.o.d"
+  "emerging_threats"
+  "emerging_threats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emerging_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

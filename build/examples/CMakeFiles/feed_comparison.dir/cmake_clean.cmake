@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_comparison.dir/feed_comparison.cpp.o"
+  "CMakeFiles/feed_comparison.dir/feed_comparison.cpp.o.d"
+  "feed_comparison"
+  "feed_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_ip_space.dir/monitor_ip_space.cpp.o"
+  "CMakeFiles/monitor_ip_space.dir/monitor_ip_space.cpp.o.d"
+  "monitor_ip_space"
+  "monitor_ip_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_ip_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("net")
+subdirs("trace")
+subdirs("inet")
+subdirs("telescope")
+subdirs("flow")
+subdirs("ml")
+subdirs("probe")
+subdirs("fingerprint")
+subdirs("enrich")
+subdirs("store")
+subdirs("pipeline")
+subdirs("feed")
+subdirs("extfeeds")
+subdirs("api")
+subdirs("ui")
+subdirs("analytics")

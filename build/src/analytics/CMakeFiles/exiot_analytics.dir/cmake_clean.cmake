@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_analytics.dir/trends.cpp.o"
+  "CMakeFiles/exiot_analytics.dir/trends.cpp.o.d"
+  "libexiot_analytics.a"
+  "libexiot_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

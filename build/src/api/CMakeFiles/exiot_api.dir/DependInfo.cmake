@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/http.cpp" "src/api/CMakeFiles/exiot_api.dir/http.cpp.o" "gcc" "src/api/CMakeFiles/exiot_api.dir/http.cpp.o.d"
+  "/root/repo/src/api/query.cpp" "src/api/CMakeFiles/exiot_api.dir/query.cpp.o" "gcc" "src/api/CMakeFiles/exiot_api.dir/query.cpp.o.d"
+  "/root/repo/src/api/server.cpp" "src/api/CMakeFiles/exiot_api.dir/server.cpp.o" "gcc" "src/api/CMakeFiles/exiot_api.dir/server.cpp.o.d"
+  "/root/repo/src/api/tcp.cpp" "src/api/CMakeFiles/exiot_api.dir/tcp.cpp.o" "gcc" "src/api/CMakeFiles/exiot_api.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/feed/CMakeFiles/exiot_feed.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/exiot_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/exiot_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_api.dir/http.cpp.o"
+  "CMakeFiles/exiot_api.dir/http.cpp.o.d"
+  "CMakeFiles/exiot_api.dir/query.cpp.o"
+  "CMakeFiles/exiot_api.dir/query.cpp.o.d"
+  "CMakeFiles/exiot_api.dir/server.cpp.o"
+  "CMakeFiles/exiot_api.dir/server.cpp.o.d"
+  "CMakeFiles/exiot_api.dir/tcp.cpp.o"
+  "CMakeFiles/exiot_api.dir/tcp.cpp.o.d"
+  "libexiot_api.a"
+  "libexiot_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_common.dir/log.cpp.o"
+  "CMakeFiles/exiot_common.dir/log.cpp.o.d"
+  "CMakeFiles/exiot_common.dir/rng.cpp.o"
+  "CMakeFiles/exiot_common.dir/rng.cpp.o.d"
+  "CMakeFiles/exiot_common.dir/strings.cpp.o"
+  "CMakeFiles/exiot_common.dir/strings.cpp.o.d"
+  "CMakeFiles/exiot_common.dir/types.cpp.o"
+  "CMakeFiles/exiot_common.dir/types.cpp.o.d"
+  "libexiot_common.a"
+  "libexiot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

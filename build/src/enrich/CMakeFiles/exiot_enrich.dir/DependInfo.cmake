@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enrich/enrichment.cpp" "src/enrich/CMakeFiles/exiot_enrich.dir/enrichment.cpp.o" "gcc" "src/enrich/CMakeFiles/exiot_enrich.dir/enrichment.cpp.o.d"
+  "/root/repo/src/enrich/flow_stats.cpp" "src/enrich/CMakeFiles/exiot_enrich.dir/flow_stats.cpp.o" "gcc" "src/enrich/CMakeFiles/exiot_enrich.dir/flow_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inet/CMakeFiles/exiot_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exiot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_enrich.dir/enrichment.cpp.o"
+  "CMakeFiles/exiot_enrich.dir/enrichment.cpp.o.d"
+  "CMakeFiles/exiot_enrich.dir/flow_stats.cpp.o"
+  "CMakeFiles/exiot_enrich.dir/flow_stats.cpp.o.d"
+  "libexiot_enrich.a"
+  "libexiot_enrich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_enrich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_extfeeds.dir/extfeeds.cpp.o"
+  "CMakeFiles/exiot_extfeeds.dir/extfeeds.cpp.o.d"
+  "libexiot_extfeeds.a"
+  "libexiot_extfeeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_extfeeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

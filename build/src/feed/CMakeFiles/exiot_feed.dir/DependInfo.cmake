@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feed/compare.cpp" "src/feed/CMakeFiles/exiot_feed.dir/compare.cpp.o" "gcc" "src/feed/CMakeFiles/exiot_feed.dir/compare.cpp.o.d"
+  "/root/repo/src/feed/export.cpp" "src/feed/CMakeFiles/exiot_feed.dir/export.cpp.o" "gcc" "src/feed/CMakeFiles/exiot_feed.dir/export.cpp.o.d"
+  "/root/repo/src/feed/manager.cpp" "src/feed/CMakeFiles/exiot_feed.dir/manager.cpp.o" "gcc" "src/feed/CMakeFiles/exiot_feed.dir/manager.cpp.o.d"
+  "/root/repo/src/feed/notify.cpp" "src/feed/CMakeFiles/exiot_feed.dir/notify.cpp.o" "gcc" "src/feed/CMakeFiles/exiot_feed.dir/notify.cpp.o.d"
+  "/root/repo/src/feed/record.cpp" "src/feed/CMakeFiles/exiot_feed.dir/record.cpp.o" "gcc" "src/feed/CMakeFiles/exiot_feed.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/exiot_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/exiot_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_feed.dir/compare.cpp.o"
+  "CMakeFiles/exiot_feed.dir/compare.cpp.o.d"
+  "CMakeFiles/exiot_feed.dir/export.cpp.o"
+  "CMakeFiles/exiot_feed.dir/export.cpp.o.d"
+  "CMakeFiles/exiot_feed.dir/manager.cpp.o"
+  "CMakeFiles/exiot_feed.dir/manager.cpp.o.d"
+  "CMakeFiles/exiot_feed.dir/notify.cpp.o"
+  "CMakeFiles/exiot_feed.dir/notify.cpp.o.d"
+  "CMakeFiles/exiot_feed.dir/record.cpp.o"
+  "CMakeFiles/exiot_feed.dir/record.cpp.o.d"
+  "libexiot_feed.a"
+  "libexiot_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_fingerprint.dir/rules.cpp.o"
+  "CMakeFiles/exiot_fingerprint.dir/rules.cpp.o.d"
+  "CMakeFiles/exiot_fingerprint.dir/tools.cpp.o"
+  "CMakeFiles/exiot_fingerprint.dir/tools.cpp.o.d"
+  "libexiot_fingerprint.a"
+  "libexiot_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_flow.dir/detector.cpp.o"
+  "CMakeFiles/exiot_flow.dir/detector.cpp.o.d"
+  "CMakeFiles/exiot_flow.dir/trw.cpp.o"
+  "CMakeFiles/exiot_flow.dir/trw.cpp.o.d"
+  "libexiot_flow.a"
+  "libexiot_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

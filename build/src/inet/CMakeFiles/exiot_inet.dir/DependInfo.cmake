@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/behavior.cpp" "src/inet/CMakeFiles/exiot_inet.dir/behavior.cpp.o" "gcc" "src/inet/CMakeFiles/exiot_inet.dir/behavior.cpp.o.d"
+  "/root/repo/src/inet/device_catalog.cpp" "src/inet/CMakeFiles/exiot_inet.dir/device_catalog.cpp.o" "gcc" "src/inet/CMakeFiles/exiot_inet.dir/device_catalog.cpp.o.d"
+  "/root/repo/src/inet/population.cpp" "src/inet/CMakeFiles/exiot_inet.dir/population.cpp.o" "gcc" "src/inet/CMakeFiles/exiot_inet.dir/population.cpp.o.d"
+  "/root/repo/src/inet/world.cpp" "src/inet/CMakeFiles/exiot_inet.dir/world.cpp.o" "gcc" "src/inet/CMakeFiles/exiot_inet.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/exiot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

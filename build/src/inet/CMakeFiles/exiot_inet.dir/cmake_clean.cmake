@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_inet.dir/behavior.cpp.o"
+  "CMakeFiles/exiot_inet.dir/behavior.cpp.o.d"
+  "CMakeFiles/exiot_inet.dir/device_catalog.cpp.o"
+  "CMakeFiles/exiot_inet.dir/device_catalog.cpp.o.d"
+  "CMakeFiles/exiot_inet.dir/population.cpp.o"
+  "CMakeFiles/exiot_inet.dir/population.cpp.o.d"
+  "CMakeFiles/exiot_inet.dir/world.cpp.o"
+  "CMakeFiles/exiot_inet.dir/world.cpp.o.d"
+  "libexiot_inet.a"
+  "libexiot_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exiot_inet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_json.dir/json.cpp.o"
+  "CMakeFiles/exiot_json.dir/json.cpp.o.d"
+  "libexiot_json.a"
+  "libexiot_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

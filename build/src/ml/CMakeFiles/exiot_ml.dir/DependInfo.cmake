@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/exiot_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/exiot_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/gnb.cpp" "src/ml/CMakeFiles/exiot_ml.dir/gnb.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/gnb.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/exiot_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/persist.cpp" "src/ml/CMakeFiles/exiot_ml.dir/persist.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/persist.cpp.o.d"
+  "/root/repo/src/ml/selection.cpp" "src/ml/CMakeFiles/exiot_ml.dir/selection.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/selection.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/exiot_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/exiot_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/exiot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/exiot_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_ml.dir/features.cpp.o"
+  "CMakeFiles/exiot_ml.dir/features.cpp.o.d"
+  "CMakeFiles/exiot_ml.dir/forest.cpp.o"
+  "CMakeFiles/exiot_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/exiot_ml.dir/gnb.cpp.o"
+  "CMakeFiles/exiot_ml.dir/gnb.cpp.o.d"
+  "CMakeFiles/exiot_ml.dir/metrics.cpp.o"
+  "CMakeFiles/exiot_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/exiot_ml.dir/persist.cpp.o"
+  "CMakeFiles/exiot_ml.dir/persist.cpp.o.d"
+  "CMakeFiles/exiot_ml.dir/selection.cpp.o"
+  "CMakeFiles/exiot_ml.dir/selection.cpp.o.d"
+  "CMakeFiles/exiot_ml.dir/svm.cpp.o"
+  "CMakeFiles/exiot_ml.dir/svm.cpp.o.d"
+  "libexiot_ml.a"
+  "libexiot_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

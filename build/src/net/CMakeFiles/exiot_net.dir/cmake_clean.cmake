@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_net.dir/packet.cpp.o"
+  "CMakeFiles/exiot_net.dir/packet.cpp.o.d"
+  "CMakeFiles/exiot_net.dir/wire.cpp.o"
+  "CMakeFiles/exiot_net.dir/wire.cpp.o.d"
+  "libexiot_net.a"
+  "libexiot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

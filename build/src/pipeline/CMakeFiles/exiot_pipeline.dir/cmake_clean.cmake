@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_pipeline.dir/exiot.cpp.o"
+  "CMakeFiles/exiot_pipeline.dir/exiot.cpp.o.d"
+  "CMakeFiles/exiot_pipeline.dir/organizer.cpp.o"
+  "CMakeFiles/exiot_pipeline.dir/organizer.cpp.o.d"
+  "CMakeFiles/exiot_pipeline.dir/report_store.cpp.o"
+  "CMakeFiles/exiot_pipeline.dir/report_store.cpp.o.d"
+  "CMakeFiles/exiot_pipeline.dir/scan_module.cpp.o"
+  "CMakeFiles/exiot_pipeline.dir/scan_module.cpp.o.d"
+  "CMakeFiles/exiot_pipeline.dir/tunnel.cpp.o"
+  "CMakeFiles/exiot_pipeline.dir/tunnel.cpp.o.d"
+  "CMakeFiles/exiot_pipeline.dir/update_classifier.cpp.o"
+  "CMakeFiles/exiot_pipeline.dir/update_classifier.cpp.o.d"
+  "libexiot_pipeline.a"
+  "libexiot_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_probe.dir/batcher.cpp.o"
+  "CMakeFiles/exiot_probe.dir/batcher.cpp.o.d"
+  "CMakeFiles/exiot_probe.dir/prober.cpp.o"
+  "CMakeFiles/exiot_probe.dir/prober.cpp.o.d"
+  "libexiot_probe.a"
+  "libexiot_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_store.dir/docstore.cpp.o"
+  "CMakeFiles/exiot_store.dir/docstore.cpp.o.d"
+  "CMakeFiles/exiot_store.dir/kvstore.cpp.o"
+  "CMakeFiles/exiot_store.dir/kvstore.cpp.o.d"
+  "CMakeFiles/exiot_store.dir/objectid.cpp.o"
+  "CMakeFiles/exiot_store.dir/objectid.cpp.o.d"
+  "libexiot_store.a"
+  "libexiot_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/capture.cpp" "src/telescope/CMakeFiles/exiot_telescope.dir/capture.cpp.o" "gcc" "src/telescope/CMakeFiles/exiot_telescope.dir/capture.cpp.o.d"
+  "/root/repo/src/telescope/synthesizer.cpp" "src/telescope/CMakeFiles/exiot_telescope.dir/synthesizer.cpp.o" "gcc" "src/telescope/CMakeFiles/exiot_telescope.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inet/CMakeFiles/exiot_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/exiot_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exiot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

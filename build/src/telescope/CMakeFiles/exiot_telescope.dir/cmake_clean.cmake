@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_telescope.dir/capture.cpp.o"
+  "CMakeFiles/exiot_telescope.dir/capture.cpp.o.d"
+  "CMakeFiles/exiot_telescope.dir/synthesizer.cpp.o"
+  "CMakeFiles/exiot_telescope.dir/synthesizer.cpp.o.d"
+  "libexiot_telescope.a"
+  "libexiot_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_trace.dir/trace.cpp.o"
+  "CMakeFiles/exiot_trace.dir/trace.cpp.o.d"
+  "libexiot_trace.a"
+  "libexiot_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

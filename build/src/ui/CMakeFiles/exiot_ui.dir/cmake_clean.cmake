@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiot_ui.dir/dashboard.cpp.o"
+  "CMakeFiles/exiot_ui.dir/dashboard.cpp.o.d"
+  "libexiot_ui.a"
+  "libexiot_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiot_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexiot_ui.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api_test.cpp" "tests/CMakeFiles/api_test.dir/api_test.cpp.o" "gcc" "tests/CMakeFiles/api_test.dir/api_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/exiot_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/feed/CMakeFiles/exiot_feed.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/exiot_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/exiot_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exiot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrich_test.dir/enrich_test.cpp.o"
+  "CMakeFiles/enrich_test.dir/enrich_test.cpp.o.d"
+  "enrich_test"
+  "enrich_test.pdb"
+  "enrich_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrich_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extfeeds_test.dir/extfeeds_test.cpp.o"
+  "CMakeFiles/extfeeds_test.dir/extfeeds_test.cpp.o.d"
+  "extfeeds_test"
+  "extfeeds_test.pdb"
+  "extfeeds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extfeeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

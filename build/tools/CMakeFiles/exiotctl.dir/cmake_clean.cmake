@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exiotctl.dir/exiotctl.cpp.o"
+  "CMakeFiles/exiotctl.dir/exiotctl.cpp.o.d"
+  "exiotctl"
+  "exiotctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exiotctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

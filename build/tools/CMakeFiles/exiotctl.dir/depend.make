@@ -1,0 +1,2 @@
+# Empty dependencies file for exiotctl.
+# This may be replaced when dependencies are built.
