@@ -33,7 +33,7 @@ int main() {
   int g_tp = 0, g_fp = 0, g_fn = 0, g_tn = 0;
 
   for (const auto& record :
-       pipe.feed().published_between(eval_from, eval_to)) {
+       pipe->feed().published_between(eval_from, eval_to)) {
     if (record.scan_start < eval_from) continue;
     if (record.label != feed::kLabelIot &&
         record.label != feed::kLabelNonIot) {
@@ -70,13 +70,13 @@ int main() {
   row("precision", fmt("%.2f%%", precision(g_tp, g_fp)), "-");
   row("recall", fmt("%.2f%%", recall(g_tp, g_fn)), "-");
 
-  const auto* model = pipe.classifier().latest();
+  const auto* model = pipe->classifier().latest();
   if (model != nullptr) {
     std::printf("\n  deployed model: trained %s on %zu examples, "
                 "selection ROC-AUC %.4f (%zu daily models)\n",
                 format_time(model->trained_at).c_str(),
                 model->training_examples, model->selected.test_auc,
-                pipe.classifier().models_trained());
+                pipe->classifier().models_trained());
   }
   return 0;
 }

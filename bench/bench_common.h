@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "inet/population.h"
@@ -47,14 +48,16 @@ inline Sim make_sim(double scale, int days) {
   return sim;
 }
 
-/// Runs the full pipeline over the population's days.
-inline pipeline::ExIotPipeline run_pipeline(const Sim& sim, int days,
-                                            pipeline::PipelineConfig config =
-                                                {}) {
+/// Runs the full pipeline over the population's days. Heap-allocated: the
+/// pipeline pins itself (detector callbacks capture `this`, the metrics
+/// registry hands out stable references), so it must not move.
+inline std::unique_ptr<pipeline::ExIotPipeline> run_pipeline(
+    const Sim& sim, int days, pipeline::PipelineConfig config = {}) {
   config.telescope = aperture();
-  pipeline::ExIotPipeline pipe(sim.population, sim.world, config);
-  pipe.run_days(0, days);
-  pipe.finish();
+  auto pipe = std::make_unique<pipeline::ExIotPipeline>(sim.population,
+                                                        sim.world, config);
+  pipe->run_days(0, days);
+  pipe->finish();
   return pipe;
 }
 

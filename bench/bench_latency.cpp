@@ -34,7 +34,7 @@ int main() {
   sim.population.inject_host(probe);
 
   auto pipe = run_pipeline(sim, 1);
-  auto records = pipe.feed().records_for(probe_src);
+  auto records = pipe->feed().records_for(probe_src);
   if (records.empty()) {
     std::printf("  self-scan not detected — increase EXIOT_SCALE\n");
     return 1;

@@ -31,7 +31,7 @@ int main() {
   std::size_t all = 0, iot = 0;
   std::map<std::string, int> labels;
   for (const auto& record :
-       pipe.feed().published_between(0, 100 * kMicrosPerDay)) {
+       pipe->feed().published_between(0, 100 * kMicrosPerDay)) {
     if (!started_day1(record)) continue;
     ++all;
     ++labels[record.label];

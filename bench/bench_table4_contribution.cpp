@@ -24,7 +24,7 @@ int main() {
   // eX-IoT's newly-infected-IoT set for the measured day.
   feed::IndicatorSet exiot_iot;
   for (const auto& record :
-       pipe.feed().published_between(0, 100 * kMicrosPerDay)) {
+       pipe->feed().published_between(0, 100 * kMicrosPerDay)) {
     if (record.label != feed::kLabelIot) continue;
     if (record.scan_start < kMicrosPerDay ||
         record.scan_start >= 2 * kMicrosPerDay) {

@@ -52,7 +52,7 @@ int main() {
   std::set<std::uint32_t> unique_ips;
   int instances = 0;
 
-  pipe.feed().latest_store().for_each([&](const store::ObjectId&,
+  pipe->feed().latest_store().for_each([&](const store::ObjectId&,
                                           const json::Value& doc) {
     if (doc.get_string("label") != feed::kLabelIot) return;
     ++instances;

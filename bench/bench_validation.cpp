@@ -17,7 +17,7 @@ int main() {
   Sim sim = make_sim(scale, 1);
   auto pipe = run_pipeline(sim, 1);
 
-  const auto iot_sources = pipe.feed().sources_between(
+  const auto iot_sources = pipe->feed().sources_between(
       0, 100 * kMicrosPerDay, feed::kLabelIot);
 
   auto badpackets = extfeeds::validator_confirmed(

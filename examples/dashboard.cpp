@@ -26,16 +26,25 @@ int main(int argc, char** argv) {
   pipeline.run_days(0, 1);
   pipeline.finish();
 
-  // Text-mode Internet snapshot.
+  // Text-mode Internet snapshot, stage latencies included.
   std::printf("%s\n",
-              ui::render_text_snapshot(pipeline.feed()).c_str());
+              ui::render_text_snapshot(pipeline.feed(), {},
+                                       &pipeline.metrics()).c_str());
 
   // The static dashboard page.
   {
     std::ofstream out(html_path);
-    out << ui::render_html(pipeline.feed());
+    out << ui::render_html(pipeline.feed(), {}, &pipeline.metrics());
   }
   std::printf("dashboard written to %s\n", html_path.c_str());
+
+  // Prometheus exposition snapshot (what GET /v1/metrics would serve).
+  {
+    std::ofstream out("exiot_metrics.prom");
+    out << pipeline.metrics().render_prometheus();
+    std::printf("exported %zu metric families to exiot_metrics.prom\n",
+                pipeline.metrics().family_count());
+  }
 
   // Bulk raw-data export, IoT records only (§IV "Raw Data").
   {

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   // Consume the feed the way a SOC would: through the API.
   api::ApiServer server(pipeline.feed());
   server.add_token("demo-token");
+  server.attach_metrics(&pipeline.metrics());
   auto request = api::HttpRequest::parse(
       "GET /v1/records?label=IoT&limit=3 HTTP/1.1\r\n"
       "Authorization: Bearer demo-token\r\n\r\n");
@@ -65,6 +66,23 @@ int main(int argc, char** argv) {
                   record.get_double("score"),
                   record.get_string("tool").c_str());
     }
+  }
+
+  // Ops view: the Prometheus endpoint needs no token (scraper-friendly).
+  auto metrics_request = api::HttpRequest::parse(
+      "GET /v1/metrics HTTP/1.1\r\n\r\n");
+  auto metrics_response = server.handle(*metrics_request);
+  std::printf("\nGET /v1/metrics -> %d (%zu metric families); sample:\n",
+              metrics_response.status, pipeline.metrics().family_count());
+  std::size_t shown = 0, pos = 0;
+  while (shown < 6 && pos < metrics_response.body.size()) {
+    const std::size_t eol = metrics_response.body.find('\n', pos);
+    const std::string line = metrics_response.body.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#') {
+      std::printf("  %s\n", line.c_str());
+      ++shown;
+    }
+    pos = eol + 1;
   }
   return 0;
 }

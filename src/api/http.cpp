@@ -102,6 +102,15 @@ HttpResponse HttpResponse::json(int status, std::string body) {
   return res;
 }
 
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse res;
+  res.status = status;
+  // The Prometheus text exposition format's registered content type.
+  res.headers["Content-Type"] = "text/plain; version=0.0.4";
+  res.body = std::move(body);
+  return res;
+}
+
 std::string HttpResponse::serialize() const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     status_text(status) + "\r\n";

@@ -37,6 +37,8 @@ struct HttpResponse {
   std::string body;
 
   static HttpResponse json(int status, std::string body);
+  /// Plain-text response (Prometheus exposition at /v1/metrics).
+  static HttpResponse text(int status, std::string body);
   std::string serialize() const;
 };
 

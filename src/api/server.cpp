@@ -31,10 +31,34 @@ HttpResponse ApiServer::handle(const HttpRequest& request) const {
   if (request.path == "/v1/health") {
     json::Value body;
     body["status"] = "ok";
+    if (metrics_ != nullptr) {
+      // Registry-backed uptime hints: a glance at the health endpoint
+      // shows whether the pipeline is actually moving data.
+      body["records_published"] = static_cast<std::int64_t>(
+          metrics_->counter_value("exiot_feed_records_published_total"));
+      body["packets_processed"] = static_cast<std::int64_t>(
+          metrics_->counter_value("exiot_detector_packets_processed_total"));
+      body["hours_processed"] = static_cast<std::int64_t>(
+          metrics_->counter_value("exiot_pipeline_hours_processed_total"));
+    }
     return HttpResponse::json(200, body.dump());
+  }
+  if (request.path == "/v1/metrics") {
+    // Unauthenticated, like /v1/health: Prometheus scrapers don't carry
+    // feed credentials, and the exposition holds no record contents.
+    if (metrics_ == nullptr) {
+      return HttpResponse::json(404, error_body("no metrics attached").dump());
+    }
+    return HttpResponse::text(200, metrics_->render_prometheus());
   }
   if (!authorized(request)) {
     return HttpResponse::json(401, error_body("invalid or missing token").dump());
+  }
+  if (request.path == "/v1/metrics.json") {
+    if (metrics_ == nullptr) {
+      return HttpResponse::json(404, error_body("no metrics attached").dump());
+    }
+    return HttpResponse::json(200, metrics_->to_json().dump());
   }
   if (request.path == "/v1/stats") return handle_stats();
   if (request.path == "/v1/records") return handle_records(request);

@@ -1,7 +1,11 @@
 // The eX-IoT REST API (§IV): authenticated programmatic access to the CTI
 // feed, returning JSON. Endpoints:
 //
-//   GET /v1/health                      liveness (no auth)
+//   GET /v1/health                      liveness + uptime hints (no auth)
+//   GET /v1/metrics                     Prometheus text exposition of the
+//                                       attached registry (no auth, like
+//                                       /v1/health — scraper-friendly)
+//   GET /v1/metrics.json                same registry as JSON (auth)
 //   GET /v1/stats                       feed-level counters
 //   GET /v1/records?label=&country=&asn=&since=&until=&active=&limit=
 //                                       filtered record query
@@ -23,6 +27,7 @@
 
 #include "api/http.h"
 #include "feed/manager.h"
+#include "obs/metrics.h"
 
 namespace exiot::api {
 
@@ -41,6 +46,14 @@ class ApiServer {
     extra_endpoints_[std::move(path)] = std::move(provider);
   }
 
+  /// Attaches a metrics registry: enables GET /v1/metrics (Prometheus
+  /// text, unauthenticated like /v1/health) and GET /v1/metrics.json, and
+  /// adds registry-backed uptime hints to /v1/health. The registry must
+  /// outlive the server (pass &pipeline.metrics()).
+  void attach_metrics(const obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+  }
+
   /// Handles one request (transport-independent; the TCP binding and the
   /// tests both route through here).
   HttpResponse handle(const HttpRequest& request) const;
@@ -54,6 +67,7 @@ class ApiServer {
   HttpResponse handle_query(const HttpRequest& request) const;
 
   const feed::FeedManager& feed_;
+  const obs::MetricsRegistry* metrics_ = nullptr;
   std::unordered_set<std::string> tokens_;
   std::map<std::string, std::function<json::Value()>> extra_endpoints_;
 };

@@ -1,7 +1,10 @@
 // Leveled logging used by operational modules (pipeline, API). Quiet by
 // default so tests and benches stay readable; raise the level to debug a run.
+// The sink is pluggable (set_log_sink) so deployments can forward log lines
+// to a collector; the default writes "[LEVEL] component: message" to stderr.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace exiot {
@@ -12,7 +15,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Writes a line "[LEVEL] component: message" to stderr if enabled.
+/// Receives every enabled log line. Called under the logging mutex, so
+/// implementations need no locking of their own but must not log
+/// reentrantly.
+using LogSink =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+
+/// Replaces the global sink; an empty function restores the stderr
+/// default. Not safe to call concurrently with logging itself.
+void set_log_sink(LogSink sink);
+
+/// Routes a line through the active sink if enabled (stderr by default).
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
 

@@ -2,10 +2,30 @@
 
 namespace exiot::feed {
 
-FeedManager::FeedManager() : latest_(-1), historical_(14 * kMicrosPerDay) {
+FeedManager::FeedManager(obs::MetricsRegistry* metrics)
+    : metrics_(metrics),
+      latest_(-1, metrics, "latest"),
+      historical_(14 * kMicrosPerDay, metrics, "historical"),
+      active_(metrics, "active") {
   latest_.ensure_index("src_ip");
   latest_.ensure_index("label");
   historical_.ensure_index("src_ip");
+
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  published_c_ = &reg.counter("exiot_feed_records_published_total",
+                              "CTI records published into the feed.");
+  ended_c_ = &reg.counter("exiot_feed_records_ended_total",
+                          "Active records closed by END_FLOW handling.");
+  expired_c_ = &reg.counter("exiot_feed_records_expired_total",
+                            "Historical records dropped by the 14-day lapse.");
+  active_g_ = &reg.gauge("exiot_feed_active_sources",
+                         "Sources currently marked active in the KV cache.");
+  publish_latency_h_ = &reg.histogram(
+      "exiot_feed_publish_latency_seconds",
+      "Virtual detect-to-publish latency per record (the paper's Fig. 6 "
+      "end-to-end path).",
+      obs::virtual_latency_buckets());
 }
 
 std::string FeedManager::active_key(Ipv4 src) {
@@ -17,7 +37,19 @@ store::ObjectId FeedManager::publish(const CtiRecord& record,
   json::Value doc = record.to_json();
   store::ObjectId id = latest_.insert(doc, now);
   (void)historical_.insert(std::move(doc), now);
-  active_.set(active_key(record.src), id.to_hex());
+  const std::string key = active_key(record.src);
+  const bool was_active = active_.exists(key);
+  active_.set(key, id.to_hex());
+  published_c_->inc();
+  if (metrics_ != nullptr && !record.label.empty()) {
+    metrics_
+        ->counter("exiot_feed_records_by_label_total",
+                  "Published records by classification label.",
+                  {{"label", record.label}})
+        .inc();
+  }
+  obs::VirtualTimer(*publish_latency_h_, record.detect_time).stop(now);
+  if (!was_active) active_g_->inc();
   return id;
 }
 
@@ -27,15 +59,20 @@ bool FeedManager::mark_ended(Ipv4 src, TimeMicros scan_end, TimeMicros now) {
   if (!hex.has_value()) return false;
   auto id = store::ObjectId::parse(*hex);
   active_.del(key);
+  active_g_->dec();
   if (!id.has_value()) return false;
-  return latest_.update(*id, now, [&](json::Value& doc) {
+  const bool updated = latest_.update(*id, now, [&](json::Value& doc) {
     doc["active"] = false;
     doc["scan_end"] = scan_end;
   });
+  if (updated) ended_c_->inc();
+  return updated;
 }
 
 std::size_t FeedManager::expire(TimeMicros now) {
-  return historical_.expire(now);
+  const std::size_t removed = historical_.expire(now);
+  expired_c_->inc(removed);
+  return removed;
 }
 
 std::optional<CtiRecord> FeedManager::get(const store::ObjectId& id) const {

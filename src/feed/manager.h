@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "feed/record.h"
+#include "obs/metrics.h"
 #include "store/docstore.h"
 #include "store/kvstore.h"
 
@@ -18,7 +19,11 @@ namespace exiot::feed {
 
 class FeedManager {
  public:
-  FeedManager();
+  /// When a registry is given, the feed reports publish/end/expire counts,
+  /// per-label record counts, the active-source gauge, and the end-to-end
+  /// detect-to-publish latency histogram; the three storage tiers report
+  /// their ops labeled store=latest|historical|active.
+  explicit FeedManager(obs::MetricsRegistry* metrics = nullptr);
 
   /// Publishes a new record at virtual time `now`: inserts into latest and
   /// historical stores and registers the source as active in the KV cache.
@@ -58,9 +63,15 @@ class FeedManager {
  private:
   static std::string active_key(Ipv4 src);
 
+  obs::MetricsRegistry* metrics_;
   store::DocumentStore latest_;
   store::DocumentStore historical_;
   store::KvStore active_;
+  obs::Counter* published_c_;
+  obs::Counter* ended_c_;
+  obs::Counter* expired_c_;
+  obs::Gauge* active_g_;
+  obs::Histogram* publish_latency_h_;
 };
 
 }  // namespace exiot::feed

@@ -1,0 +1,366 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace exiot::obs {
+namespace {
+
+/// Escapes a label value per the exposition format (backslash, quote, LF).
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip-ish rendering: integers without a decimal point,
+/// everything else via the default stream precision (enough for bucket
+/// bounds and latency sums).
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<std::int64_t>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// "{k1=\"v1\",k2=\"v2\"}" or "" for the unlabeled child. `extra` appends
+/// one more pair (the histogram `le` label).
+std::string render_labels(const Labels& labels,
+                          const std::pair<std::string, std::string>* extra =
+                              nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first + "=\"" + escape_label_value(extra->second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string labels_key(const Labels& labels) {
+  return render_labels(labels);
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- instruments ----
+
+void Gauge::add(double d) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // bounds_.size() = +Inf.
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// -------------------------------------------------------------- registry ----
+
+MetricsRegistry::Child& MetricsRegistry::child(const std::string& name,
+                                               const std::string& help,
+                                               MetricKind kind,
+                                               const Labels& labels,
+                                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [fam_it, fam_inserted] = families_.try_emplace(name);
+  Family& family = fam_it->second;
+  if (fam_inserted) {
+    family.kind = kind;
+    family.help = help;
+    family.bounds = bounds;
+  } else if (family.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' re-registered with a different kind");
+  } else if (family.help.empty() && !help.empty()) {
+    family.help = help;
+  }
+
+  const Labels canon = canonical(labels);
+  auto [child_it, child_inserted] =
+      family.children.try_emplace(labels_key(canon));
+  Child& c = child_it->second;
+  if (child_inserted) {
+    c.labels = canon;
+    switch (kind) {
+      case MetricKind::kCounter:
+        c.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        c.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        c.histogram = std::make_unique<Histogram>(family.bounds);
+        break;
+    }
+  }
+  return c;
+}
+
+const MetricsRegistry::Child* MetricsRegistry::find_child(
+    const std::string& name, MetricKind kind, const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto fam_it = families_.find(name);
+  if (fam_it == families_.end() || fam_it->second.kind != kind) {
+    return nullptr;
+  }
+  auto child_it = fam_it->second.children.find(labels_key(canonical(labels)));
+  if (child_it == fam_it->second.children.end()) return nullptr;
+  return &child_it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *child(name, help, MetricKind::kCounter, labels).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help, const Labels& labels) {
+  return *child(name, help, MetricKind::kGauge, labels).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  return *child(name, help, MetricKind::kHistogram, labels, std::move(bounds))
+              .histogram;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const Child* c = find_child(name, MetricKind::kCounter, labels);
+  return c == nullptr ? 0 : c->counter->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const Child* c = find_child(name, MetricKind::kGauge, labels);
+  return c == nullptr ? 0.0 : c->gauge->value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  const Child* c = find_child(name, MetricKind::kHistogram, labels);
+  return c == nullptr ? nullptr : c->histogram.get();
+}
+
+std::size_t MetricsRegistry::family_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::histogram_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  for (const auto& [name, family] : families_) {
+    if (family.kind != MetricKind::kHistogram) continue;
+    for (const auto& [key, child] : family.children) {
+      HistogramSnapshot snap;
+      snap.name = name;
+      snap.labels = child.labels;
+      snap.bounds = child.histogram->bounds();
+      snap.buckets.reserve(snap.bounds.size() + 1);
+      for (std::size_t i = 0; i <= snap.bounds.size(); ++i) {
+        snap.buckets.push_back(child.histogram->bucket(i));
+      }
+      snap.count = child.histogram->count();
+      snap.sum = child.histogram->sum();
+      out.push_back(std::move(snap));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " +
+           (family.help.empty() ? name : family.help) + "\n";
+    out += "# TYPE " + name + " " + kind_name(family.kind) + "\n";
+    for (const auto& [key, child] : family.children) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += name + render_labels(child.labels) + " " +
+                 std::to_string(child.counter->value()) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += name + render_labels(child.labels) + " " +
+                 format_number(child.gauge->value()) + "\n";
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& hist = *child.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+            cumulative += hist.bucket(i);
+            const std::pair<std::string, std::string> le{
+                "le", format_number(hist.bounds()[i])};
+            out += name + "_bucket" + render_labels(child.labels, &le) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          cumulative += hist.bucket(hist.bounds().size());
+          const std::pair<std::string, std::string> inf{"le", "+Inf"};
+          out += name + "_bucket" + render_labels(child.labels, &inf) + " " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + render_labels(child.labels) + " " +
+                 format_number(hist.sum()) + "\n";
+          out += name + "_count" + render_labels(child.labels) + " " +
+                 std::to_string(hist.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Array families;
+  for (const auto& [name, family] : families_) {
+    json::Value fam;
+    fam["name"] = name;
+    fam["type"] = kind_name(family.kind);
+    fam["help"] = family.help;
+    json::Array metrics;
+    for (const auto& [key, child] : family.children) {
+      json::Value metric;
+      json::Object labels;
+      for (const auto& [k, v] : child.labels) labels[k] = v;
+      metric["labels"] = std::move(labels);
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          metric["value"] =
+              static_cast<std::int64_t>(child.counter->value());
+          break;
+        case MetricKind::kGauge:
+          metric["value"] = child.gauge->value();
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& hist = *child.histogram;
+          metric["count"] = static_cast<std::int64_t>(hist.count());
+          metric["sum"] = hist.sum();
+          json::Array buckets;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i <= hist.bounds().size(); ++i) {
+            cumulative += hist.bucket(i);
+            json::Value bucket;
+            bucket["le"] = i < hist.bounds().size()
+                               ? json::Value(hist.bounds()[i])
+                               : json::Value("+Inf");
+            bucket["count"] = static_cast<std::int64_t>(cumulative);
+            buckets.push_back(std::move(bucket));
+          }
+          metric["buckets"] = std::move(buckets);
+          break;
+        }
+      }
+      metrics.push_back(std::move(metric));
+    }
+    fam["metrics"] = std::move(metrics);
+    families.push_back(std::move(fam));
+  }
+  json::Value out;
+  out["families"] = std::move(families);
+  return out;
+}
+
+MetricsRegistry& scratch_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------- timers ----
+
+double ScopedTimer::stop() {
+  if (hist_ == nullptr) return 0.0;
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  hist_->observe(elapsed);
+  hist_ = nullptr;
+  return elapsed;
+}
+
+void VirtualTimer::stop(TimeMicros end) {
+  if (hist_ == nullptr) return;
+  const double elapsed =
+      std::max<TimeMicros>(0, end - start_) /
+      static_cast<double>(kMicrosPerSecond);
+  hist_->observe(elapsed);
+  hist_ = nullptr;
+}
+
+// --------------------------------------------------------------- buckets ----
+
+std::vector<double> latency_buckets() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1,      2.5,   5,    10,
+          30,     60};
+}
+
+std::vector<double> virtual_latency_buckets() {
+  return {1,    5,    15,    30,    60,    120,   300,  600,
+          1200, 1800, 3600,  7200,  10800, 14400, 18000, 21600,
+          25200, 28800};
+}
+
+std::vector<double> size_buckets() {
+  return {1,    2,    5,     10,    20,    50,    100,   200,
+          500,  1000, 2000,  5000,  10000, 20000, 50000, 100000};
+}
+
+}  // namespace exiot::obs

@@ -1,0 +1,214 @@
+// Pipeline-wide metrics: a dependency-free registry of named counters,
+// gauges, and fixed-bucket histograms, labeled by stage / port / family.
+// Updates are lock-free atomics so instrumented hot paths (the detector
+// scrape, store ops) stay cheap; registration and rendering take a mutex.
+//
+// Naming convention (linted by tools/check_metrics_names.sh):
+//   exiot_<stage>_<name>{label="value",...}
+// lowercase snake case; counters end in `_total`; time histograms end in
+// `_seconds` (wall-clock via ScopedTimer, virtual-clock via VirtualTimer —
+// both record seconds, so the two clocks render uniformly).
+//
+// Exposition: render_prometheus() emits the Prometheus text format served
+// at GET /v1/metrics; to_json() backs the /v1/metrics.json endpoint.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "json/json.h"
+
+namespace exiot::obs {
+
+/// Label set attached to one metric child, e.g. {{"stage", "organizer"}}.
+/// Order-insensitive: labels are canonicalized (sorted by key) on
+/// registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (occupancy, window size).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  void inc(double d = 1.0) { add(d); }
+  void dec(double d = 1.0) { add(-d); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// an implicit +Inf bucket catches the overflow. Buckets are stored
+/// non-cumulative internally and accumulated at render time.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i; i == bounds().size() is +Inf.
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one histogram child (for dashboards / tests).
+struct HistogramSnapshot {
+  std::string name;
+  Labels labels;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // Non-cumulative; last is +Inf.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Named metric families, each holding one child per distinct label set.
+/// Registration is idempotent: asking for an existing (name, labels) pair
+/// returns the same child, so instruments can be resolved in constructors
+/// and shared between components. Returned references stay valid for the
+/// registry's lifetime. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, const Labels& labels = {});
+
+  /// Lookup without registering: 0 / nullptr when absent.
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+  double gauge_value(const std::string& name,
+                     const Labels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const Labels& labels = {}) const;
+
+  std::size_t family_count() const;
+  std::vector<HistogramSnapshot> histogram_snapshots() const;
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples).
+  std::string render_prometheus() const;
+  /// JSON snapshot: {"families": [{name, type, help, metrics: [...]}]}.
+  json::Value to_json() const;
+
+ private:
+  struct Child {
+    Labels labels;  // Canonical (key-sorted) order.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::vector<double> bounds;          // Histogram families only.
+    std::map<std::string, Child> children;  // Key: serialized labels.
+  };
+
+  Child& child(const std::string& name, const std::string& help,
+               MetricKind kind, const Labels& labels,
+               std::vector<double> bounds = {});
+  const Child* find_child(const std::string& name, MetricKind kind,
+                          const Labels& labels) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;  // Sorted for stable exposition.
+};
+
+/// Registry that absorbs metrics from components constructed without one
+/// (unit tests, standalone tools). Never rendered; keeps instrument
+/// pointers non-null so hot paths carry no branch.
+MetricsRegistry& scratch_registry();
+
+/// Records wall-clock elapsed seconds into a histogram on destruction (or
+/// an explicit stop()). Use for real compute costs: retraining, rendering.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Records once; further calls are no-ops. Returns elapsed seconds.
+  double stop();
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records virtual-clock elapsed seconds (TimeMicros deltas) into a
+/// histogram. Use for simulated pipeline latencies: batch waits, tunnel
+/// delays, publication paths.
+class VirtualTimer {
+ public:
+  VirtualTimer(Histogram& hist, TimeMicros start)
+      : hist_(&hist), start_(start) {}
+
+  /// Records (end - start), clamped at zero; further calls are no-ops.
+  void stop(TimeMicros end);
+
+ private:
+  Histogram* hist_;
+  TimeMicros start_;
+};
+
+/// Wall-clock latency buckets (seconds): 100us .. 60s.
+std::vector<double> latency_buckets();
+/// Virtual pipeline latency buckets (seconds): 1s .. 8h, matching the
+/// paper's collection-dominated end-to-end path (~3.5h + processing).
+std::vector<double> virtual_latency_buckets();
+/// Size buckets (counts): 1 .. 100k, matching the 100k-record scan batch.
+std::vector<double> size_buckets();
+
+}  // namespace exiot::obs

@@ -63,25 +63,54 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                       if (it->second.dropped) pending_.erase(it);
                       return;
                     }
-                    if (feed_.mark_ended(summary.src, summary.last_seen,
-                                         at)) {
-                      ++stats_.records_ended;
-                    }
+                    (void)feed_.mark_ended(summary.src, summary.last_seen,
+                                           at);
                   },
               .on_report =
                   [this](const flow::SecondReport& report) {
-                    ++stats_.report_messages;
+                    inst_.reports->inc();
                     reports_.ingest(report);
                   }},
           probe::table1_ports()),
-      organizer_(config.organizer),
+      organizer_(config.organizer, &metrics_),
       prober_(population, config.prober),
-      scan_module_(prober_, fingerprint::RuleDb::standard(), config.batcher),
-      trainer_(config.trainer),
+      scan_module_(prober_, fingerprint::RuleDb::standard(), config.batcher,
+                   &metrics_),
+      trainer_(config.trainer, &metrics_),
       enrich_(world, population),
+      feed_(&metrics_),
       notifications_([this](const feed::EmailMessage& message) {
         outbox_.push_back(message);
-      }) {}
+      }),
+      tunnel_(seconds(5), &metrics_) {
+  const std::string detector_help =
+      "Flow-detector events, scraped hourly from the CAIDA side.";
+  inst_.packets = &metrics_.counter("exiot_detector_packets_processed_total",
+                                    detector_help);
+  inst_.backscatter = &metrics_.counter(
+      "exiot_detector_backscatter_filtered_total", detector_help);
+  inst_.scanners = &metrics_.counter("exiot_detector_scanners_detected_total",
+                                     detector_help);
+  inst_.samples = &metrics_.counter("exiot_detector_samples_completed_total",
+                                    detector_help);
+  inst_.flows_ended =
+      &metrics_.counter("exiot_detector_flows_ended_total", detector_help);
+  inst_.pending_resets = &metrics_.counter(
+      "exiot_detector_pending_resets_total", detector_help);
+  inst_.hours = &metrics_.counter("exiot_pipeline_hours_processed_total",
+                                  "Virtual capture hours run end to end.");
+  inst_.reports = &metrics_.counter(
+      "exiot_pipeline_report_messages_total",
+      "Per-second telescope report messages ingested.");
+  inst_.pending = &metrics_.gauge(
+      "exiot_pipeline_pending_records",
+      "Records awaiting a probe outcome or organized sample.");
+  inst_.annotate_latency = &metrics_.histogram(
+      "exiot_annotate_latency_seconds",
+      "Virtual time from probe/sample completion to publication "
+      "(feature extraction, classification, enrichment, tools).",
+      obs::virtual_latency_buckets());
+}
 
 TimeMicros ExIotPipeline::processing_time(TimeMicros traffic_ts) const {
   const std::int64_t hour = traffic_ts / kMicrosPerHour;
@@ -126,7 +155,6 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
   // Banner-derived training label feeds the Update Classifier.
   if (probe.training_label != -1) {
     trainer_.add_example(published, features, probe.training_label);
-    ++stats_.labeled_examples;
   }
 
   feed::CtiRecord record;
@@ -144,7 +172,6 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
   if (enrich::EnrichmentService::is_benign_scanner_rdns(rdns)) {
     record.label = feed::kLabelBenign;
     record.score = 0.0;
-    ++stats_.benign_records;
   } else if (const DeployedModel* model = trainer_.model_at(published)) {
     record.score = model->score(features);
     record.label =
@@ -158,10 +185,7 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
   } else {
     record.label = feed::kLabelUnlabeled;
     record.score = 0.5;
-    ++stats_.unlabeled_records;
   }
-  if (record.label == feed::kLabelIot) ++stats_.iot_records;
-  if (record.label == feed::kLabelNonIot) ++stats_.noniot_records;
 
   // Device identity from banners.
   if (probe.device.has_value()) {
@@ -206,14 +230,16 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
 
   record.active = !pending.ended;
   record.scan_end = pending.ended ? pending.end_ts : 0;
+  obs::VirtualTimer annotate_timer(
+      *inst_.annotate_latency,
+      std::max(probe.completed_at, pending.sample_ready_at));
+  annotate_timer.stop(published);
   (void)feed_.publish(record, published);
   if (pending.ended) {
     // The record was born closed; retire its active-cache entry.
     (void)feed_.mark_ended(record.src, pending.end_ts, published);
-    ++stats_.records_ended;
   }
   (void)notifications_.on_record_published(record, published);
-  ++stats_.records_published;
 
   pending_.erase(record.src.value());
 }
@@ -232,16 +258,54 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
         config_.processing_per_hour;
     handle_probe_outcomes(scan_module_.tick(processing_end));
     if (trainer_.maybe_retrain(processing_end).has_value()) {
-      ++stats_.models_trained;
       EXIOT_LOG(LogLevel::kInfo, "pipeline",
                 "retrained model at " + format_time(processing_end));
     }
     feed_.expire(processing_end);
 
-    stats_.packets_processed = detector_.stats().packets_processed;
-    stats_.scanners_detected = detector_.stats().scanners_detected;
+    scrape_detector();
+    inst_.hours->inc();
+    inst_.pending->set(static_cast<double>(pending_.size()));
     next_hour_ = hour + 1;
   }
+}
+
+void ExIotPipeline::scrape_detector() {
+  const flow::DetectorStats& s = detector_.stats();
+  inst_.packets->inc(s.packets_processed - scraped_.packets_processed);
+  inst_.backscatter->inc(s.backscatter_filtered -
+                         scraped_.backscatter_filtered);
+  inst_.scanners->inc(s.scanners_detected - scraped_.scanners_detected);
+  inst_.samples->inc(s.samples_completed - scraped_.samples_completed);
+  inst_.flows_ended->inc(s.flows_ended - scraped_.flows_ended);
+  inst_.pending_resets->inc(s.pending_resets - scraped_.pending_resets);
+  scraped_ = s;
+}
+
+PipelineStats ExIotPipeline::stats() const {
+  PipelineStats s;
+  s.packets_processed =
+      metrics_.counter_value("exiot_detector_packets_processed_total");
+  s.scanners_detected =
+      metrics_.counter_value("exiot_detector_scanners_detected_total");
+  s.records_published =
+      metrics_.counter_value("exiot_feed_records_published_total");
+  s.records_ended = metrics_.counter_value("exiot_feed_records_ended_total");
+  s.labeled_examples =
+      metrics_.counter_value("exiot_trainer_labeled_examples_total");
+  s.benign_records = metrics_.counter_value(
+      "exiot_feed_records_by_label_total", {{"label", feed::kLabelBenign}});
+  s.iot_records = metrics_.counter_value("exiot_feed_records_by_label_total",
+                                         {{"label", feed::kLabelIot}});
+  s.noniot_records = metrics_.counter_value(
+      "exiot_feed_records_by_label_total", {{"label", feed::kLabelNonIot}});
+  s.unlabeled_records = metrics_.counter_value(
+      "exiot_feed_records_by_label_total", {{"label", feed::kLabelUnlabeled}});
+  s.models_trained =
+      metrics_.counter_value("exiot_trainer_models_trained_total");
+  s.report_messages =
+      metrics_.counter_value("exiot_pipeline_report_messages_total");
+  return s;
 }
 
 void ExIotPipeline::finish() {
@@ -265,8 +329,8 @@ void ExIotPipeline::finish() {
       pending_.erase(it);
     }
   }
-  stats_.packets_processed = detector_.stats().packets_processed;
-  stats_.scanners_detected = detector_.stats().scanners_detected;
+  scrape_detector();
+  inst_.pending->set(static_cast<double>(pending_.size()));
 }
 
 }  // namespace exiot::pipeline

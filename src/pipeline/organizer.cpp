@@ -6,10 +6,32 @@
 
 namespace exiot::pipeline {
 
+PacketOrganizer::PacketOrganizer(OrganizerConfig config,
+                                 obs::MetricsRegistry* metrics)
+    : config_(config) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  organized_c_ = &reg.counter("exiot_organizer_sources_total",
+                              "Sources organized or dropped by the packet "
+                              "organizer.",
+                              {{"result", "organized"}});
+  dropped_c_ = &reg.counter("exiot_organizer_sources_total",
+                            "Sources organized or dropped by the packet "
+                            "organizer.",
+                            {{"result", "dropped"}});
+  sample_size_h_ = &reg.histogram(
+      "exiot_organizer_sample_size",
+      "Packets per organized source sample (drops observe their short "
+      "size too).",
+      obs::size_buckets());
+}
+
 std::optional<ScannerBundle> PacketOrganizer::organize(
     Ipv4 src, std::vector<net::Packet> sample) {
+  sample_size_h_->observe(static_cast<double>(sample.size()));
   if (sample.size() < config_.min_samples) {
     ++dropped_;
+    dropped_c_->inc();
     return std::nullopt;
   }
   std::stable_sort(
@@ -21,6 +43,7 @@ std::optional<ScannerBundle> PacketOrganizer::organize(
   bundle.last_sample_ts = sample.back().ts;
   bundle.sample = std::move(sample);
   ++organized_;
+  organized_c_->inc();
   return bundle;
 }
 

@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "json/json.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 
 namespace exiot::pipeline {
 
@@ -28,7 +29,8 @@ struct ScannerBundle {
 
 class PacketOrganizer {
  public:
-  explicit PacketOrganizer(OrganizerConfig config = {}) : config_(config) {}
+  explicit PacketOrganizer(OrganizerConfig config = {},
+                           obs::MetricsRegistry* metrics = nullptr);
 
   /// Organizes one source's sample. Returns nullopt when the sample is too
   /// small to use (the source is dropped and counted).
@@ -45,6 +47,9 @@ class PacketOrganizer {
   OrganizerConfig config_;
   std::size_t dropped_ = 0;
   std::size_t organized_ = 0;
+  obs::Counter* organized_c_;
+  obs::Counter* dropped_c_;
+  obs::Histogram* sample_size_h_;
 };
 
 }  // namespace exiot::pipeline

@@ -4,15 +4,44 @@ namespace exiot::pipeline {
 
 ScanModule::ScanModule(const probe::ActiveProber& prober,
                        fingerprint::RuleDb rules,
-                       probe::BatcherConfig batcher_config)
-    : prober_(prober), rules_(std::move(rules)), batcher_(batcher_config) {}
+                       probe::BatcherConfig batcher_config,
+                       obs::MetricsRegistry* metrics)
+    : prober_(prober), rules_(std::move(rules)), batcher_(batcher_config) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  batches_c_ = &reg.counter("exiot_scan_module_batches_total",
+                            "Scanner batches flushed to the prober.");
+  probed_c_ = &reg.counter("exiot_scan_module_probed_total",
+                           "Scanner addresses probed (ZMap/ZGrab).");
+  batch_fill_h_ = &reg.histogram(
+      "exiot_scan_module_batch_fill",
+      "Records per flushed batch (100k-record / 60-min policy).",
+      obs::size_buckets());
+  flush_latency_h_ = &reg.histogram(
+      "exiot_scan_module_flush_latency_seconds",
+      "Virtual wait from a batch's oldest record to its flush.",
+      obs::virtual_latency_buckets());
+  auto outcome = [&](const char* cls) {
+    return &reg.counter("exiot_probe_outcomes_total",
+                        "Probe outcomes by banner/fingerprint class.",
+                        {{"class", cls}});
+  };
+  outcome_iot_c_ = outcome("banner_iot");
+  outcome_noniot_c_ = outcome("banner_noniot");
+  outcome_unmatched_c_ = outcome("banner_unmatched");
+  outcome_silent_c_ = outcome("no_banner");
+}
 
 std::vector<ProbeOutcome> ScanModule::probe_all(
-    const std::vector<Ipv4>& batch, TimeMicros now) {
+    const std::vector<Ipv4>& batch, TimeMicros batch_opened, TimeMicros now) {
   std::vector<ProbeOutcome> outcomes;
   if (batch.empty()) return outcomes;
+  batches_c_->inc();
+  batch_fill_h_->observe(static_cast<double>(batch.size()));
+  obs::VirtualTimer(*flush_latency_h_, batch_opened).stop(now);
   auto results = prober_.probe_batch(batch, now);
   probed_ += results.size();
+  probed_c_->inc(results.size());
   outcomes.reserve(results.size());
   for (auto& result : results) {
     ProbeOutcome outcome;
@@ -38,21 +67,36 @@ std::vector<ProbeOutcome> ScanModule::probe_all(
         (void)unknown_log_.offer(banner.text);
       }
     }
+    if (outcome.training_label == 1) {
+      outcome_iot_c_->inc();
+    } else if (outcome.training_label == 0) {
+      outcome_noniot_c_->inc();
+    } else if (outcome.banner_returned) {
+      outcome_unmatched_c_->inc();
+    } else {
+      outcome_silent_c_->inc();
+    }
     outcomes.push_back(std::move(outcome));
   }
   return outcomes;
 }
 
 std::vector<ProbeOutcome> ScanModule::submit(Ipv4 src, TimeMicros now) {
-  return probe_all(batcher_.add(src, now), now);
+  // If the batch was empty before this add, the submission itself opens
+  // (and possibly instantly flushes) the batch.
+  const TimeMicros opened_before = batcher_.oldest_pending();
+  const TimeMicros opened = opened_before == 0 ? now : opened_before;
+  return probe_all(batcher_.add(src, now), opened, now);
 }
 
 std::vector<ProbeOutcome> ScanModule::tick(TimeMicros now) {
-  return probe_all(batcher_.tick(now), now);
+  const TimeMicros opened = batcher_.oldest_pending();
+  return probe_all(batcher_.tick(now), opened, now);
 }
 
 std::vector<ProbeOutcome> ScanModule::flush(TimeMicros now) {
-  return probe_all(batcher_.flush(), now);
+  const TimeMicros opened = batcher_.oldest_pending();
+  return probe_all(batcher_.flush(), opened, now);
 }
 
 }  // namespace exiot::pipeline

@@ -11,6 +11,7 @@
 
 #include "common/types.h"
 #include "fingerprint/rules.h"
+#include "obs/metrics.h"
 #include "probe/batcher.h"
 #include "probe/prober.h"
 
@@ -32,7 +33,8 @@ class ScanModule {
  public:
   ScanModule(const probe::ActiveProber& prober,
              fingerprint::RuleDb rules,
-             probe::BatcherConfig batcher_config = {});
+             probe::BatcherConfig batcher_config = {},
+             obs::MetricsRegistry* metrics = nullptr);
 
   /// Enqueues a newly detected scanner at processing time `now`. Returns
   /// the outcomes of any batch this submission flushed.
@@ -51,13 +53,23 @@ class ScanModule {
 
  private:
   std::vector<ProbeOutcome> probe_all(const std::vector<Ipv4>& batch,
-                                      TimeMicros now);
+                                      TimeMicros batch_opened, TimeMicros now);
+  /// Counter child of exiot_probe_outcomes_total for one outcome class.
+  obs::Counter* outcome_counter(const char* cls);
 
   const probe::ActiveProber& prober_;
   fingerprint::RuleDb rules_;
   probe::ScanBatcher batcher_;
   fingerprint::UnknownBannerLog unknown_log_;
   std::size_t probed_ = 0;
+  obs::Counter* batches_c_;
+  obs::Counter* probed_c_;
+  obs::Histogram* batch_fill_h_;
+  obs::Histogram* flush_latency_h_;
+  obs::Counter* outcome_iot_c_;
+  obs::Counter* outcome_noniot_c_;
+  obs::Counter* outcome_unmatched_c_;
+  obs::Counter* outcome_silent_c_;
 };
 
 }  // namespace exiot::pipeline

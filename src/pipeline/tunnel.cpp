@@ -4,6 +4,27 @@
 
 namespace exiot::pipeline {
 
+ReconnectingTunnel::ReconnectingTunnel(TimeMicros reconnect_delay,
+                                       obs::MetricsRegistry* metrics)
+    : reconnect_delay_(reconnect_delay) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  direct_c_ = &reg.counter("exiot_tunnel_messages_total",
+                           "Messages through the CAIDA-to-feed tunnel.",
+                           {{"status", "direct"}});
+  delayed_c_ = &reg.counter("exiot_tunnel_messages_total",
+                            "Messages through the CAIDA-to-feed tunnel.",
+                            {{"status", "delayed"}});
+  reconnects_c_ = &reg.counter(
+      "exiot_tunnel_reconnects_total",
+      "Tunnel re-establishments a delivery had to wait through "
+      "(one per outage crossed, cascades included).");
+  delay_h_ = &reg.histogram(
+      "exiot_tunnel_delay_seconds",
+      "Virtual queueing delay added by outages (delayed messages only).",
+      obs::virtual_latency_buckets());
+}
+
 void ReconnectingTunnel::schedule_outage(TimeMicros from, TimeMicros to) {
   if (to <= from) return;
   outages_.push_back({from, to});
@@ -38,7 +59,27 @@ TimeMicros ReconnectingTunnel::delivery_time(TimeMicros sent_at) const {
 TimeMicros ReconnectingTunnel::deliver(TimeMicros sent_at) {
   ++messages_;
   const TimeMicros at = delivery_time(sent_at);
-  if (at != sent_at) ++delayed_;
+  if (at != sent_at) {
+    ++delayed_;
+    delayed_c_->inc();
+    // Count the outages this delivery waited through: each hop of the
+    // cascade in delivery_time() ends with one reconnect.
+    TimeMicros t = sent_at;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const auto& outage : outages_) {
+        if (t >= outage.from && t < outage.to) {
+          t = outage.to + reconnect_delay_;
+          reconnects_c_->inc();
+          moved = true;
+        }
+      }
+    }
+    obs::VirtualTimer(*delay_h_, sent_at).stop(at);
+  } else {
+    direct_c_->inc();
+  }
   return at;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace exiot::pipeline {
 
@@ -16,8 +17,8 @@ class ReconnectingTunnel {
  public:
   /// `reconnect_delay`: how long re-establishing the SSH tunnel takes after
   /// an outage ends.
-  explicit ReconnectingTunnel(TimeMicros reconnect_delay = seconds(5))
-      : reconnect_delay_(reconnect_delay) {}
+  explicit ReconnectingTunnel(TimeMicros reconnect_delay = seconds(5),
+                              obs::MetricsRegistry* metrics = nullptr);
 
   /// Injects a connectivity outage over [from, to). Outages may be added
   /// in any order; overlaps are allowed.
@@ -45,6 +46,10 @@ class ReconnectingTunnel {
   std::vector<Outage> outages_;
   std::uint64_t messages_ = 0;
   std::uint64_t delayed_ = 0;
+  obs::Counter* direct_c_;
+  obs::Counter* delayed_c_;
+  obs::Counter* reconnects_c_;
+  obs::Histogram* delay_h_;
 };
 
 }  // namespace exiot::pipeline

@@ -4,9 +4,28 @@
 
 namespace exiot::pipeline {
 
+UpdateClassifier::UpdateClassifier(TrainerConfig config,
+                                   obs::MetricsRegistry* metrics)
+    : config_(config) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  examples_c_ = &reg.counter("exiot_trainer_labeled_examples_total",
+                             "Banner-labeled examples fed to the trainer.");
+  trained_c_ = &reg.counter("exiot_trainer_models_trained_total",
+                            "Daily retrains that deployed a model.");
+  window_g_ = &reg.gauge("exiot_trainer_window_examples",
+                         "Examples currently inside the 14-day window.");
+  retrain_duration_h_ = &reg.histogram(
+      "exiot_trainer_retrain_duration_seconds",
+      "Wall-clock cost of one retrain (normalizer fit + forest search).",
+      obs::latency_buckets());
+}
+
 void UpdateClassifier::add_example(TimeMicros ts, ml::FeatureVector features,
                                    int label) {
   examples_.push_back({ts, std::move(features), label});
+  examples_c_->inc();
+  window_g_->set(static_cast<double>(examples_.size()));
 }
 
 void UpdateClassifier::prune(TimeMicros now) {
@@ -27,6 +46,7 @@ std::optional<std::size_t> UpdateClassifier::maybe_retrain(TimeMicros now) {
 
 std::optional<std::size_t> UpdateClassifier::retrain(TimeMicros now) {
   prune(now);
+  window_g_->set(static_cast<double>(examples_.size()));
   std::size_t pos = 0, neg = 0;
   for (const auto& ex : examples_) {
     (ex.label == 1 ? pos : neg)++;
@@ -35,6 +55,7 @@ std::optional<std::size_t> UpdateClassifier::retrain(TimeMicros now) {
       neg < config_.min_examples_per_class) {
     return std::nullopt;
   }
+  obs::ScopedTimer retrain_timer(*retrain_duration_h_);
 
   std::vector<ml::FeatureVector> raw;
   raw.reserve(examples_.size());
@@ -71,6 +92,7 @@ std::optional<std::size_t> UpdateClassifier::retrain(TimeMicros now) {
   }
   models_.push_back(std::move(deployed));
   last_train_ = now;
+  trained_c_->inc();
   return models_.size() - 1;
 }
 

@@ -15,6 +15,7 @@
 #include "ml/features.h"
 #include "ml/persist.h"
 #include "ml/selection.h"
+#include "obs/metrics.h"
 
 namespace exiot::pipeline {
 
@@ -50,8 +51,8 @@ struct DeployedModel {
 
 class UpdateClassifier {
  public:
-  explicit UpdateClassifier(TrainerConfig config = {})
-      : config_(config) {}
+  explicit UpdateClassifier(TrainerConfig config = {},
+                            obs::MetricsRegistry* metrics = nullptr);
 
   /// Adds a banner-labeled example (raw, unnormalized features).
   void add_example(TimeMicros ts, ml::FeatureVector features, int label);
@@ -83,6 +84,10 @@ class UpdateClassifier {
   std::deque<Example> examples_;  // Time-ordered.
   std::vector<DeployedModel> models_;
   TimeMicros last_train_ = std::numeric_limits<TimeMicros>::min();
+  obs::Counter* examples_c_;
+  obs::Counter* trained_c_;
+  obs::Gauge* window_g_;
+  obs::Histogram* retrain_duration_h_;
 };
 
 }  // namespace exiot::pipeline

@@ -31,6 +31,9 @@ class ScanBatcher {
   std::vector<Ipv4> flush();
 
   std::size_t pending() const { return pending_.size(); }
+  /// Arrival time of the oldest pending record (0 when empty) — the batch
+  /// wait baseline for flush-latency accounting.
+  TimeMicros oldest_pending() const { return pending_.empty() ? 0 : oldest_; }
 
  private:
   BatcherConfig config_;

@@ -35,6 +35,7 @@ void DocumentStore::index_remove(const ObjectId& id, const json::Value& doc) {
 }
 
 ObjectId DocumentStore::insert(json::Value doc, TimeMicros now) {
+  ops_.write->inc();
   ObjectId id = ObjectId::make(now, next_sequence_++);
   doc["_id"] = id.to_hex();
   doc["updated_at"] = static_cast<std::int64_t>(now);
@@ -44,12 +45,14 @@ ObjectId DocumentStore::insert(json::Value doc, TimeMicros now) {
 }
 
 const json::Value* DocumentStore::get(const ObjectId& id) const {
+  ops_.read->inc();
   auto it = docs_.find(id);
   return it == docs_.end() ? nullptr : &it->second;
 }
 
 bool DocumentStore::update(const ObjectId& id, TimeMicros now,
                            const std::function<void(json::Value&)>& mutate) {
+  ops_.write->inc();
   auto it = docs_.find(id);
   if (it == docs_.end()) return false;
   index_remove(id, it->second);
@@ -61,6 +64,7 @@ bool DocumentStore::update(const ObjectId& id, TimeMicros now,
 }
 
 bool DocumentStore::remove(const ObjectId& id) {
+  ops_.write->inc();
   auto it = docs_.find(id);
   if (it == docs_.end()) return false;
   index_remove(id, it->second);
@@ -70,6 +74,7 @@ bool DocumentStore::remove(const ObjectId& id) {
 
 std::vector<ObjectId> DocumentStore::find_by(const std::string& field,
                                              const std::string& value) const {
+  ops_.read->inc();
   auto index_it = indexes_.find(field);
   if (index_it == indexes_.end()) return {};
   auto bucket_it = index_it->second.find(value);
@@ -79,6 +84,7 @@ std::vector<ObjectId> DocumentStore::find_by(const std::string& field,
 
 std::vector<ObjectId> DocumentStore::find_if(
     const std::function<bool(const json::Value&)>& pred) const {
+  ops_.scan->inc();
   std::vector<ObjectId> out;
   for (const auto& [id, doc] : docs_) {
     if (pred(doc)) out.push_back(id);
@@ -88,6 +94,7 @@ std::vector<ObjectId> DocumentStore::find_if(
 
 std::size_t DocumentStore::expire(TimeMicros now) {
   if (retention_ < 0) return 0;
+  ops_.expire->inc();
   const TimeMicros cutoff = now - retention_;
   std::size_t removed = 0;
   for (auto it = docs_.begin(); it != docs_.end();) {
@@ -105,6 +112,7 @@ std::size_t DocumentStore::expire(TimeMicros now) {
 void DocumentStore::for_each(
     const std::function<void(const ObjectId&, const json::Value&)>& fn)
     const {
+  ops_.scan->inc();
   for (const auto& [id, doc] : docs_) fn(id, doc);
 }
 

@@ -12,16 +12,23 @@
 #include <vector>
 
 #include "json/json.h"
+#include "obs/metrics.h"
 #include "store/objectid.h"
+#include "store/opmetrics.h"
 
 namespace exiot::store {
 
 class DocumentStore {
  public:
   /// `retention` < 0 disables expiry (the "latest" DB); the historical DB
-  /// uses the paper's two-week lapse.
-  explicit DocumentStore(TimeMicros retention = -1)
-      : retention_(retention) {}
+  /// uses the paper's two-week lapse. When a registry is given, every
+  /// operation counts into `exiot_store_ops_total{store=<label>,op=...}`.
+  explicit DocumentStore(TimeMicros retention = -1,
+                         obs::MetricsRegistry* metrics = nullptr,
+                         const std::string& store_label = "doc")
+      : retention_(retention),
+        ops_(obs::Labels{{"store", store_label}},
+             metrics != nullptr ? *metrics : obs::scratch_registry()) {}
 
   /// Declares a secondary index over a top-level string/int field. Must be
   /// called before documents are inserted.
@@ -68,6 +75,7 @@ class DocumentStore {
   void index_remove(const ObjectId& id, const json::Value& doc);
 
   TimeMicros retention_;
+  StoreOps ops_;
   std::uint64_t next_sequence_ = 1;
   std::map<ObjectId, json::Value> docs_;
   std::unordered_map<std::string,

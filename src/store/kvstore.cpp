@@ -5,30 +5,36 @@
 namespace exiot::store {
 
 void KvStore::set(const std::string& key, std::string value) {
+  ops_.write->inc();
   strings_[key] = std::move(value);
 }
 
 std::optional<std::string> KvStore::get(const std::string& key) const {
+  ops_.read->inc();
   auto it = strings_.find(key);
   if (it == strings_.end()) return std::nullopt;
   return it->second;
 }
 
 bool KvStore::del(const std::string& key) {
+  ops_.write->inc();
   return strings_.erase(key) > 0 || hashes_.erase(key) > 0;
 }
 
 bool KvStore::exists(const std::string& key) const {
+  ops_.read->inc();
   return strings_.contains(key) || hashes_.contains(key);
 }
 
 void KvStore::hset(const std::string& key, const std::string& field,
                    std::string value) {
+  ops_.write->inc();
   hashes_[key][field] = std::move(value);
 }
 
 std::optional<std::string> KvStore::hget(const std::string& key,
                                          const std::string& field) const {
+  ops_.read->inc();
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return std::nullopt;
   auto field_it = it->second.find(field);
@@ -37,6 +43,7 @@ std::optional<std::string> KvStore::hget(const std::string& key,
 }
 
 bool KvStore::hdel(const std::string& key, const std::string& field) {
+  ops_.write->inc();
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return false;
   const bool removed = it->second.erase(field) > 0;
@@ -46,6 +53,7 @@ bool KvStore::hdel(const std::string& key, const std::string& field) {
 
 std::vector<std::pair<std::string, std::string>> KvStore::hgetall(
     const std::string& key) const {
+  ops_.read->inc();
   std::vector<std::pair<std::string, std::string>> out;
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return out;
@@ -54,6 +62,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::hgetall(
 }
 
 std::int64_t KvStore::incr(const std::string& key) {
+  ops_.write->inc();
   std::int64_t value = 0;
   auto it = strings_.find(key);
   if (it != strings_.end()) {
@@ -66,6 +75,7 @@ std::int64_t KvStore::incr(const std::string& key) {
 }
 
 std::vector<std::string> KvStore::keys() const {
+  ops_.scan->inc();
   std::vector<std::string> out;
   out.reserve(size());
   for (const auto& [k, v] : strings_) out.push_back(k);

@@ -10,10 +10,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "store/opmetrics.h"
+
 namespace exiot::store {
 
 class KvStore {
  public:
+  /// When a registry is given, ops count into
+  /// `exiot_store_ops_total{store=<label>,op=...}`.
+  explicit KvStore(obs::MetricsRegistry* metrics = nullptr,
+                   const std::string& store_label = "kv")
+      : ops_(obs::Labels{{"store", store_label}},
+             metrics != nullptr ? *metrics : obs::scratch_registry()) {}
+
   void set(const std::string& key, std::string value);
   std::optional<std::string> get(const std::string& key) const;
   /// Removes a key. Returns whether it existed.
@@ -36,6 +46,7 @@ class KvStore {
   std::vector<std::string> keys() const;
 
  private:
+  StoreOps ops_;
   std::unordered_map<std::string, std::string> strings_;
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::string>>

@@ -1,0 +1,33 @@
+// Operation counters shared by the storage tiers: every store op lands in
+// exiot_store_ops_total{store=<tier>,op=read|write|scan|expire}, so the
+// /v1/metrics view shows which tier a pipeline hour hammers.
+#pragma once
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace exiot::store {
+
+struct StoreOps {
+  StoreOps(const obs::Labels& base, obs::MetricsRegistry& registry) {
+    auto with_op = [&](const char* op) {
+      obs::Labels labels = base;
+      labels.emplace_back("op", op);
+      return &registry.counter("exiot_store_ops_total",
+                               "Storage-tier operations by op class.",
+                               labels);
+    };
+    read = with_op("read");
+    write = with_op("write");
+    scan = with_op("scan");
+    expire = with_op("expire");
+  }
+
+  obs::Counter* read;
+  obs::Counter* write;
+  obs::Counter* scan;
+  obs::Counter* expire;
+};
+
+}  // namespace exiot::store

@@ -99,6 +99,56 @@ void bar_chart(std::ostringstream& out, const std::string& title,
   out << "</div>\n";
 }
 
+/// One row of the stage-latency view: a `*_seconds` histogram ranked by
+/// observation count.
+struct LatencyRow {
+  std::string name;  // Family name plus rendered labels, if any.
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+};
+
+std::vector<LatencyRow> latency_rows(const obs::MetricsRegistry& metrics,
+                                     int n) {
+  std::vector<LatencyRow> rows;
+  for (const auto& snap : metrics.histogram_snapshots()) {
+    if (!snap.name.ends_with("_seconds") || snap.count == 0) continue;
+    LatencyRow row;
+    row.name = snap.name;
+    for (const auto& [key, value] : snap.labels) {
+      row.name += " " + key + "=" + value;
+    }
+    row.count = snap.count;
+    row.mean_seconds = snap.mean();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const LatencyRow& a, const LatencyRow& b) {
+              return a.count > b.count;
+            });
+  if (static_cast<int>(rows.size()) > n) {
+    rows.resize(static_cast<std::size_t>(n));
+  }
+  return rows;
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream out;
+  if (s >= 3600.0) {
+    out.precision(2);
+    out << std::fixed << s / 3600.0 << " h";
+  } else if (s >= 60.0) {
+    out.precision(1);
+    out << std::fixed << s / 60.0 << " min";
+  } else if (s >= 1.0) {
+    out.precision(2);
+    out << std::fixed << s << " s";
+  } else {
+    out.precision(1);
+    out << std::fixed << s * 1000.0 << " ms";
+  }
+  return out.str();
+}
+
 /// Equirectangular projection of (lat, lon) into an SVG viewport.
 void world_map(std::ostringstream& out,
                const std::vector<std::pair<double, double>>& points) {
@@ -124,7 +174,8 @@ void world_map(std::ostringstream& out,
 }  // namespace
 
 std::string render_html(const feed::FeedManager& feed,
-                        const DashboardOptions& options) {
+                        const DashboardOptions& options,
+                        const obs::MetricsRegistry* metrics) {
   const Rollups r = collect(feed, options);
   std::ostringstream out;
   out << "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
@@ -175,6 +226,32 @@ std::string render_html(const feed::FeedManager& feed,
   bar_chart(out, "Top device vendors", top_n(r.by_vendor, options.top_n));
   bar_chart(out, "Top targeted ports", top_n(r.by_port, options.top_n));
 
+  // (3b) Stage latency from the metrics registry, when attached: the
+  // busiest time histograms, bar width proportional to mean latency.
+  if (metrics != nullptr) {
+    const auto rows = latency_rows(*metrics, 8);
+    if (!rows.empty()) {
+      double max_mean = 0.0;
+      for (const auto& row : rows) {
+        max_mean = std::max(max_mean, row.mean_seconds);
+      }
+      out << "<div class=\"chart\"><h3>Stage latency</h3>\n";
+      for (const auto& row : rows) {
+        const int width = max_mean > 0.0
+            ? std::max(1, static_cast<int>(100.0 * row.mean_seconds /
+                                           max_mean))
+            : 1;
+        out << "<div class=\"row\"><span class=\"key\">"
+            << html_escape(row.name) << "</span>"
+            << "<span class=\"bar\" style=\"width:" << width << "%\"></span>"
+            << "<span class=\"count\">mean "
+            << html_escape(format_seconds(row.mean_seconds)) << " · n="
+            << row.count << "</span></div>\n";
+      }
+      out << "</div>\n";
+    }
+  }
+
   // (4) Query-builder pointer.
   out << "<div class=\"chart\"><h3>Query builder</h3><p>POST your filter "
       << "expressions to <code>/v1/query?q=…</code> — e.g. <code>label == "
@@ -186,7 +263,8 @@ std::string render_html(const feed::FeedManager& feed,
 }
 
 std::string render_text_snapshot(const feed::FeedManager& feed,
-                                 const DashboardOptions& options) {
+                                 const DashboardOptions& options,
+                                 const obs::MetricsRegistry* metrics) {
   const Rollups r = collect(feed, options);
   std::ostringstream out;
   out << "eX-IoT Internet snapshot\n";
@@ -205,6 +283,13 @@ std::string render_text_snapshot(const feed::FeedManager& feed,
     out << " " << vendor << "(" << count << ")";
   }
   out << "\n";
+  if (metrics != nullptr) {
+    for (const auto& row : latency_rows(*metrics, options.top_n)) {
+      out << "  latency " << row.name << ": mean "
+          << format_seconds(row.mean_seconds) << " (n=" << row.count
+          << ")\n";
+    }
+  }
   return out.str();
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/types.h"
 #include "feed/manager.h"
+#include "obs/metrics.h"
 
 namespace exiot::ui {
 
@@ -22,12 +23,15 @@ struct DashboardOptions {
 };
 
 /// Renders the full HTML page (self-contained; inline SVG + CSS, no
-/// external assets).
+/// external assets). With a metrics registry attached, a "Stage latency"
+/// section lists the busiest `*_seconds` histograms (mean + count).
 std::string render_html(const feed::FeedManager& feed,
-                        const DashboardOptions& options = {});
+                        const DashboardOptions& options = {},
+                        const obs::MetricsRegistry* metrics = nullptr);
 
 /// The terminal variant of part (1): a compact multi-line status text.
 std::string render_text_snapshot(const feed::FeedManager& feed,
-                                 const DashboardOptions& options = {});
+                                 const DashboardOptions& options = {},
+                                 const obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace exiot::ui

@@ -199,6 +199,44 @@ TEST_F(ApiTest, ExtraJsonEndpoints) {
   EXPECT_EQ(get("/v1/telescope", false).status, 401);
 }
 
+TEST_F(ApiTest, MetricsEndpointsNeedAttachedRegistry) {
+  EXPECT_EQ(get("/v1/metrics", false).status, 404);
+  EXPECT_EQ(get("/v1/metrics.json").status, 404);
+}
+
+TEST_F(ApiTest, MetricsExpositionAndJson) {
+  obs::MetricsRegistry metrics;
+  metrics.counter("exiot_feed_records_published_total", "Published.").inc(2);
+  metrics
+      .histogram("exiot_feed_publish_latency_seconds", "Publish path.",
+                 obs::virtual_latency_buckets())
+      .observe(3.5 * 3600.0);
+  server_.attach_metrics(&metrics);
+
+  // Prometheus exposition is unauthenticated, like /v1/health.
+  auto res = get("/v1/metrics", false);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.headers.at("Content-Type"), "text/plain; version=0.0.4");
+  EXPECT_NE(res.body.find("# TYPE exiot_feed_records_published_total "
+                          "counter\n"),
+            std::string::npos);
+  EXPECT_NE(res.body.find("exiot_feed_records_published_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(res.body.find("exiot_feed_publish_latency_seconds_bucket{"
+                          "le=\"+Inf\"} 1\n"),
+            std::string::npos);
+
+  // The JSON twin stays behind auth.
+  EXPECT_EQ(get("/v1/metrics.json", false).status, 401);
+  auto json_res = get("/v1/metrics.json");
+  EXPECT_EQ(json_res.status, 200);
+  EXPECT_EQ(body_of(json_res).find("families")->as_array().size(), 2u);
+
+  // Health picks up registry-backed uptime hints.
+  auto health = body_of(get("/v1/health", false));
+  EXPECT_EQ(health.get_int("records_published"), 2);
+}
+
 TEST_F(ApiTest, UnknownEndpointAndMethod) {
   EXPECT_EQ(get("/v1/nope").status, 404);
   auto req = HttpRequest::parse(

@@ -4,7 +4,10 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/log.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -229,6 +232,23 @@ TEST(StringsTest, CaseHelpers) {
 TEST(StringsTest, JoinWithSeparator) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(LogTest, PluggableSinkReceivesEnabledLines) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel level, const std::string& component,
+                   const std::string& message) {
+    captured.push_back(component + "/" + message +
+                       (level == LogLevel::kError ? "!" : ""));
+  });
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXIOT_LOG(LogLevel::kError, "tunnel", "dropped");
+  EXIOT_LOG(LogLevel::kDebug, "tunnel", "suppressed");  // Below the level.
+  set_log_level(previous);
+  set_log_sink({});  // Restore the stderr default.
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "tunnel/dropped!");
 }
 
 }  // namespace

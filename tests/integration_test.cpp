@@ -193,6 +193,74 @@ TEST_F(PipelineIntegrationTest, ApiServesTheFeed) {
   }
 }
 
+TEST_F(PipelineIntegrationTest, MetricsCoverEveryStage) {
+  const obs::MetricsRegistry& metrics = pipeline_.metrics();
+  EXPECT_GE(metrics.family_count(), 12u);
+  // Every stage exposes at least one histogram with observations.
+  for (const char* name :
+       {"exiot_organizer_sample_size", "exiot_scan_module_batch_fill",
+        "exiot_scan_module_flush_latency_seconds",
+        "exiot_annotate_latency_seconds",
+        "exiot_trainer_retrain_duration_seconds",
+        "exiot_feed_publish_latency_seconds"}) {
+    const obs::Histogram* h = metrics.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count(), 0u) << name;
+  }
+}
+
+TEST_F(PipelineIntegrationTest, MetricsAgreeWithLegacyStats) {
+  const obs::MetricsRegistry& metrics = pipeline_.metrics();
+  const PipelineStats stats = pipeline_.stats();
+  EXPECT_EQ(metrics.counter_value("exiot_feed_records_published_total"),
+            stats.records_published);
+  EXPECT_EQ(metrics.counter_value("exiot_detector_packets_processed_total"),
+            stats.packets_processed);
+  EXPECT_EQ(metrics.counter_value("exiot_detector_scanners_detected_total"),
+            stats.scanners_detected);
+  EXPECT_EQ(metrics.counter_value("exiot_trainer_labeled_examples_total"),
+            stats.labeled_examples);
+  EXPECT_EQ(metrics.counter_value("exiot_trainer_models_trained_total"),
+            stats.models_trained);
+  EXPECT_EQ(stats.records_published, pipeline_.feed().total_records());
+  // By-label counters partition the published records.
+  EXPECT_EQ(stats.iot_records + stats.noniot_records + stats.benign_records +
+                stats.unlabeled_records,
+            stats.records_published);
+  // Every scanner entering the scan module got one probe outcome class.
+  EXPECT_EQ(
+      metrics.counter_value("exiot_probe_outcomes_total",
+                            {{"class", "banner_iot"}}) +
+          metrics.counter_value("exiot_probe_outcomes_total",
+                                {{"class", "banner_noniot"}}) +
+          metrics.counter_value("exiot_probe_outcomes_total",
+                                {{"class", "banner_unmatched"}}) +
+          metrics.counter_value("exiot_probe_outcomes_total",
+                                {{"class", "no_banner"}}),
+      metrics.counter_value("exiot_scan_module_probed_total"));
+}
+
+TEST_F(PipelineIntegrationTest, MetricsServedThroughApi) {
+  api::ApiServer server(pipeline_.feed());
+  server.attach_metrics(&pipeline_.metrics());
+  auto parsed = api::HttpRequest::parse("GET /v1/metrics HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  auto res = server.handle(*parsed);
+  EXPECT_EQ(res.status, 200);
+  // Family count in the exposition matches the registry.
+  std::size_t type_lines = 0;
+  for (std::size_t pos = res.body.find("# TYPE");
+       pos != std::string::npos; pos = res.body.find("# TYPE", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, pipeline_.metrics().family_count());
+  // The published-records sample is present with its exact value.
+  const std::string sample =
+      "\nexiot_feed_records_published_total " +
+      std::to_string(pipeline_.stats().records_published) + "\n";
+  EXPECT_NE(res.body.find(sample), std::string::npos);
+}
+
 TEST_F(PipelineIntegrationTest, TunnelOutageDelaysButKeepsRecords) {
   // Re-run the same population with an outage covering the whole first
   // day's processing window; record count must not shrink.

@@ -1,0 +1,255 @@
+// Tests for the metrics subsystem: counter/gauge/histogram semantics,
+// label handling, concurrency, and the Prometheus / JSON expositions.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace exiot::obs {
+namespace {
+
+// ------------------------------------------------------- instruments ----
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddIncDec) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(10.0);
+  g.add(2.5);
+  g.inc();
+  g.dec(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 5.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive)
+  h.observe(3.0);   // <= 5
+  h.observe(10.0);  // <= 10 (inclusive)
+  h.observe(99.0);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 113.5);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // +Inf overflow bucket.
+  EXPECT_DOUBLE_EQ(h.mean(), 113.5 / 5.0);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  Histogram h({5.0, 1.0, 5.0, 3.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 3.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 5.0);
+}
+
+TEST(HistogramTest, EmptyMeanIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---------------------------------------------------------- registry ----
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("exiot_test_total", "help");
+  Counter& b = reg.counter("exiot_test_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(reg.counter_value("exiot_test_total"), 1u);
+}
+
+TEST(RegistryTest, LabelsSeparateChildrenWithinOneFamily) {
+  MetricsRegistry reg;
+  Counter& read = reg.counter("exiot_ops_total", "", {{"op", "read"}});
+  Counter& write = reg.counter("exiot_ops_total", "", {{"op", "write"}});
+  EXPECT_NE(&read, &write);
+  read.inc(3);
+  write.inc(5);
+  EXPECT_EQ(reg.counter_value("exiot_ops_total", {{"op", "read"}}), 3u);
+  EXPECT_EQ(reg.counter_value("exiot_ops_total", {{"op", "write"}}), 5u);
+  EXPECT_EQ(reg.family_count(), 1u);
+}
+
+TEST(RegistryTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry reg;
+  Counter& a =
+      reg.counter("exiot_l_total", "", {{"b", "2"}, {"a", "1"}});
+  Counter& b =
+      reg.counter("exiot_l_total", "", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("exiot_kind_total");
+  EXPECT_THROW((void)reg.gauge("exiot_kind_total"), std::logic_error);
+}
+
+TEST(RegistryTest, LookupsReturnZeroOrNullWhenAbsent) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("exiot_nope_total"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("exiot_nope"), 0.0);
+  EXPECT_EQ(reg.find_histogram("exiot_nope_seconds"), nullptr);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("exiot_mt_total");
+  Gauge& g = reg.gauge("exiot_mt_gauge");
+  Histogram& h = reg.histogram("exiot_mt_seconds", "", {0.5});
+  constexpr int kThreads = 8, kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.observe(i % 2 == 0 ? 0.1 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.bucket(0), static_cast<std::uint64_t>(kThreads) * kIters / 2);
+}
+
+TEST(RegistryTest, ScratchRegistryAbsorbsUnattachedInstruments) {
+  Counter& c = scratch_registry().counter("exiot_scratch_probe_total");
+  const std::uint64_t before = c.value();
+  c.inc();
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+// -------------------------------------------------------- exposition ----
+
+TEST(ExpositionTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("exiot_requests_total", "Requests served.").inc(7);
+  reg.gauge("exiot_window_examples", "Window size.").set(12.0);
+  reg.histogram("exiot_latency_seconds", "Latency.", {0.1, 1.0})
+      .observe(0.05);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP exiot_requests_total Requests served.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE exiot_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exiot_requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE exiot_window_examples gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exiot_window_examples 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE exiot_latency_seconds histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("exiot_latency_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exiot_latency_seconds_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exiot_latency_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exiot_latency_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, LabelsRenderSortedAndEscaped) {
+  MetricsRegistry reg;
+  reg.counter("exiot_esc_total", "",
+              {{"stage", "a\"b\\c\nd"}, {"port", "23"}})
+      .inc();
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(
+      text.find(
+          "exiot_esc_total{port=\"23\",stage=\"a\\\"b\\\\c\\nd\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(ExpositionTest, JsonSnapshotRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("exiot_j_total", "J.").inc(3);
+  reg.histogram("exiot_j_seconds", "", {1.0}).observe(0.5);
+  json::Value doc = reg.to_json();
+  const auto& families = doc.find("families")->as_array();
+  ASSERT_EQ(families.size(), 2u);
+  // std::map ordering: exiot_j_seconds before exiot_j_total.
+  EXPECT_EQ(families[0].get_string("name"), "exiot_j_seconds");
+  EXPECT_EQ(families[0].get_string("type"), "histogram");
+  EXPECT_EQ(families[1].get_string("name"), "exiot_j_total");
+  EXPECT_EQ(families[1].find("metrics")->as_array()[0].get_int("value"), 3);
+}
+
+TEST(ExpositionTest, HistogramSnapshotsCopyState) {
+  MetricsRegistry reg;
+  reg.histogram("exiot_s_seconds", "", {1.0}, {{"stage", "probe"}})
+      .observe(2.0);
+  auto snaps = reg.histogram_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "exiot_s_seconds");
+  ASSERT_EQ(snaps[0].labels.size(), 1u);
+  EXPECT_EQ(snaps[0].labels[0].second, "probe");
+  EXPECT_EQ(snaps[0].count, 1u);
+  EXPECT_EQ(snaps[0].buckets.back(), 1u);  // +Inf bucket got the 2.0.
+}
+
+// ------------------------------------------------------------- timers ----
+
+TEST(TimerTest, ScopedTimerRecordsWallClock) {
+  Histogram h({60.0});
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  EXPECT_LT(h.sum(), 60.0);  // A no-op scope is far under a minute.
+}
+
+TEST(TimerTest, ScopedTimerStopIsIdempotent) {
+  Histogram h({60.0});
+  ScopedTimer timer(h);
+  timer.stop();
+  timer.stop();  // Second stop (and destruction) must not double-record.
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(TimerTest, VirtualTimerRecordsVirtualSeconds) {
+  Histogram h({10.0, 100.0});
+  VirtualTimer timer(h, seconds(5));
+  timer.stop(seconds(35));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+  EXPECT_EQ(h.bucket(1), 1u);  // 30 s lands in (10, 100].
+}
+
+TEST(TimerTest, VirtualTimerClampsNegativeSpans) {
+  Histogram h({10.0});
+  VirtualTimer timer(h, seconds(35));
+  timer.stop(seconds(5));  // End before start: recorded as 0.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+// ----------------------------------------------------- bucket helpers ----
+
+TEST(BucketHelpersTest, AllAscending) {
+  for (const auto& bounds :
+       {latency_buckets(), virtual_latency_buckets(), size_buckets()}) {
+    ASSERT_GE(bounds.size(), 4u);
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exiot::obs

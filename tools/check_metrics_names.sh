@@ -1,0 +1,68 @@
+#!/bin/sh
+# Lints metric names registered in the source tree against the convention
+# documented in src/obs/metrics.h and DESIGN.md:
+#
+#   - every name starts with exiot_ and is lowercase snake case
+#   - counters end in _total
+#   - gauges and histograms end in neither _total; gauges also not _seconds
+#     (histograms may: time histograms end in _seconds, size ones don't)
+#
+# Usage: tools/check_metrics_names.sh [repo-root]   (exits non-zero on lint)
+set -eu
+
+root=${1:-$(dirname "$0")/..}
+cd "$root"
+
+# Flatten each source file so registrations split across lines (the common
+# clang-format layout) still match, then pull out (kind, name) pairs.
+extract() {
+    find src tools examples -name '*.cpp' -o -name '*.h' |
+    while read -r file; do
+        tr '\n' ' ' < "$file" |
+        grep -oE '\.(counter|gauge|histogram)\( *"[^"]+"' |
+        sed -E 's/^\.([a-z]+)\( *"([^"]*)"/\1 \2/' |
+        sed "s|\$| $file|"
+    done
+}
+
+status=0
+tmp=$(mktemp)
+extract | sort -u > "$tmp"
+
+if ! [ -s "$tmp" ]; then
+    echo "lint: no metric registrations found (extraction broken?)"
+    exit 1
+fi
+
+while read -r kind name file; do
+    case "$name" in
+        exiot_*) ;;
+        *) echo "lint: $file: $kind \"$name\" must start with exiot_"
+           status=1 ;;
+    esac
+    case "$name" in
+        *[!a-z0-9_]*)
+            echo "lint: $file: $kind \"$name\" must be lowercase snake case"
+            status=1 ;;
+    esac
+    case "$kind:$name" in
+        counter:*_total) ;;
+        counter:*)
+            echo "lint: $file: counter \"$name\" must end in _total"
+            status=1 ;;
+        gauge:*_total|gauge:*_seconds)
+            echo "lint: $file: gauge \"$name\" must not end in _total/_seconds"
+            status=1 ;;
+        histogram:*_total)
+            echo "lint: $file: histogram \"$name\" must not end in _total"
+            status=1 ;;
+    esac
+done < "$tmp"
+checked=$(wc -l < "$tmp")
+rm -f "$tmp"
+
+if [ "$status" -ne 0 ]; then
+    echo "metric naming lint failed"
+    exit 1
+fi
+echo "metric names OK ($checked registrations checked)"

@@ -13,6 +13,10 @@
 //       Evaluate a query-builder expression over an exported feed.
 //   exiotctl fingerprint --banner TEXT
 //       Match a banner against the rule database.
+//   exiotctl metrics   [--scale S] [--days N] [--seed N]
+//                      [--format prom|json] [--out FILE]
+//       Run the pipeline and dump its metrics registry — Prometheus text
+//       exposition (what GET /v1/metrics serves) or the JSON snapshot.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -149,7 +153,8 @@ int cmd_simulate(const Args& args) {
   pipeline::ExIotPipeline pipe(population, world, {});
   pipe.run_days(0, days);
   pipe.finish();
-  std::printf("%s", ui::render_text_snapshot(pipe.feed()).c_str());
+  std::printf("%s", ui::render_text_snapshot(pipe.feed(), {},
+                                             &pipe.metrics()).c_str());
 
   if (const std::string path = args.get("--jsonl"); !path.empty()) {
     std::ofstream out(path);
@@ -163,8 +168,39 @@ int cmd_simulate(const Args& args) {
   }
   if (const std::string path = args.get("--dashboard"); !path.empty()) {
     std::ofstream out(path);
-    out << ui::render_html(pipe.feed());
+    out << ui::render_html(pipe.feed(), {}, &pipe.metrics());
     std::printf("wrote dashboard to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  const double scale = args.get_double("--scale", 0.2);
+  const int days = args.get_int("--days", 1);
+  const std::string format = args.get("--format", "prom");
+  if (format != "prom" && format != "json") {
+    std::fprintf(stderr, "metrics: --format must be prom or json\n");
+    return 2;
+  }
+  auto world = inet::WorldModel::standard(aperture());
+  inet::PopulationConfig config;
+  config.days = days;
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  auto population =
+      inet::Population::generate(config.scaled(scale), world);
+  pipeline::ExIotPipeline pipe(population, world, {});
+  pipe.run_days(0, days);
+  pipe.finish();
+  const std::string body = format == "json"
+                               ? pipe.metrics().to_json().dump()
+                               : pipe.metrics().render_prometheus();
+  if (const std::string path = args.get("--out"); !path.empty()) {
+    std::ofstream out(path);
+    out << body;
+    std::printf("wrote %zu metric families to %s\n",
+                pipe.metrics().family_count(), path.c_str());
+  } else {
+    std::printf("%s", body.c_str());
   }
   return 0;
 }
@@ -238,7 +274,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: exiotctl <capture|replay|simulate|query|"
-                 "fingerprint> [flags]\n");
+                 "fingerprint|metrics> [flags]\n");
     return 2;
   }
   const Args args(argc, argv);
@@ -248,6 +284,7 @@ int main(int argc, char** argv) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "query") return cmd_query(args);
   if (command == "fingerprint") return cmd_fingerprint(args);
+  if (command == "metrics") return cmd_metrics(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }
