@@ -1,5 +1,7 @@
 #include "api/http.h"
 
+#include <charconv>
+
 #include "common/strings.h"
 
 namespace exiot::api {
@@ -55,7 +57,6 @@ std::optional<HttpRequest> HttpRequest::parse(std::string_view raw) {
   if (header_end == std::string_view::npos) return std::nullopt;
   const std::string_view head = raw.substr(0, header_end);
   HttpRequest req;
-  req.body = std::string(raw.substr(header_end + 4));
 
   const auto lines = split(head, '\n');
   if (lines.empty()) return std::nullopt;
@@ -80,6 +81,24 @@ std::optional<HttpRequest> HttpRequest::parse(std::string_view raw) {
     req.headers[to_lower(trim(line.substr(0, colon)))] =
         std::string(trim(line.substr(colon + 1)));
   }
+
+  // The body is bounded by Content-Length, not by "whatever else arrived
+  // on the socket" — trailing bytes (a pipelined request, garbage) must
+  // not leak into it. Without the header the body is empty.
+  std::string_view rest = raw.substr(header_end + 4);
+  const auto cl = req.headers.find("content-length");
+  if (cl == req.headers.end()) {
+    req.body.clear();
+    return req;
+  }
+  std::size_t length = 0;
+  const auto [ptr, ec] = std::from_chars(
+      cl->second.data(), cl->second.data() + cl->second.size(), length);
+  if (ec != std::errc{} || ptr != cl->second.data() + cl->second.size()) {
+    return std::nullopt;  // Malformed Content-Length.
+  }
+  if (rest.size() < length) return std::nullopt;  // Incomplete body.
+  req.body = std::string(rest.substr(0, length));
   return req;
 }
 
@@ -114,11 +133,21 @@ HttpResponse HttpResponse::text(int status, std::string body) {
 std::string HttpResponse::serialize() const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     status_text(status) + "\r\n";
+  bool has_length = false;
+  bool has_connection = false;
   for (const auto& [name, value] : headers) {
+    const std::string lower = to_lower(name);
+    has_length = has_length || lower == "content-length";
+    has_connection = has_connection || lower == "connection";
     out += name + ": " + value + "\r\n";
   }
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
+  // Defaults only when the handler did not set its own — emitting a second
+  // Content-Length/Connection would corrupt the response.
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  if (!has_connection) out += "Connection: close\r\n";
+  out += "\r\n";
   out += body;
   return out;
 }

@@ -5,9 +5,35 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <charconv>
 #include <cstring>
 
+#include "common/strings.h"
+
 namespace exiot::api {
+
+namespace {
+
+// Declared Content-Length of the request whose headers end at
+// `header_end`, or 0 when absent/malformed (parse() rejects malformed
+// values later; here it only bounds how much more to read).
+std::size_t declared_body_length(std::string_view raw,
+                                 std::size_t header_end) {
+  for (const auto& line : split(raw.substr(0, header_end), '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (to_lower(trim(line.substr(0, colon))) != "content-length") continue;
+    const auto value = trim(line.substr(colon + 1));
+    std::size_t length = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), length);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) return 0;
+    return length;
+  }
+  return 0;
+}
+
+}  // namespace
 
 TcpListener::~TcpListener() { stop(); }
 
@@ -67,11 +93,17 @@ void TcpListener::serve_loop() {
     // shuts down its write side.
     std::string raw;
     char buf[4096];
-    while (raw.find("\r\n\r\n") == std::string::npos) {
+    while (true) {
+      const auto header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos &&
+          raw.size() >= header_end + 4 + declared_body_length(raw,
+                                                              header_end)) {
+        break;
+      }
+      if (raw.size() > 1 << 20) break;  // Refuse absurd requests.
       const ssize_t n = ::read(client, buf, sizeof(buf));
       if (n <= 0) break;
       raw.append(buf, static_cast<std::size_t>(n));
-      if (raw.size() > 1 << 20) break;  // Refuse absurd headers.
     }
     HttpResponse response;
     if (auto request = HttpRequest::parse(raw)) {

@@ -28,16 +28,19 @@ void FlowDetector::process(const net::Packet& pkt) {
     case net::IpProto::kUdp: ++current_report_.udp; break;
     case net::IpProto::kIcmp: ++current_report_.icmp; break;
   }
-  if (!report_ports_.empty() &&
-      std::find(report_ports_.begin(), report_ports_.end(), pkt.dst_port) !=
-          report_ports_.end()) {
-    ++current_report_.per_port[pkt.dst_port];
-  }
 
   if (net::is_backscatter(pkt)) {
     ++stats_.backscatter_filtered;
     ++current_report_.backscatter_filtered;
     return;
+  }
+
+  // Per-port counts feed the Table-1 port ranking; backscatter replies
+  // landing on a report port are filtered above so they cannot inflate it.
+  if (!report_ports_.empty() &&
+      std::find(report_ports_.begin(), report_ports_.end(), pkt.dst_port) !=
+          report_ports_.end()) {
+    ++current_report_.per_port[pkt.dst_port];
   }
 
   SourceState& s = table_[pkt.src.value()];
@@ -95,37 +98,52 @@ void FlowDetector::end_flow(Ipv4 src, SourceState& s) {
   }
 }
 
+void FlowDetector::flush_report() {
+  if (report_open_ && events_.on_report) events_.on_report(current_report_);
+  current_report_ = SecondReport{};
+  report_open_ = false;
+}
+
+void FlowDetector::expire(std::vector<std::pair<std::uint32_t, SourceState>>
+                              expired) {
+  // Expiries are emitted in ascending source order so the event stream is
+  // deterministic regardless of hash-table layout or shard count.
+  std::sort(expired.begin(), expired.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [addr, s] : expired) {
+    if (!s.is_scanner) continue;
+    // An incomplete sample still ships: the packet organizer downstream
+    // decides whether it is usable (the paper drops short samples).
+    if (!s.sample_done && !s.sample.empty() && events_.on_sample) {
+      events_.on_sample(Ipv4(addr), s.sample);
+    }
+    end_flow(Ipv4(addr), s);
+  }
+}
+
 void FlowDetector::end_of_hour(TimeMicros now) {
+  // The hour barrier ships the open per-second report: the last second of
+  // the hour must not wait for the next hour's first packet to arrive.
+  flush_report();
+  std::vector<std::pair<std::uint32_t, SourceState>> expired;
   for (auto it = table_.begin(); it != table_.end();) {
-    SourceState& s = it->second;
-    if (now - s.last_seen > config_.flow_expiry) {
-      if (s.is_scanner) {
-        // An incomplete sample still ships: the packet organizer downstream
-        // decides whether it is usable (the paper drops short samples).
-        if (!s.sample_done && !s.sample.empty() && events_.on_sample) {
-          events_.on_sample(Ipv4(it->first), s.sample);
-        }
-        end_flow(Ipv4(it->first), s);
-      }
+    if (now - it->second.last_seen > config_.flow_expiry) {
+      expired.emplace_back(it->first, std::move(it->second));
       it = table_.erase(it);
     } else {
       ++it;
     }
   }
+  expire(std::move(expired));
 }
 
 void FlowDetector::finish() {
-  for (auto& [addr, s] : table_) {
-    if (s.is_scanner) {
-      if (!s.sample_done && !s.sample.empty() && events_.on_sample) {
-        events_.on_sample(Ipv4(addr), s.sample);
-      }
-      end_flow(Ipv4(addr), s);
-    }
-  }
+  std::vector<std::pair<std::uint32_t, SourceState>> all;
+  all.reserve(table_.size());
+  for (auto& [addr, s] : table_) all.emplace_back(addr, std::move(s));
   table_.clear();
-  if (report_open_ && events_.on_report) events_.on_report(current_report_);
-  report_open_ = false;
+  expire(std::move(all));
+  flush_report();
 }
 
 }  // namespace exiot::flow

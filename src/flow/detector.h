@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -84,8 +85,12 @@ class FlowDetector {
   /// timestamp order (the capture is time-sorted).
   void process(const net::Packet& pkt);
 
-  /// The paper runs the expiry sweep between hours: ends every detected
-  /// flow idle for more than `flow_expiry` and drops stale pending state.
+  /// The paper runs the expiry sweep between hours: flushes the open
+  /// per-second report (the last second of the hour must not lag into the
+  /// next hour), then ends every detected flow idle for more than
+  /// `flow_expiry` and drops stale pending state. Expiry events are
+  /// emitted in ascending source order (deterministic across shard counts
+  /// and hash-table layouts).
   void end_of_hour(TimeMicros now);
 
   /// Flushes everything (end of run): emits END_FLOW for all detected
@@ -108,6 +113,11 @@ class FlowDetector {
   };
 
   void roll_second(TimeMicros ts);
+  /// Ships the open per-second report (if any) and resets it.
+  void flush_report();
+  /// Emits sample/END_FLOW events for the given sources in ascending
+  /// source order.
+  void expire(std::vector<std::pair<std::uint32_t, SourceState>> expired);
   void end_flow(Ipv4 src, SourceState& state);
 
   DetectorConfig config_;

@@ -87,6 +87,13 @@ void Gauge::add(double d) {
   }
 }
 
+void Gauge::set_max(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());

@@ -52,6 +52,9 @@ class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
   void add(double d);
+  /// Raises the gauge to `v` if above the current value. Atomic, so
+  /// concurrent writers (e.g. per-shard high-watermarks) cannot regress it.
+  void set_max(double v);
   void inc(double d = 1.0) { add(d); }
   void dec(double d = 1.0) { add(-d); }
   double value() const { return value_.load(std::memory_order_relaxed); }

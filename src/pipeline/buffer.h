@@ -1,52 +1,248 @@
 // The in-memory FIFO between pipeline stages — the paper's 15 GB mbuffer
 // that "curbs the effect of mismatched processing delays among the
-// modules". Bounded; a full buffer exerts back-pressure on the producer
-// instead of dropping (the paper's no-data-loss requirement).
+// modules". A thread-safe blocking queue: a full buffer exerts
+// back-pressure by blocking the producer instead of dropping (the paper's
+// no-data-loss requirement), and an empty buffer parks the consumer until
+// the producer catches up or the stream is closed.
+//
+// Lifecycle: push/pop freely from any number of threads; `close()` wakes
+// every blocked thread, after which pushes are refused and pops drain the
+// remaining items before returning nullopt. `reopen()` rearms a drained
+// buffer for the next cycle (the ingest stage closes per hour barrier).
+//
+// Observability: `instrument()` registers depth / high-watermark gauges
+// and rejected / blocked-time counters in the pipeline MetricsRegistry.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace exiot::pipeline {
 
 template <typename T>
 class BoundedBuffer {
  public:
-  explicit BoundedBuffer(std::size_t capacity) : capacity_(capacity) {}
+  explicit BoundedBuffer(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  /// Enqueues unless full. Returns false (back-pressure) when at capacity.
+  BoundedBuffer(const BoundedBuffer&) = delete;
+  BoundedBuffer& operator=(const BoundedBuffer&) = delete;
+
+  /// Registers this buffer's gauges/counters under `labels` (e.g.
+  /// {{"buffer", "capture"}, {"shard", "0"}}). Call before concurrent use.
+  void instrument(obs::MetricsRegistry& registry, const obs::Labels& labels) {
+    depth_g_ = &registry.gauge("exiot_buffer_depth",
+                               "Items currently queued in the buffer.",
+                               labels);
+    watermark_g_ = &registry.gauge("exiot_buffer_high_watermark",
+                                   "Peak buffer occupancy observed.", labels);
+    rejected_c_ = &registry.counter(
+        "exiot_buffer_rejected_total",
+        "Non-blocking push attempts refused by back-pressure.", labels);
+    obs::Labels producer = labels, consumer = labels;
+    producer.emplace_back("side", "producer");
+    consumer.emplace_back("side", "consumer");
+    const std::string help =
+        "Wall-clock microseconds spent blocked on the buffer.";
+    producer_blocked_c_ =
+        &registry.counter("exiot_buffer_blocked_micros_total", help, producer);
+    consumer_blocked_c_ =
+        &registry.counter("exiot_buffer_blocked_micros_total", help, consumer);
+  }
+
+  /// Enqueues, blocking while at capacity (back-pressure). Returns false
+  /// only when the buffer is closed.
   bool push(T item) {
-    if (items_.size() >= capacity_) {
-      ++rejected_;
-      return false;
-    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    wait_for_space(lock);
+    if (closed_) return false;
     items_.push_back(std::move(item));
-    high_watermark_ = std::max(high_watermark_, items_.size());
+    did_push();
     return true;
   }
 
-  /// Dequeues the oldest item, or nullopt when empty.
+  /// Batch push: enqueues every item (blocking as capacity requires) until
+  /// done or closed. Returns the number of items accepted; `items` is left
+  /// in a moved-from state.
+  std::size_t push_all(std::vector<T>& items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::size_t accepted = 0;
+    for (T& item : items) {
+      wait_for_space(lock);
+      if (closed_) break;
+      items_.push_back(std::move(item));
+      did_push();
+      ++accepted;
+    }
+    return accepted;
+  }
+
+  /// Non-blocking push. Returns false (and counts the rejection) when full,
+  /// or when closed.
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    if (items_.size() >= capacity_) {
+      ++rejected_;
+      if (rejected_c_ != nullptr) rejected_c_->inc();
+      return false;
+    }
+    items_.push_back(std::move(item));
+    did_push();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while empty. Returns nullopt only
+  /// once the buffer is closed and fully drained.
   std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wait_for_item(lock);
     if (items_.empty()) return std::nullopt;
     T out = std::move(items_.front());
-    items_.pop_front();
+    did_pop();
     return out;
   }
 
-  std::size_t size() const { return items_.size(); }
+  /// Batch pop: blocks for at least one item (unless closed + drained),
+  /// then moves up to `max` items into `out`. Returns the count moved.
+  std::size_t pop_all(std::vector<T>& out, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wait_for_item(lock);
+    std::size_t moved = 0;
+    while (moved < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      did_pop();
+      ++moved;
+    }
+    return moved;
+  }
+
+  /// Non-blocking pop: nullopt when empty (regardless of closed state).
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    did_pop();
+    return out;
+  }
+
+  /// End of stream: wakes every blocked producer and consumer. Remaining
+  /// items stay poppable; further pushes are refused.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Rearms a closed buffer for the next producer/consumer cycle.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  bool empty() const { return items_.empty(); }
+  bool empty() const { return size() == 0; }
   /// Peak occupancy observed (capacity-planning signal).
-  std::size_t high_watermark() const { return high_watermark_; }
-  /// Push attempts refused by back-pressure.
-  std::size_t rejected() const { return rejected_; }
+  std::size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_watermark_;
+  }
+  /// try_push attempts refused by back-pressure.
+  std::size_t rejected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+  }
+  /// Wall-clock time producers/consumers spent parked on this buffer.
+  std::uint64_t producer_blocked_micros() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return producer_blocked_;
+  }
+  std::uint64_t consumer_blocked_micros() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return consumer_blocked_;
+  }
 
  private:
-  std::size_t capacity_;
+  // All four helpers run with mutex_ held.
+  void wait_for_space(std::unique_lock<std::mutex>& lock) {
+    if (items_.size() < capacity_ || closed_) return;
+    const auto start = std::chrono::steady_clock::now();
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    const std::uint64_t waited = elapsed_micros(start);
+    producer_blocked_ += waited;
+    if (producer_blocked_c_ != nullptr) producer_blocked_c_->inc(waited);
+  }
+
+  void wait_for_item(std::unique_lock<std::mutex>& lock) {
+    if (!items_.empty() || closed_) return;
+    const auto start = std::chrono::steady_clock::now();
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    const std::uint64_t waited = elapsed_micros(start);
+    consumer_blocked_ += waited;
+    if (consumer_blocked_c_ != nullptr) consumer_blocked_c_->inc(waited);
+  }
+
+  void did_push() {
+    if (items_.size() > high_watermark_) {
+      high_watermark_ = items_.size();
+      if (watermark_g_ != nullptr) {
+        watermark_g_->set_max(static_cast<double>(high_watermark_));
+      }
+    }
+    if (depth_g_ != nullptr) depth_g_->set(static_cast<double>(items_.size()));
+    not_empty_.notify_one();
+  }
+
+  void did_pop() {
+    items_.pop_front();
+    if (depth_g_ != nullptr) depth_g_->set(static_cast<double>(items_.size()));
+    not_full_.notify_one();
+  }
+
+  static std::uint64_t elapsed_micros(
+      std::chrono::steady_clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
   std::deque<T> items_;
+  bool closed_ = false;
   std::size_t high_watermark_ = 0;
   std::size_t rejected_ = 0;
+  std::uint64_t producer_blocked_ = 0;
+  std::uint64_t consumer_blocked_ = 0;
+  obs::Gauge* depth_g_ = nullptr;
+  obs::Gauge* watermark_g_ = nullptr;
+  obs::Counter* rejected_c_ = nullptr;
+  obs::Counter* producer_blocked_c_ = nullptr;
+  obs::Counter* consumer_blocked_c_ = nullptr;
 };
 
 }  // namespace exiot::pipeline

@@ -14,11 +14,39 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
     : population_(population),
       config_(config),
       synth_(population, config.telescope),
-      detector_(
+      ingest_(
+          IngestConfig{config.num_detector_shards, config.buffer_capacity,
+                       config.ingest_batch_size},
           config.detector,
           flow::DetectorEvents{
               .on_scanner =
                   [this](const flow::FlowSummary& summary) {
+                    auto it = pending_.find(summary.src.value());
+                    if (it != pending_.end()) {
+                      // Re-detection while the previous record is still in
+                      // flight (its flow expired, the source came back, and
+                      // the probe/sample have not completed the record).
+                      inst_.pending_clobbered->inc();
+                      PendingRecord old = std::move(it->second);
+                      if (old.probe.has_value() && old.bundle.has_value() &&
+                          !old.dropped) {
+                        // The old record is complete; ship it before
+                        // starting the new one.
+                        publish_record(old);
+                      } else {
+                        // Carry the probe state forward: if the probe is
+                        // still in the scan-module batch (nullopt), its
+                        // outcome must land on the new record — submitting
+                        // again would double-probe the source.
+                        pending_.erase(it);
+                        PendingRecord fresh;
+                        fresh.summary = summary;
+                        fresh.probe = std::move(old.probe);
+                        pending_.emplace(summary.src.value(),
+                                         std::move(fresh));
+                        return;
+                      }
+                    }
                     // New scanner: the detection ships over the tunnel and
                     // enters the scan-module batch on the processing clock.
                     auto& pending = pending_[summary.src.value()];
@@ -71,7 +99,7 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                     inst_.reports->inc();
                     reports_.ingest(report);
                   }},
-          probe::table1_ports()),
+          probe::table1_ports(), &metrics_),
       organizer_(config.organizer, &metrics_),
       prober_(population, config.prober),
       scan_module_(prober_, fingerprint::RuleDb::standard(), config.batcher,
@@ -102,6 +130,9 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
   inst_.reports = &metrics_.counter(
       "exiot_pipeline_report_messages_total",
       "Per-second telescope report messages ingested.");
+  inst_.pending_clobbered = &metrics_.counter(
+      "exiot_pipeline_pending_clobbered_total",
+      "Scanner re-detections that found an in-flight pending record.");
   inst_.pending = &metrics_.gauge(
       "exiot_pipeline_pending_records",
       "Records awaiting a probe outcome or organized sample.");
@@ -249,9 +280,11 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
   for (std::int64_t hour = first_hour; hour < last_hour; ++hour) {
     const TimeMicros start = hour * kMicrosPerHour;
     const TimeMicros end = start + kMicrosPerHour;
-    synth_.run(start, end,
-               [this](const net::Packet& pkt) { detector_.process(pkt); });
-    detector_.end_of_hour(end);
+    ingest_.run_hour(
+        [this, start, end](const ThreadedIngest::PacketFn& fn) {
+          return synth_.run(start, end, fn);
+        },
+        end);
 
     const TimeMicros processing_end =
         config_.collection.file_ready_time(hour) +
@@ -271,7 +304,7 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
 }
 
 void ExIotPipeline::scrape_detector() {
-  const flow::DetectorStats& s = detector_.stats();
+  const flow::DetectorStats s = ingest_.stats();
   inst_.packets->inc(s.packets_processed - scraped_.packets_processed);
   inst_.backscatter->inc(s.backscatter_filtered -
                          scraped_.backscatter_filtered);
@@ -309,7 +342,7 @@ PipelineStats ExIotPipeline::stats() const {
 }
 
 void ExIotPipeline::finish() {
-  detector_.finish();
+  ingest_.finish();
   const TimeMicros processing_end =
       config_.collection.file_ready_time(next_hour_) +
       config_.processing_per_hour;

@@ -1,0 +1,249 @@
+#include "pipeline/ingest.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+namespace exiot::pipeline {
+
+ThreadedIngest::ThreadedIngest(IngestConfig config,
+                               flow::DetectorConfig detector_config,
+                               flow::DetectorEvents sink,
+                               std::vector<std::uint16_t> report_ports,
+                               obs::MetricsRegistry* metrics)
+    : config_(config), sink_(std::move(sink)) {
+  config_.num_shards = std::max(1, config_.num_shards);
+  config_.buffer_capacity = std::max<std::size_t>(1, config_.buffer_capacity);
+  config_.batch_size = std::max<std::size_t>(1, config_.batch_size);
+
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  packets_c_ = &reg.counter("exiot_ingest_packets_total",
+                            "Packets routed through the capture->detect "
+                            "stage.");
+  batches_c_ = &reg.counter("exiot_ingest_batches_total",
+                            "Packet batches pushed into the capture "
+                            "buffers.");
+  events_c_ = &reg.counter("exiot_ingest_events_replayed_total",
+                           "Detector events replayed into the downstream "
+                           "at the hour barrier.");
+  shards_g_ = &reg.gauge("exiot_ingest_shards",
+                         "Detector shards consuming the capture buffers.");
+  shards_g_->set(static_cast<double>(config_.num_shards));
+
+  shards_.reserve(static_cast<std::size_t>(config_.num_shards));
+  for (int s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    Shard* sp = shard.get();
+    flow::DetectorEvents events;
+    events.on_scanner = [sp](const flow::FlowSummary& summary) {
+      Event e;
+      e.seq = sp->current_seq;
+      e.kind = EventKind::kScanner;
+      e.src = summary.src;
+      e.summary = summary;
+      sp->events.push_back(std::move(e));
+    };
+    events.on_sample = [sp](Ipv4 src, const std::vector<net::Packet>& pkts) {
+      Event e;
+      e.seq = sp->current_seq;
+      e.kind = EventKind::kSample;
+      e.src = src;
+      e.sample = pkts;
+      sp->events.push_back(std::move(e));
+    };
+    events.on_flow_end = [sp](const flow::FlowSummary& summary) {
+      Event e;
+      e.seq = sp->current_seq;
+      e.kind = EventKind::kFlowEnd;
+      e.src = summary.src;
+      e.summary = summary;
+      sp->events.push_back(std::move(e));
+    };
+    events.on_report = [sp](const flow::SecondReport& report) {
+      sp->reports.push_back(report);
+    };
+    shard->detector = std::make_unique<flow::FlowDetector>(
+        detector_config, std::move(events), report_ports);
+    if (config_.num_shards > 1) {
+      shard->buffer =
+          std::make_unique<BoundedBuffer<Batch>>(config_.buffer_capacity);
+      shard->buffer->instrument(
+          reg, obs::Labels{{"buffer", "capture"},
+                           {"shard", std::to_string(s)}});
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ThreadedIngest::~ThreadedIngest() = default;
+
+std::size_t ThreadedIngest::shard_of(Ipv4 src) const {
+  // Fibonacci-hash the address so structured populations still spread
+  // evenly; any deterministic function works for correctness (all state is
+  // per-source), this one just balances the shards.
+  const std::uint64_t mixed = src.value() * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(
+      (mixed >> 32) % static_cast<std::uint64_t>(config_.num_shards));
+}
+
+std::size_t ThreadedIngest::run_single(const PacketSource& source) {
+  Shard& shard = *shards_[0];
+  return source([this, &shard](const net::Packet& pkt) {
+    shard.current_seq = seq_++;
+    shard.detector->process(pkt);
+  });
+}
+
+std::size_t ThreadedIngest::run_threaded(const PacketSource& source) {
+  const std::size_t n = shards_.size();
+  for (auto& shard : shards_) shard->buffer->reopen();
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(n);
+  for (auto& shard : shards_) {
+    consumers.emplace_back([sp = shard.get()] {
+      while (auto batch = sp->buffer->pop()) {
+        for (SeqPacket& item : *batch) {
+          sp->current_seq = item.seq;
+          sp->detector->process(item.pkt);
+        }
+      }
+    });
+  }
+
+  // The calling thread is the producer: route each packet to its shard's
+  // open batch, flushing full batches into the blocking buffer (a full
+  // buffer back-pressures us here instead of dropping).
+  std::vector<Batch> open(n);
+  for (auto& batch : open) batch.reserve(config_.batch_size);
+  const std::size_t count = source([this, &open](const net::Packet& pkt) {
+    const std::size_t s = shard_of(pkt.src);
+    Batch& batch = open[s];
+    batch.push_back(SeqPacket{pkt, seq_++});
+    if (batch.size() >= config_.batch_size) {
+      (void)shards_[s]->buffer->push(std::move(batch));
+      batches_c_->inc();
+      batch = Batch();
+      batch.reserve(config_.batch_size);
+    }
+  });
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!open[s].empty()) {
+      (void)shards_[s]->buffer->push(std::move(open[s]));
+      batches_c_->inc();
+    }
+    shards_[s]->buffer->close();
+  }
+  for (auto& t : consumers) t.join();
+  return count;
+}
+
+std::size_t ThreadedIngest::run_hour(const PacketSource& source,
+                                     TimeMicros hour_end) {
+  const std::size_t count =
+      config_.num_shards == 1 ? run_single(source) : run_threaded(source);
+  packets_c_->inc(count);
+  // Hour barrier: the shards are quiescent now. Expiry events sort after
+  // every packet of the hour (they all share seq_ == packets so far).
+  for (auto& shard : shards_) {
+    shard->current_seq = seq_;
+    shard->detector->end_of_hour(hour_end);
+  }
+  drain();
+  return count;
+}
+
+void ThreadedIngest::finish() {
+  for (auto& shard : shards_) {
+    shard->current_seq = seq_;
+    shard->detector->finish();
+  }
+  drain();
+}
+
+void ThreadedIngest::drain() {
+  // Per-second reports: each shard saw only its slice of the stream, so
+  // same-second partial reports are summed before replay. Replaying in
+  // ascending second order reproduces the single-detector report stream.
+  std::map<TimeMicros, flow::SecondReport> merged;
+  for (auto& shard : shards_) {
+    for (flow::SecondReport& report : shard->reports) {
+      auto [it, fresh] = merged.try_emplace(report.second_start);
+      flow::SecondReport& into = it->second;
+      if (fresh) {
+        into = std::move(report);
+      } else {
+        into.total += report.total;
+        into.tcp += report.tcp;
+        into.udp += report.udp;
+        into.icmp += report.icmp;
+        into.backscatter_filtered += report.backscatter_filtered;
+        into.new_scanners += report.new_scanners;
+        for (const auto& [port, n] : report.per_port) {
+          into.per_port[port] += n;
+        }
+      }
+    }
+    shard->reports.clear();
+  }
+  if (sink_.on_report) {
+    for (auto& [second, report] : merged) sink_.on_report(report);
+  }
+
+  // Control events: merge all shards by (seq, src, kind) — the exact order
+  // a single detector over the unsharded stream would have emitted them.
+  std::vector<Event> events;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->events.size();
+  events.reserve(total);
+  for (auto& shard : shards_) {
+    std::move(shard->events.begin(), shard->events.end(),
+              std::back_inserter(events));
+    shard->events.clear();
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.seq != b.seq) return a.seq < b.seq;
+              if (a.src.value() != b.src.value()) {
+                return a.src.value() < b.src.value();
+              }
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  for (Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kScanner:
+        if (sink_.on_scanner) sink_.on_scanner(e.summary);
+        break;
+      case EventKind::kSample:
+        if (sink_.on_sample) sink_.on_sample(e.src, e.sample);
+        break;
+      case EventKind::kFlowEnd:
+        if (sink_.on_flow_end) sink_.on_flow_end(e.summary);
+        break;
+    }
+  }
+  events_c_->inc(events.size());
+}
+
+flow::DetectorStats ThreadedIngest::stats() const {
+  flow::DetectorStats sum;
+  for (const auto& shard : shards_) {
+    const flow::DetectorStats& s = shard->detector->stats();
+    sum.packets_processed += s.packets_processed;
+    sum.backscatter_filtered += s.backscatter_filtered;
+    sum.scanners_detected += s.scanners_detected;
+    sum.samples_completed += s.samples_completed;
+    sum.flows_ended += s.flows_ended;
+    sum.pending_resets += s.pending_resets;
+  }
+  return sum;
+}
+
+std::size_t ThreadedIngest::tracked_sources() const {
+  std::size_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->detector->tracked_sources();
+  return sum;
+}
+
+}  // namespace exiot::pipeline

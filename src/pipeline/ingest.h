@@ -1,0 +1,132 @@
+// The threaded capture→detect stage. The paper decouples the 1M pps
+// telescope capture from downstream modules with a 15 GB mbuffer; this
+// stage reproduces that architecture: a producer (the traffic synthesizer,
+// standing in for the capture card) emits the time-ordered packet stream,
+// which is sharded by source IP into per-shard blocking BoundedBuffers and
+// consumed by N FlowDetector shards on their own threads.
+//
+// Sharding by source is what makes the detectors lock-free: all TRW /
+// flow-table state is keyed by source IP, and every packet of a source
+// lands in the same shard, in arrival order. The shared per-second report
+// and the control events (SCANNER / SAMPLE / END_FLOW) are the only
+// cross-shard outputs, and both are funneled back to the single-threaded
+// downstream at the hour barrier:
+//
+//   - control events carry the global arrival sequence number of the
+//     packet that triggered them; the barrier merges all shards' queues by
+//     (seq, src, kind) — exactly the order a single detector would have
+//     emitted them, so the feed output is byte-identical for any shard
+//     count (virtual-time determinism);
+//   - per-shard partial SecondReports are summed by second and replayed
+//     in ascending second order, reproducing the global report stream.
+//
+// `num_shards == 1` falls back to a fully single-threaded path (no
+// buffers, no threads) with the same deferred-event semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "flow/detector.h"
+#include "net/packet.h"
+#include "obs/metrics.h"
+#include "pipeline/buffer.h"
+
+namespace exiot::pipeline {
+
+struct IngestConfig {
+  /// FlowDetector shards consuming the capture buffers (1 = single-
+  /// threaded fallback on the calling thread).
+  int num_shards = 1;
+  /// Capacity of each shard's capture buffer, in packet batches. The
+  /// paper's 15 GB mbuffer scaled to batches: capacity * batch_size
+  /// packets of slack before back-pressure reaches the producer.
+  std::size_t buffer_capacity = 64;
+  /// Packets per batch pushed into a shard buffer (amortizes locking).
+  std::size_t batch_size = 512;
+};
+
+class ThreadedIngest {
+ public:
+  using PacketFn = std::function<void(const net::Packet&)>;
+  /// A packet source: called with a per-packet callback and expected to
+  /// invoke it for every packet of the hour in non-decreasing timestamp
+  /// order, returning the number of packets emitted.
+  using PacketSource = std::function<std::size_t(const PacketFn&)>;
+
+  /// `sink` receives the merged detector events; its callbacks run on the
+  /// thread calling run_hour()/finish(), never concurrently.
+  ThreadedIngest(IngestConfig config, flow::DetectorConfig detector_config,
+                 flow::DetectorEvents sink,
+                 std::vector<std::uint16_t> report_ports = {},
+                 obs::MetricsRegistry* metrics = nullptr);
+  ~ThreadedIngest();
+
+  ThreadedIngest(const ThreadedIngest&) = delete;
+  ThreadedIngest& operator=(const ThreadedIngest&) = delete;
+
+  /// Runs one capture hour: streams `source` through the shards, runs the
+  /// expiry sweep at `hour_end`, and replays all detector events into the
+  /// sink before returning. Returns the number of packets processed.
+  std::size_t run_hour(const PacketSource& source, TimeMicros hour_end);
+
+  /// End of deployment: flushes every shard (END_FLOW for all detected
+  /// flows, final partial reports) and replays the events into the sink.
+  void finish();
+
+  /// Detector counters summed across shards.
+  flow::DetectorStats stats() const;
+  std::size_t tracked_sources() const;
+  int num_shards() const { return config_.num_shards; }
+
+ private:
+  struct SeqPacket {
+    net::Packet pkt;
+    std::uint64_t seq = 0;  // Global arrival sequence number.
+  };
+  using Batch = std::vector<SeqPacket>;
+
+  /// Replay ranks: a packet triggers at most one scanner event, and at a
+  /// barrier a source emits its (incomplete) sample before its END_FLOW.
+  enum class EventKind { kScanner = 0, kSample = 1, kFlowEnd = 2 };
+
+  struct Event {
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kScanner;
+    Ipv4 src;
+    flow::FlowSummary summary;        // kScanner / kFlowEnd.
+    std::vector<net::Packet> sample;  // kSample.
+  };
+
+  /// One detector shard. During an hour, `events`/`reports`/`current_seq`
+  /// are written only by the shard's consumer thread (or the calling
+  /// thread in the single-shard fallback); the barrier reads them after
+  /// join(), so no locking is needed.
+  struct Shard {
+    std::unique_ptr<flow::FlowDetector> detector;
+    std::unique_ptr<BoundedBuffer<Batch>> buffer;  // num_shards > 1 only.
+    std::vector<Event> events;
+    std::vector<flow::SecondReport> reports;
+    std::uint64_t current_seq = 0;
+  };
+
+  std::size_t shard_of(Ipv4 src) const;
+  std::size_t run_single(const PacketSource& source);
+  std::size_t run_threaded(const PacketSource& source);
+  /// Merges and replays all shards' queued events/reports into the sink.
+  void drain();
+
+  IngestConfig config_;
+  flow::DetectorEvents sink_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t seq_ = 0;
+  obs::Counter* packets_c_;
+  obs::Counter* batches_c_;
+  obs::Counter* events_c_;
+  obs::Gauge* shards_g_;
+};
+
+}  // namespace exiot::pipeline

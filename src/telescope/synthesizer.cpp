@@ -121,28 +121,7 @@ TrafficSynthesizer::TrafficSynthesizer(const inet::Population& pop,
 std::size_t TrafficSynthesizer::run(
     TimeMicros t0, TimeMicros t1,
     const std::function<void(const net::Packet&)>& fn) {
-  // Min-heap over stream indices keyed by the next arrival time.
-  using Entry = std::pair<TimeMicros, std::size_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  for (std::size_t i = 0; i < streams_.size(); ++i) {
-    // Skip ahead: drop packets before the window without emitting.
-    while (streams_[i].peek_ts() < t0) (void)streams_[i].next();
-    if (streams_[i].peek_ts() < t1) heap.emplace(streams_[i].peek_ts(), i);
-  }
-  std::size_t count = 0;
-  while (!heap.empty()) {
-    auto [ts, idx] = heap.top();
-    heap.pop();
-    auto pkt = streams_[idx].next();
-    if (!pkt.has_value()) continue;
-    if (pkt->ts >= t1) continue;
-    fn(*pkt);
-    ++count;
-    if (streams_[idx].peek_ts() < t1) {
-      heap.emplace(streams_[idx].peek_ts(), idx);
-    }
-  }
-  return count;
+  return emit(t0, t1, fn);
 }
 
 }  // namespace exiot::telescope

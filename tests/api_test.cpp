@@ -37,6 +37,36 @@ TEST(HttpTest, ParsesBody) {
   EXPECT_EQ(req->body, "hi");
 }
 
+TEST(HttpTest, ContentLengthBoundsBody) {
+  // Trailing bytes beyond the declared length (a pipelined request, junk)
+  // must not leak into the body.
+  auto req = HttpRequest::parse(
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiEXTRA");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body, "hi");
+}
+
+TEST(HttpTest, BodyEmptyWithoutContentLength) {
+  auto req = HttpRequest::parse("GET /x HTTP/1.1\r\n\r\nleftover");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body, "");
+}
+
+TEST(HttpTest, IncompleteBodyRejected) {
+  EXPECT_FALSE(
+      HttpRequest::parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi")
+          .has_value());
+}
+
+TEST(HttpTest, MalformedContentLengthRejected) {
+  EXPECT_FALSE(
+      HttpRequest::parse("POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\nhi")
+          .has_value());
+  EXPECT_FALSE(
+      HttpRequest::parse("POST /x HTTP/1.1\r\nContent-Length: 2x\r\n\r\nhi")
+          .has_value());
+}
+
 TEST(HttpTest, RejectsMalformed) {
   EXPECT_FALSE(HttpRequest::parse("").has_value());
   EXPECT_FALSE(HttpRequest::parse("GET /\r\n\r\n").has_value());
@@ -58,6 +88,18 @@ TEST(HttpTest, ResponseSerialization) {
   EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
   EXPECT_NE(wire.find("Content-Length: 11"), std::string::npos);
   EXPECT_TRUE(wire.ends_with(R"({"ok":true})"));
+}
+
+TEST(HttpTest, SerializeRespectsHandlerHeaders) {
+  HttpResponse res = HttpResponse::text(200, "chunk");
+  res.headers["Content-Length"] = "5";
+  res.headers["Connection"] = "keep-alive";
+  const std::string wire = res.serialize();
+  // The handler's values win: no duplicate framing headers.
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+  EXPECT_EQ(wire.find("Connection"), wire.rfind("Connection"));
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Connection: close"), std::string::npos);
 }
 
 // ------------------------------------------------------------- Endpoints ----

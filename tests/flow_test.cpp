@@ -236,6 +236,65 @@ TEST_F(DetectorTest, DistinctSourcesTrackedIndependently) {
   EXPECT_EQ(detector_->tracked_sources(), 2u);
 }
 
+TEST_F(DetectorTest, ExpiredScannerIsRedetectedOnReturn) {
+  const TimeMicros last = feed(Ipv4(1, 2, 3, 4), 150, 0, seconds(1));
+  detector_->end_of_hour(last + kMicrosPerHour + seconds(1));
+  ASSERT_EQ(ends_.size(), 1u);
+  EXPECT_EQ(detector_->tracked_sources(), 0u);
+  // The source comes back after expiry: a fresh flow, a second detection.
+  feed(Ipv4(1, 2, 3, 4), 150, last + 3 * kMicrosPerHour, seconds(1));
+  EXPECT_EQ(scanners_.size(), 2u);
+  EXPECT_EQ(detector_->stats().scanners_detected, 2u);
+  detector_->finish();
+  EXPECT_EQ(ends_.size(), 2u);
+}
+
+TEST_F(DetectorTest, PerPortReportsExcludeBackscatter) {
+  // A SYN/ACK reply landing on report port 23 is backscatter: it must be
+  // counted as filtered, not as port-23 scan traffic.
+  net::Packet reply = net::make_syn(seconds(0.2), Ipv4(9, 9, 9, 9),
+                                    Ipv4(44, 0, 0, 1), 80, 23);
+  reply.flags = net::tcp_flags::kSyn | net::tcp_flags::kAck;
+  detector_->process(reply);
+  detector_->process(net::make_syn(seconds(0.4), Ipv4(1, 2, 3, 4),
+                                   Ipv4(44, 0, 0, 1), 40000, 23));
+  detector_->finish();
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_EQ(reports_[0].total, 2u);
+  EXPECT_EQ(reports_[0].backscatter_filtered, 1u);
+  EXPECT_EQ(reports_[0].per_port.at(23), 1u);  // Only the real SYN.
+}
+
+TEST_F(DetectorTest, EndOfHourFlushesOpenReport) {
+  // Three packets inside one second, then the hour ends: the report for
+  // that second must ship at the barrier, not lag until the next packet.
+  for (int i = 0; i < 3; ++i) {
+    detector_->process(net::make_syn(seconds(10) + i * 1000,
+                                     Ipv4(1, 1, 1, 1), Ipv4(44, 0, 0, 1),
+                                     40000, 23));
+  }
+  EXPECT_TRUE(reports_.empty());
+  detector_->end_of_hour(kMicrosPerHour);
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_EQ(reports_[0].second_start, seconds(10));
+  EXPECT_EQ(reports_[0].total, 3u);
+  detector_->finish();  // Nothing left open: no duplicate report.
+  EXPECT_EQ(reports_.size(), 1u);
+}
+
+TEST_F(DetectorTest, ExpiryOrderIsDeterministic) {
+  // Fed out of address order; expiry events must come back sorted by
+  // source so the stream is identical across hash layouts/shard counts.
+  feed(Ipv4(9, 0, 0, 1), 150, 0, seconds(1));
+  feed(Ipv4(1, 0, 0, 1), 150, 0, seconds(1));
+  feed(Ipv4(5, 0, 0, 1), 150, 0, seconds(1));
+  detector_->finish();
+  ASSERT_EQ(ends_.size(), 3u);
+  EXPECT_EQ(ends_[0].src, Ipv4(1, 0, 0, 1));
+  EXPECT_EQ(ends_[1].src, Ipv4(5, 0, 0, 1));
+  EXPECT_EQ(ends_[2].src, Ipv4(9, 0, 0, 1));
+}
+
 class ThresholdSweep
     : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
 

@@ -1,13 +1,21 @@
-// Tests for the pipeline module: buffer back-pressure, the reconnecting
-// tunnel, the packet organizer, the scan module, and the update
-// classifier's sliding-window retraining.
+// Tests for the pipeline module: the blocking buffer between the capture
+// and detect stages, the threaded ingest stage and its determinism
+// guarantee, the reconnecting tunnel, the packet organizer, the scan
+// module, and the update classifier's sliding-window retraining.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <sstream>
+#include <thread>
 #include <unistd.h>
 
 #include "common/rng.h"
+#include "feed/export.h"
+#include "inet/population.h"
 #include "pipeline/buffer.h"
+#include "pipeline/exiot.h"
+#include "pipeline/ingest.h"
 #include "pipeline/organizer.h"
 #include "pipeline/scan_module.h"
 #include "pipeline/tunnel.h"
@@ -24,17 +32,17 @@ TEST(BufferTest, FifoOrder) {
   EXPECT_TRUE(buffer.push(2));
   EXPECT_EQ(buffer.pop(), 1);
   EXPECT_EQ(buffer.pop(), 2);
-  EXPECT_FALSE(buffer.pop().has_value());
+  EXPECT_FALSE(buffer.try_pop().has_value());
 }
 
-TEST(BufferTest, BackPressureWhenFull) {
+TEST(BufferTest, TryPushRefusedWhenFull) {
   BoundedBuffer<int> buffer(2);
-  EXPECT_TRUE(buffer.push(1));
-  EXPECT_TRUE(buffer.push(2));
-  EXPECT_FALSE(buffer.push(3));  // Refused, not dropped silently.
+  EXPECT_TRUE(buffer.try_push(1));
+  EXPECT_TRUE(buffer.try_push(2));
+  EXPECT_FALSE(buffer.try_push(3));  // Refused, not dropped silently.
   EXPECT_EQ(buffer.rejected(), 1u);
   (void)buffer.pop();
-  EXPECT_TRUE(buffer.push(3));
+  EXPECT_TRUE(buffer.try_push(3));
 }
 
 TEST(BufferTest, HighWatermarkTracksPeak) {
@@ -43,6 +51,269 @@ TEST(BufferTest, HighWatermarkTracksPeak) {
   for (int i = 0; i < 5; ++i) (void)buffer.pop();
   (void)buffer.push(99);
   EXPECT_EQ(buffer.high_watermark(), 7u);
+}
+
+TEST(BufferTest, PushBlocksUntilPopFreesASlot) {
+  BoundedBuffer<int> buffer(1);
+  ASSERT_TRUE(buffer.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(buffer.push(2));  // Blocks: the buffer is full.
+    pushed.store(true);
+  });
+  // The producer must be parked, not dropping or failing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(buffer.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(buffer.pop(), 2);
+  EXPECT_GT(buffer.producer_blocked_micros(), 0u);
+}
+
+TEST(BufferTest, PopBlocksUntilPush) {
+  BoundedBuffer<int> buffer(4);
+  std::atomic<int> got{0};
+  std::thread consumer([&] {
+    auto item = buffer.pop();  // Blocks: the buffer is empty.
+    ASSERT_TRUE(item.has_value());
+    got.store(*item);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);
+  ASSERT_TRUE(buffer.push(7));
+  consumer.join();
+  EXPECT_EQ(got.load(), 7);
+  EXPECT_GT(buffer.consumer_blocked_micros(), 0u);
+}
+
+TEST(BufferTest, CloseReleasesBlockedProducerAndConsumer) {
+  BoundedBuffer<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.push(2)); });
+  BoundedBuffer<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BufferTest, CloseDrainsRemainingItems) {
+  BoundedBuffer<int> buffer(4);
+  ASSERT_TRUE(buffer.push(1));
+  ASSERT_TRUE(buffer.push(2));
+  buffer.close();
+  EXPECT_FALSE(buffer.push(3));  // Closed: refused immediately.
+  EXPECT_EQ(buffer.pop(), 1);   // Remaining items stay poppable.
+  EXPECT_EQ(buffer.pop(), 2);
+  EXPECT_FALSE(buffer.pop().has_value());
+}
+
+TEST(BufferTest, ReopenAfterCloseAcceptsAgain) {
+  BoundedBuffer<int> buffer(4);
+  ASSERT_TRUE(buffer.push(1));
+  buffer.close();
+  EXPECT_EQ(buffer.pop(), 1);
+  buffer.reopen();
+  EXPECT_TRUE(buffer.push(2));
+  EXPECT_EQ(buffer.pop(), 2);
+}
+
+TEST(BufferTest, BatchPushPop) {
+  BoundedBuffer<int> buffer(8);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  EXPECT_EQ(buffer.push_all(in), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(buffer.pop_all(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(buffer.pop_all(out, 10), 2u);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.back(), 5);
+}
+
+TEST(BufferTest, ProducerConsumerStress) {
+  constexpr int kItems = 20000;
+  BoundedBuffer<int> buffer(16);  // Small: forces constant back-pressure.
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+  auto consume = [&] {
+    while (auto item = buffer.pop()) {
+      sum.fetch_add(*item);
+      count.fetch_add(1);
+    }
+  };
+  std::thread c1(consume), c2(consume);
+  for (int i = 1; i <= kItems; ++i) ASSERT_TRUE(buffer.push(i));
+  buffer.close();
+  c1.join();
+  c2.join();
+  EXPECT_EQ(count.load(), kItems);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kItems) * (kItems + 1) / 2);
+}
+
+// ------------------------------------------------------- ThreadedIngest ----
+
+/// Replays crafted packets through ThreadedIngest at a given shard count
+/// and returns a textual log of every event the sink saw, in order.
+std::string ingest_event_log(int shards) {
+  // Six sources, 150 SYNs each at 1 s spacing, interleaved in time order:
+  // all cross the scanner thresholds; none completes its 200-packet sample
+  // (incomplete samples ship at finish).
+  std::vector<net::Packet> packets;
+  const std::vector<Ipv4> sources{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 1, 1),
+                                  Ipv4(10, 0, 2, 1), Ipv4(172, 16, 0, 9),
+                                  Ipv4(192, 168, 3, 3), Ipv4(203, 0, 113, 77)};
+  for (int i = 0; i < 150; ++i) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      packets.push_back(net::make_syn(
+          seconds(i) + static_cast<TimeMicros>(s) * 1000, sources[s],
+          Ipv4(44, 0, 0, 1), 40000, 23, static_cast<std::uint32_t>(i)));
+    }
+  }
+
+  std::ostringstream log;
+  flow::DetectorEvents sink;
+  sink.on_scanner = [&log](const flow::FlowSummary& s) {
+    log << "SCANNER " << s.src.to_string() << " " << s.total_packets << "\n";
+  };
+  sink.on_sample = [&log](Ipv4 src, const std::vector<net::Packet>& pkts) {
+    log << "SAMPLE " << src.to_string() << " " << pkts.size() << "\n";
+  };
+  sink.on_flow_end = [&log](const flow::FlowSummary& s) {
+    log << "END " << s.src.to_string() << " " << s.total_packets << "\n";
+  };
+  sink.on_report = [&log](const flow::SecondReport& r) {
+    log << "REPORT " << r.second_start / kMicrosPerSecond << " " << r.total
+        << " " << r.new_scanners << "\n";
+  };
+
+  IngestConfig config;
+  config.num_shards = shards;
+  config.buffer_capacity = 4;  // Small: exercises back-pressure.
+  config.batch_size = 32;
+  ThreadedIngest ingest(config, flow::DetectorConfig{}, std::move(sink),
+                        {23, 80});
+  ingest.run_hour(
+      [&packets](const ThreadedIngest::PacketFn& fn) {
+        for (const auto& pkt : packets) fn(pkt);
+        return packets.size();
+      },
+      kMicrosPerHour);
+  ingest.finish();
+  EXPECT_EQ(ingest.stats().packets_processed, packets.size());
+  EXPECT_EQ(ingest.stats().scanners_detected, 6u);
+  return log.str();
+}
+
+TEST(ThreadedIngestTest, ShardCountInvariantEventSequence) {
+  const std::string single = ingest_event_log(1);
+  // The single-shard log contains every source's detection and end.
+  EXPECT_NE(single.find("SCANNER 10.0.0.1 100"), std::string::npos);
+  EXPECT_NE(single.find("END 203.0.113.77 150"), std::string::npos);
+  EXPECT_NE(single.find("SAMPLE 10.0.1.1 50"), std::string::npos);
+  // The merged multi-shard event stream is byte-identical.
+  EXPECT_EQ(single, ingest_event_log(3));
+  EXPECT_EQ(single, ingest_event_log(5));
+}
+
+// -------------------------------------------------- Pipeline determinism ----
+
+/// Runs the full pipeline over a small population at the given shard
+/// count and returns the exported feed plus headline counters.
+std::string feed_jsonl_at_shards(int shards, PipelineStats* stats_out) {
+  inet::PopulationConfig config;
+  config.iot_per_day = 30;
+  config.generic_per_day = 20;
+  config.misconfig_per_day = 10;
+  config.victims_per_day = 4;
+  config.benign_per_day = 2;
+  config.days = 1;
+  config.seed = 42;
+  auto world = inet::WorldModel::standard(Cidr(Ipv4(44, 0, 0, 0), 8));
+  auto population = inet::Population::generate(config, world);
+  PipelineConfig pipe_config;
+  pipe_config.num_detector_shards = shards;
+  pipe_config.buffer_capacity = 8;
+  pipe_config.ingest_batch_size = 64;
+  ExIotPipeline pipe(population, world, pipe_config);
+  pipe.run_days(0, 1);
+  pipe.finish();
+  if (stats_out != nullptr) *stats_out = pipe.stats();
+  std::ostringstream out;
+  feed::export_jsonl(pipe.feed(), out);
+  return out.str();
+}
+
+TEST(PipelineDeterminismTest, FeedOutputInvariantAcrossShardCounts) {
+  PipelineStats single_stats, sharded_stats;
+  const std::string single = feed_jsonl_at_shards(1, &single_stats);
+  const std::string sharded = feed_jsonl_at_shards(4, &sharded_stats);
+  EXPECT_GT(single_stats.records_published, 0u);
+  EXPECT_EQ(single, sharded);  // Byte-identical feed export.
+  EXPECT_EQ(single_stats.packets_processed, sharded_stats.packets_processed);
+  EXPECT_EQ(single_stats.scanners_detected, sharded_stats.scanners_detected);
+  EXPECT_EQ(single_stats.records_published, sharded_stats.records_published);
+  EXPECT_EQ(single_stats.report_messages, sharded_stats.report_messages);
+}
+
+// ------------------------------------------------- Pending re-detection ----
+
+TEST(PipelineRedetectionTest, RedetectionPreservesInFlightPendingState) {
+  // A scanner whose flow expires while its probe is still waiting in the
+  // scan-module batch, and which then scans again: the re-detection must
+  // not clobber the in-flight record or double-submit the probe.
+  const Cidr telescope(Ipv4(44, 0, 0, 0), 8);
+  auto world = inet::WorldModel::standard(telescope);
+  inet::PopulationConfig empty;
+  empty.iot_per_day = 0;
+  empty.generic_per_day = 0;
+  empty.benign_per_day = 0;
+  empty.misconfig_per_day = 0;
+  empty.victims_per_day = 0;
+  empty.days = 1;
+  auto population = inet::Population::generate(empty, world);
+
+  inet::Host scanner;
+  scanner.addr = Ipv4(198, 51, 100, 7);
+  scanner.cls = inet::HostClass::kInfectedGeneric;
+  scanner.asn = 7922;
+  const auto& families = inet::BehaviorRoster::standard().generic_families;
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    if (families[f].family == "zmap") {
+      scanner.behavior_index = static_cast<int>(f);
+    }
+  }
+  scanner.behavior_is_iot = false;
+  scanner.responds_banner = true;
+  // Two scan sessions separated by > flow_expiry of idle time: the first
+  // flow expires at an hour barrier, the source is re-detected in hour 3.
+  scanner.sessions.push_back({minutes(5), minutes(35), 4.0});
+  scanner.sessions.push_back({hours(3) + minutes(5), hours(3) + minutes(35),
+                              4.0});
+  scanner.seed = 0x5E1F5CA9;
+  population.inject_host(scanner);
+
+  PipelineConfig config;
+  config.telescope = telescope;
+  // Keep the probe in flight across the whole run: the batch never fills
+  // and never times out, so the outcome only lands at finish().
+  config.batcher.max_records = 100000;
+  config.batcher.max_wait = hours(1000);
+  ExIotPipeline pipe(population, world, config);
+  pipe.run_hours(0, 5);
+  pipe.finish();
+
+  EXPECT_EQ(pipe.stats().scanners_detected, 2u);
+  EXPECT_EQ(pipe.metrics().counter_value(
+                "exiot_pipeline_pending_clobbered_total"),
+            1u);
+  // One record: the re-detection reused the in-flight probe submission.
+  auto records = pipe.feed().records_for(scanner.addr);
+  ASSERT_EQ(records.size(), 1u);
+  // The published record reflects the second flow, not the clobbered one.
+  EXPECT_GE(records.front().scan_start, hours(3));
 }
 
 // --------------------------------------------------------------- Tunnel ----

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: regular build + full test suite + metrics-name lint,
+# then a ThreadSanitizer build of the concurrency-bearing test binaries
+# (the threaded ingest stage, the blocking buffer, the TCP listener path).
+#
+#   tools/ci.sh [build-dir] [tsan-build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TSAN_BUILD="${2:-build-tsan}"
+
+echo "== build + test =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j"$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
+
+echo "== metrics name lint =="
+bash tools/check_metrics_names.sh
+
+echo "== ThreadSanitizer: pipeline / flow / telescope tests =="
+cmake -B "$TSAN_BUILD" -S . -DEXIOT_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j"$(nproc)" \
+  --target pipeline_test flow_test telescope_test
+for t in pipeline_test flow_test telescope_test; do
+  echo "-- tsan: $t"
+  "$TSAN_BUILD/tests/$t"
+done
+
+echo "CI OK"
