@@ -1,8 +1,10 @@
 #include "ml/forest.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 namespace exiot::ml {
 namespace {
@@ -185,9 +187,18 @@ RandomForest RandomForest::train(const Dataset& data,
     }
   }
 
-  forest.trees_.reserve(static_cast<std::size_t>(params.num_trees));
-  for (int t = 0; t < params.num_trees; ++t) {
-    Rng tree_rng = rng.split();
+  // Split every tree's RNG off the forest seed up front: tree t's stream
+  // is then independent of which thread trains it (or in what order), so
+  // the forest below is bit-identical for any train_threads value.
+  const auto num_trees = static_cast<std::size_t>(
+      std::max(0, params.num_trees));
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) tree_rngs.push_back(rng.split());
+
+  forest.trees_.resize(num_trees);
+  auto train_tree = [&](std::size_t t) {
+    Rng& tree_rng = tree_rngs[t];
     std::vector<std::size_t> bootstrap(samples_per_tree);
     if (params.balanced_bootstrap && !pos.empty() && !neg.empty()) {
       for (std::size_t i = 0; i < bootstrap.size(); ++i) {
@@ -197,8 +208,31 @@ RandomForest RandomForest::train(const Dataset& data,
     } else {
       for (auto& idx : bootstrap) idx = tree_rng.next_below(n);
     }
-    forest.trees_.push_back(
-        DecisionTree::train(data, bootstrap, params.tree, tree_rng));
+    forest.trees_[t] =
+        DecisionTree::train(data, bootstrap, params.tree, tree_rng);
+  };
+
+  std::size_t threads = params.train_threads > 0
+                            ? static_cast<std::size_t>(params.train_threads)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, num_trees);
+  if (threads <= 1) {
+    for (std::size_t t = 0; t < num_trees; ++t) train_tree(t);
+  } else {
+    // Embarrassingly parallel: each worker claims trees off a shared
+    // ticket; every tree writes only its own slot.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t t = next.fetch_add(1); t < num_trees;
+             t = next.fetch_add(1)) {
+          train_tree(t);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
   }
   return forest;
 }

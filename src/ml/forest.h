@@ -73,6 +73,11 @@ struct ForestParams {
   /// banner-labeled IoT examples are a small minority of the window, as
   /// in the production pipeline.
   bool balanced_bootstrap = false;
+  /// Worker threads for tree training: 0 = one per hardware thread
+  /// (capped at num_trees), 1 = serial. Every tree's RNG is split off the
+  /// forest seed before any training starts, so the trained model is
+  /// bit-identical for any thread count.
+  int train_threads = 0;
 };
 
 /// Bagged random forest; the pipeline's production model.

@@ -13,7 +13,11 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                              PipelineConfig config)
     : population_(population),
       config_(config),
-      synth_(population, config.telescope),
+      producer_(population, config.telescope,
+                ProducerConfig{config.num_producer_threads,
+                               config.producer_batch_size, minutes(1),
+                               config.producer_queue_capacity},
+                &metrics_),
       ingest_(
           IngestConfig{config.num_detector_shards, config.buffer_capacity,
                        config.ingest_batch_size},
@@ -282,7 +286,7 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
     const TimeMicros end = start + kMicrosPerHour;
     ingest_.run_hour(
         [this, start, end](const ThreadedIngest::PacketFn& fn) {
-          return synth_.run(start, end, fn);
+          return producer_.emit(start, end, fn);
         },
         end);
 

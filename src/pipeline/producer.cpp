@@ -1,0 +1,173 @@
+#include "pipeline/producer.h"
+
+#include <algorithm>
+
+namespace exiot::pipeline {
+
+ParallelProducer::ParallelProducer(const inet::Population& pop,
+                                   Cidr aperture, ProducerConfig config,
+                                   obs::MetricsRegistry* metrics)
+    : config_(config) {
+  config_.num_producers = std::max(1, config_.num_producers);
+  config_.batch_size = std::max<std::size_t>(1, config_.batch_size);
+  config_.batch_span = std::max<TimeMicros>(1, config_.batch_span);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  // No point spinning up more producers than there are host streams.
+  const auto n_hosts = pop.hosts().size();
+  if (n_hosts > 0) {
+    config_.num_producers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(config_.num_producers), n_hosts));
+  }
+
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  packets_c_ = &reg.counter("exiot_producer_packets_total",
+                            "Packets emitted by the traffic producer "
+                            "stage (after the deterministic merge).");
+  batches_c_ = &reg.counter("exiot_producer_batches_total",
+                            "Packet batches pushed into the producer "
+                            "queues.");
+  pruned_c_ = &reg.counter("exiot_synth_streams_pruned_total",
+                           "Exhausted host streams removed from the live "
+                           "emit lists.");
+  dead_scans_c_ = &reg.counter(
+      "exiot_synth_dead_stream_scans_avoided_total",
+      "Window-entry scans of exhausted streams skipped thanks to the "
+      "compacted live lists.");
+  producers_g_ = &reg.gauge("exiot_producer_threads",
+                            "Producer threads synthesizing telescope "
+                            "traffic.");
+  producers_g_->set(static_cast<double>(config_.num_producers));
+  batch_h_ = &reg.histogram("exiot_producer_batch_packets",
+                            "Packets per batch pushed into the producer "
+                            "queues.",
+                            obs::size_buckets());
+
+  const auto k = static_cast<std::size_t>(config_.num_producers);
+  partitions_.reserve(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    auto part = std::make_unique<Partition>();
+    if (k > 1) {
+      part->queue =
+          std::make_unique<BoundedBuffer<ProducerBatch>>(
+              config_.queue_capacity);
+      part->queue->instrument(
+          reg, obs::Labels{{"buffer", "producer"},
+                           {"producer", std::to_string(p)}});
+    }
+    partitions_.push_back(std::move(part));
+  }
+  // Round-robin partition: host i -> producer i % K. Any disjoint
+  // partition is correct (the merge keys on the global host index carried
+  // per packet); round-robin just balances heavy and light hosts.
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    Partition& part = *partitions_[i % k];
+    part.live.push_back(static_cast<std::uint32_t>(part.streams.size()));
+    part.hosts.push_back(static_cast<std::uint32_t>(i));
+    part.streams.emplace_back(pop, pop.hosts()[i], aperture);
+  }
+}
+
+ParallelProducer::~ParallelProducer() {
+  close_queues();
+  join_workers();
+}
+
+std::size_t ParallelProducer::run(
+    TimeMicros t0, TimeMicros t1,
+    const std::function<void(const net::Packet&)>& fn) {
+  return emit(t0, t1, fn);
+}
+
+void ParallelProducer::start_window(TimeMicros t0, TimeMicros t1) {
+  workers_.reserve(partitions_.size());
+  for (auto& part : partitions_) {
+    part->queue->reopen();
+    workers_.emplace_back(
+        [this, p = part.get(), t0, t1] { produce(*p, t0, t1); });
+  }
+}
+
+void ParallelProducer::produce(Partition& part, TimeMicros t0,
+                               TimeMicros t1) {
+  const std::uint64_t avoided = part.streams.size() - part.live.size();
+  part.dead_scans_avoided += avoided;
+  dead_scans_c_->inc(avoided);
+  const std::size_t pruned_before = part.pruned;
+
+  ProducerBatch batch;
+  batch.reserve(config_.batch_size);
+  TimeMicros batch_start = 0;
+  auto flush = [this, &part, &batch]() {
+    batch_h_->observe(static_cast<double>(batch.size()));
+    if (!part.queue->push(std::move(batch))) return false;
+    batches_c_->inc();
+    batch = ProducerBatch();
+    batch.reserve(config_.batch_size);
+    return true;
+  };
+  telescope::emit_window(
+      part.streams, part.hosts.data(), part.live, t0, t1, part.pruned,
+      [this, &batch, &batch_start, &flush](const net::Packet& pkt,
+                                           std::uint32_t host) {
+        if (batch.empty()) batch_start = pkt.ts;
+        batch.push_back(SynthPacket{pkt, host});
+        if (batch.size() >= config_.batch_size ||
+            pkt.ts - batch_start >= config_.batch_span) {
+          // A refused push means the queue was closed under us (merger
+          // shutdown): abort the window.
+          return flush();
+        }
+        return true;
+      });
+  if (!batch.empty()) (void)flush();
+  pruned_c_->inc(part.pruned - pruned_before);
+  part.queue->close();
+}
+
+bool ParallelProducer::refill(std::size_t p, Cursor& cursor) {
+  while (true) {
+    auto batch = partitions_[p]->queue->pop();
+    if (!batch.has_value()) {
+      cursor.done = true;
+      return false;
+    }
+    if (batch->empty()) continue;
+    cursor.batch = std::move(*batch);
+    cursor.pos = 0;
+    return true;
+  }
+}
+
+void ParallelProducer::close_queues() {
+  for (auto& part : partitions_) {
+    if (part->queue != nullptr) part->queue->close();
+  }
+}
+
+void ParallelProducer::join_workers() {
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::uint64_t ParallelProducer::streams_pruned() const {
+  std::uint64_t sum = 0;
+  for (const auto& part : partitions_) sum += part->pruned;
+  return sum;
+}
+
+std::uint64_t ParallelProducer::dead_stream_scans_avoided() const {
+  std::uint64_t sum = 0;
+  for (const auto& part : partitions_) sum += part->dead_scans_avoided;
+  return sum;
+}
+
+std::size_t ParallelProducer::live_streams() const {
+  std::size_t sum = 0;
+  for (const auto& part : partitions_) sum += part->live.size();
+  return sum;
+}
+
+}  // namespace exiot::pipeline

@@ -1,0 +1,219 @@
+// Stage 0 of the pipeline, parallelized: the multi-threaded traffic
+// producer. The telescope sustains ~1M pps into the mbuffer, and after the
+// capture->detect stage was sharded (pipeline/ingest.h) the single-threaded
+// synthesizer merge became the pipeline's serial bottleneck. This stage
+// partitions the host streams round-robin across K producer threads; each
+// thread runs its own local heap-merge (telescope::emit_window) over its
+// partition and pushes fixed-size, time-bounded packet batches into a
+// per-producer BoundedBuffer. A merger on the calling thread performs a
+// deterministic K-way merge over the producer queues by (ts, host_index) —
+// the same total order the serial synthesizer emits — and hands each packet
+// to the caller, which stamps the global arrival sequence numbers and
+// routes into the per-shard capture buffers (ThreadedIngest's producer
+// role).
+//
+// Because every partition's stream is sorted by (ts, host_index) and host
+// indices are disjoint across partitions, the head-of-queue merge
+// reconstructs exactly the serial arrival order: the packet stream — and
+// therefore the ingest event log and the exported feed — is byte-identical
+// for any (producer_threads x detector_shards) combination.
+//
+// `num_producers == 1` short-circuits to a fully serial emit on the
+// calling thread (no queues, no threads) with the same live-list and
+// reused-slot fast paths, so the baseline configuration pays nothing for
+// the machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "inet/population.h"
+#include "net/packet.h"
+#include "obs/metrics.h"
+#include "pipeline/buffer.h"
+#include "telescope/synthesizer.h"
+
+namespace exiot::pipeline {
+
+struct ProducerConfig {
+  /// Producer threads synthesizing traffic (1 = serial fallback on the
+  /// calling thread). The emitted stream is byte-identical for any value.
+  int num_producers = 1;
+  /// Packets per batch pushed into a producer queue (the fixed-size bound).
+  std::size_t batch_size = 1024;
+  /// Maximum traffic time one batch may span (the time bound): a slow,
+  /// sparse partition still surrenders its packets to the merger promptly
+  /// instead of sitting on a half-filled batch for the whole window.
+  TimeMicros batch_span = minutes(1);
+  /// Capacity of each producer queue, in batches. A full queue
+  /// back-pressures its producer thread (blocking push, no data loss).
+  std::size_t queue_capacity = 8;
+};
+
+/// One synthesized packet annotated with its global host index — the
+/// deterministic tie-break the K-way merge orders equal timestamps by.
+struct SynthPacket {
+  net::Packet pkt;
+  std::uint32_t host = 0;
+};
+using ProducerBatch = std::vector<SynthPacket>;
+
+class ParallelProducer {
+ public:
+  ParallelProducer(const inet::Population& pop, Cidr aperture,
+                   ProducerConfig config = {},
+                   obs::MetricsRegistry* metrics = nullptr);
+  ~ParallelProducer();
+
+  ParallelProducer(const ParallelProducer&) = delete;
+  ParallelProducer& operator=(const ParallelProducer&) = delete;
+
+  /// Emits every packet with ts in [t0, t1) in the canonical
+  /// (ts, host_index) arrival order, calling `fn(const net::Packet&)` on
+  /// the calling thread. `fn` may return void, or bool where false stops
+  /// the run early: producer queues are closed, the worker threads unwind
+  /// off their blocked pushes and are joined before emit returns (the
+  /// close-while-producing shutdown path). After an early stop the
+  /// producer's stream state is mid-window; start the next emit from a
+  /// fresh instance. Returns the number of packets delivered to `fn`.
+  template <typename Fn>
+  std::size_t emit(TimeMicros t0, TimeMicros t1, Fn&& fn) {
+    if (partitions_.size() == 1) return emit_serial(t0, t1, fn);
+    return emit_threaded(t0, t1, fn);
+  }
+
+  /// std::function convenience wrapper (cold callers).
+  std::size_t run(TimeMicros t0, TimeMicros t1,
+                  const std::function<void(const net::Packet&)>& fn);
+
+  int num_producers() const {
+    return static_cast<int>(partitions_.size());
+  }
+  /// Exhausted host streams removed from the live emit lists so far.
+  std::uint64_t streams_pruned() const;
+  /// Window-entry scans of dead streams skipped thanks to the live lists.
+  std::uint64_t dead_stream_scans_avoided() const;
+  /// Host streams still able to produce packets.
+  std::size_t live_streams() const;
+  std::uint64_t packets_emitted() const { return packets_c_->value(); }
+  std::uint64_t batches_emitted() const { return batches_c_->value(); }
+
+ private:
+  /// One producer thread's share of the host streams. During a threaded
+  /// window, `streams`/`live`/`pruned`/`dead_scans_avoided` are touched
+  /// only by the partition's worker thread; between windows only the
+  /// calling thread reads them (the worker is joined).
+  struct Partition {
+    std::vector<telescope::HostStream> streams;
+    std::vector<std::uint32_t> hosts;  // Local slot -> global host index.
+    std::vector<std::uint32_t> live;   // Local slots, compacted.
+    std::unique_ptr<BoundedBuffer<ProducerBatch>> queue;  // K > 1 only.
+    std::size_t pruned = 0;
+    std::uint64_t dead_scans_avoided = 0;
+  };
+
+  template <typename Fn>
+  std::size_t emit_serial(TimeMicros t0, TimeMicros t1, Fn& fn) {
+    Partition& part = *partitions_[0];
+    const std::uint64_t avoided = part.streams.size() - part.live.size();
+    part.dead_scans_avoided += avoided;
+    dead_scans_c_->inc(avoided);
+    const std::size_t pruned_before = part.pruned;
+    const std::size_t count = telescope::emit_window(
+        part.streams, part.hosts.data(), part.live, t0, t1, part.pruned,
+        [&fn](const net::Packet& pkt, std::uint32_t) {
+          return invoke_sink(fn, pkt);
+        });
+    pruned_c_->inc(part.pruned - pruned_before);
+    packets_c_->inc(count);
+    return count;
+  }
+
+  template <typename Fn>
+  std::size_t emit_threaded(TimeMicros t0, TimeMicros t1, Fn& fn) {
+    start_window(t0, t1);
+    // The K-way merge: advance the cursor holding the smallest
+    // (ts, host) head; refill a drained cursor from its queue (blocking
+    // until the producer pushes or closes).
+    std::vector<Cursor> cursors(partitions_.size());
+    std::size_t count = 0;
+    bool stopped = false;
+    while (!stopped) {
+      int best = -1;
+      for (std::size_t p = 0; p < cursors.size(); ++p) {
+        Cursor& cur = cursors[p];
+        if (cur.done) continue;
+        if (cur.pos >= cur.batch.size() && !refill(p, cur)) continue;
+        if (best < 0 || heads_before(cur, cursors[static_cast<std::size_t>(
+                                              best)])) {
+          best = static_cast<int>(p);
+        }
+      }
+      if (best < 0) break;
+      Cursor& winner = cursors[static_cast<std::size_t>(best)];
+      const SynthPacket& item = winner.batch[winner.pos++];
+      if (!invoke_sink(fn, item.pkt)) {
+        stopped = true;
+        break;
+      }
+      ++count;
+    }
+    if (stopped) close_queues();  // Unblock producers parked on a push.
+    join_workers();
+    packets_c_->inc(count);
+    return count;
+  }
+
+  /// Adapts void- and bool-returning sinks to the internal
+  /// continue-flag protocol.
+  template <typename Fn>
+  static bool invoke_sink(Fn& fn, const net::Packet& pkt) {
+    if constexpr (std::is_void_v<std::invoke_result_t<
+                      Fn&, const net::Packet&>>) {
+      fn(pkt);
+      return true;
+    } else {
+      return fn(pkt);
+    }
+  }
+
+  struct Cursor {
+    ProducerBatch batch;
+    std::size_t pos = 0;
+    bool done = false;
+  };
+
+  static bool heads_before(const Cursor& a, const Cursor& b) {
+    const SynthPacket& x = a.batch[a.pos];
+    const SynthPacket& y = b.batch[b.pos];
+    if (x.pkt.ts != y.pkt.ts) return x.pkt.ts < y.pkt.ts;
+    return x.host < y.host;
+  }
+
+  /// Reopens the queues and launches one worker per partition for the
+  /// window [t0, t1).
+  void start_window(TimeMicros t0, TimeMicros t1);
+  /// Worker body: local heap-merge over the partition, batched emission.
+  void produce(Partition& part, TimeMicros t0, TimeMicros t1);
+  /// Blocking refill of a drained cursor; false once the queue is closed
+  /// and fully drained (marks the cursor done).
+  bool refill(std::size_t p, Cursor& cursor);
+  void close_queues();
+  void join_workers();
+
+  ProducerConfig config_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<std::thread> workers_;
+  obs::Counter* packets_c_;
+  obs::Counter* batches_c_;
+  obs::Counter* pruned_c_;
+  obs::Counter* dead_scans_c_;
+  obs::Gauge* producers_g_;
+  obs::Histogram* batch_h_;
+};
+
+}  // namespace exiot::pipeline

@@ -61,10 +61,16 @@ void HostStream::advance() {
   next_ts_ = kNever;
 }
 
-net::Packet HostStream::make_packet(TimeMicros ts) {
-  if (synth_.has_value()) return synth_->make_probe(ts);
+void HostStream::fill_packet(TimeMicros ts, net::Packet& out) {
+  if (synth_.has_value()) {
+    out = synth_->make_probe(ts);
+    return;
+  }
 
-  net::Packet p;
+  // Full reset: the output slot is reused across streams, so every field
+  // must be written (or defaulted) here.
+  out = net::Packet{};
+  net::Packet& p = out;
   p.ts = ts;
   p.src = host_.addr;
   if (host_.cls == inet::HostClass::kBackscatterVictim) {
@@ -100,20 +106,27 @@ net::Packet HostStream::make_packet(TimeMicros ts) {
     p.ttl = static_cast<std::uint8_t>(rng_.uniform_int(40, 120));
     p.ip_id = static_cast<std::uint16_t>(rng_.next_u64());
   }
-  return p;
 }
 
 std::optional<net::Packet> HostStream::next() {
-  if (next_ts_ == kNever) return std::nullopt;
-  net::Packet p = make_packet(next_ts_);
-  advance();
+  net::Packet p;
+  if (!next_into(p)) return std::nullopt;
   return p;
+}
+
+bool HostStream::next_into(net::Packet& out) {
+  if (next_ts_ == kNever) return false;
+  fill_packet(next_ts_, out);
+  advance();
+  return true;
 }
 
 TrafficSynthesizer::TrafficSynthesizer(const inet::Population& pop,
                                        Cidr aperture) {
   streams_.reserve(pop.hosts().size());
+  live_.reserve(pop.hosts().size());
   for (const auto& host : pop.hosts()) {
+    live_.push_back(static_cast<std::uint32_t>(streams_.size()));
     streams_.emplace_back(pop, host, aperture);
   }
 }

@@ -3,6 +3,14 @@
 // as observed by the /8 darknet aperture. This is the substitute for the
 // CAIDA capture: downstream modules consume exactly what they would consume
 // from the real telescope (decoded packets in arrival order).
+//
+// The merge core (`emit_window`) is shared with the multi-threaded
+// producer stage (pipeline/producer.h): it emits the packets of one time
+// window from an arbitrary subset of streams in (ts, host_index) order,
+// keeps a compacted live-stream list so exhausted hosts are never
+// rescanned, and fills a reused packet slot instead of materializing an
+// optional<Packet> per packet — the per-packet overheads this stage must
+// not pay at ~1M pps.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +18,7 @@
 #include <limits>
 #include <optional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.h"
@@ -27,15 +36,23 @@ class HostStream {
   /// The next packet, or nullopt when the host is done.
   std::optional<net::Packet> next();
 
+  /// Hot-path variant: fills `out` in place (every field is reset, so the
+  /// slot can be shared across streams) and returns false when the host is
+  /// done. Avoids constructing an optional<net::Packet> per packet.
+  bool next_into(net::Packet& out);
+
   /// Timestamp of the packet `next()` would return (kNever when done).
   TimeMicros peek_ts() const { return next_ts_; }
+
+  /// True once every session has been exhausted.
+  bool done() const { return next_ts_ == kNever; }
 
   static constexpr TimeMicros kNever =
       std::numeric_limits<TimeMicros>::max();
 
  private:
   void advance();
-  net::Packet make_packet(TimeMicros ts);
+  void fill_packet(TimeMicros ts, net::Packet& out);
   TimeMicros draw_iat();
 
   const inet::Population& pop_;
@@ -55,7 +72,81 @@ class HostStream {
   std::uint16_t misconfig_port_ = 0;
 };
 
-/// Merges all host streams into arrival order.
+/// Shared window-merge core of the serial synthesizer and the partitioned
+/// producer threads. Emits every packet with ts in [t0, t1) from the
+/// streams listed in `live` in (ts, host_index) order — the canonical
+/// arrival order every producer-thread/detector-shard combination must
+/// reproduce. `hosts[local]` maps a stream slot to its global host index
+/// (nullptr: the slot index is the host index, the unpartitioned case).
+///
+/// Streams found exhausted at window entry are dropped from `live` (their
+/// count accumulates into `pruned`), so later windows stop rescanning
+/// hosts that finished days ago. `fn(pkt, host_index)` may return void, or
+/// bool where false aborts the window early (the shutdown path; stream
+/// window state is abandoned mid-merge, so the caller must not reuse the
+/// streams afterwards). Returns the number of packets emitted.
+template <typename Fn>
+std::size_t emit_window(std::vector<HostStream>& streams,
+                        const std::uint32_t* hosts,
+                        std::vector<std::uint32_t>& live, TimeMicros t0,
+                        TimeMicros t1, std::size_t& pruned, Fn&& fn) {
+  struct Entry {
+    TimeMicros ts;
+    std::uint32_t host;   // Global host index: the merge tie-break.
+    std::uint32_t local;  // Index into `streams`.
+    bool operator>(const Entry& other) const {
+      if (ts != other.ts) return ts > other.ts;
+      return host > other.host;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  net::Packet scratch;
+
+  // Window entry: skip packets before the window, prune exhausted streams
+  // out of the live list (compacting in place, order preserved).
+  std::size_t kept = 0;
+  for (const std::uint32_t local : live) {
+    HostStream& stream = streams[local];
+    while (stream.peek_ts() < t0) (void)stream.next_into(scratch);
+    if (stream.done()) {
+      ++pruned;
+      continue;
+    }
+    live[kept++] = local;
+    if (stream.peek_ts() < t1) {
+      heap.push(Entry{stream.peek_ts(),
+                      hosts != nullptr ? hosts[local] : local, local});
+    }
+  }
+  live.resize(kept);
+
+  std::size_t count = 0;
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    HostStream& stream = streams[top.local];
+    if (!stream.next_into(scratch)) continue;
+    if (scratch.ts >= t1) continue;
+    using Result = std::invoke_result_t<Fn&, const net::Packet&,
+                                        std::uint32_t>;
+    if constexpr (std::is_void_v<Result>) {
+      fn(static_cast<const net::Packet&>(scratch), top.host);
+    } else {
+      if (!fn(static_cast<const net::Packet&>(scratch), top.host)) {
+        return count;
+      }
+    }
+    ++count;
+    if (stream.peek_ts() < t1) {
+      heap.push(Entry{stream.peek_ts(), top.host, top.local});
+    }
+  }
+  return count;
+}
+
+/// Merges all host streams into arrival order (single-threaded). The
+/// multi-threaded equivalent is pipeline::ParallelProducer, which emits
+/// the byte-identical stream from K partitions.
 class TrafficSynthesizer {
  public:
   TrafficSynthesizer(const inet::Population& pop, Cidr aperture);
@@ -66,35 +157,32 @@ class TrafficSynthesizer {
   /// call per packet.
   template <typename Fn>
   std::size_t emit(TimeMicros t0, TimeMicros t1, Fn&& fn) {
-    // Min-heap over stream indices keyed by the next arrival time.
-    using Entry = std::pair<TimeMicros, std::size_t>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    for (std::size_t i = 0; i < streams_.size(); ++i) {
-      // Skip ahead: drop packets before the window without emitting.
-      while (streams_[i].peek_ts() < t0) (void)streams_[i].next();
-      if (streams_[i].peek_ts() < t1) heap.emplace(streams_[i].peek_ts(), i);
-    }
-    std::size_t count = 0;
-    while (!heap.empty()) {
-      auto [ts, idx] = heap.top();
-      heap.pop();
-      auto pkt = streams_[idx].next();
-      if (!pkt.has_value()) continue;
-      if (pkt->ts >= t1) continue;
-      fn(*pkt);
-      ++count;
-      if (streams_[idx].peek_ts() < t1) {
-        heap.emplace(streams_[idx].peek_ts(), idx);
-      }
-    }
-    return count;
+    // Work the live list saves: exhausted streams not rescanned this
+    // window.
+    dead_scans_avoided_ += streams_.size() - live_.size();
+    return emit_window(streams_, nullptr, live_, t0, t1, pruned_,
+                       [&fn](const net::Packet& pkt, std::uint32_t) {
+                         fn(pkt);
+                       });
   }
 
   std::size_t run(TimeMicros t0, TimeMicros t1,
                   const std::function<void(const net::Packet&)>& fn);
 
+  /// Streams still able to produce packets (before the next window scan).
+  std::size_t live_streams() const { return live_.size(); }
+  /// Exhausted streams removed from the live list so far.
+  std::uint64_t streams_pruned() const { return pruned_; }
+  /// Window-entry scans of dead streams skipped thanks to the live list.
+  std::uint64_t dead_stream_scans_avoided() const {
+    return dead_scans_avoided_;
+  }
+
  private:
   std::vector<HostStream> streams_;
+  std::vector<std::uint32_t> live_;
+  std::size_t pruned_ = 0;
+  std::uint64_t dead_scans_avoided_ = 0;
 };
 
 }  // namespace exiot::telescope

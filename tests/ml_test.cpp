@@ -236,6 +236,36 @@ TEST(RandomForestTest, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.predict_score(probe), b.predict_score(probe));
 }
 
+TEST(RandomForestTest, ParallelTrainingIsBitIdentical) {
+  // Every tree's RNG is split off the forest seed before training starts,
+  // so the trained model must be bit-identical for any thread count.
+  auto train = gaussian_problem(300, 1.0, 21);
+  ForestParams serial;
+  serial.num_trees = 16;
+  serial.train_threads = 1;
+  ForestParams parallel = serial;
+  parallel.train_threads = 4;
+  const auto a = RandomForest::train(train, serial, 22);
+  const auto b = RandomForest::train(train, parallel, 22);
+  ASSERT_EQ(a.trees().size(), b.trees().size());
+  for (std::size_t t = 0; t < a.trees().size(); ++t) {
+    const auto& ta = a.trees()[t];
+    const auto& tb = b.trees()[t];
+    EXPECT_EQ(ta.depth(), tb.depth()) << "tree " << t;
+    ASSERT_EQ(ta.nodes().size(), tb.nodes().size()) << "tree " << t;
+    for (std::size_t n = 0; n < ta.nodes().size(); ++n) {
+      const auto& na = ta.nodes()[n];
+      const auto& nb = tb.nodes()[n];
+      EXPECT_EQ(na.feature, nb.feature) << "tree " << t << " node " << n;
+      EXPECT_EQ(na.left, nb.left) << "tree " << t << " node " << n;
+      EXPECT_EQ(na.right, nb.right) << "tree " << t << " node " << n;
+      EXPECT_EQ(na.threshold, nb.threshold)
+          << "tree " << t << " node " << n;
+      EXPECT_EQ(na.score, nb.score) << "tree " << t << " node " << n;
+    }
+  }
+}
+
 TEST(RandomForestTest, SplitFeatureCountsCoverInformativeFeatures) {
   // Only feature 2 is informative; it must dominate the split counts.
   Rng rng(12);

@@ -145,6 +145,36 @@ TEST_F(SynthesizerTest, DeterministicAcrossRuns) {
   for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]) << i;
 }
 
+TEST_F(SynthesizerTest, LiveListPrunesExhaustedStreams) {
+  // Windowed emission compacts exhausted streams out of the live list so
+  // later windows stop rescanning them — without changing the output.
+  TrafficSynthesizer whole(pop_, scope());
+  std::vector<net::Packet> reference;
+  whole.run(0, kMicrosPerDay,
+            [&](const net::Packet& p) { reference.push_back(p); });
+
+  TrafficSynthesizer windowed(pop_, scope());
+  const std::size_t streams_start = windowed.live_streams();
+  ASSERT_GT(streams_start, 0u);
+  std::vector<net::Packet> out;
+  for (int h = 0; h < 24; ++h) {
+    windowed.run(hours(h), hours(h + 1),
+                 [&](const net::Packet& p) { out.push_back(p); });
+  }
+  // Sessions end through the day: by the last window many streams are
+  // pruned and their window-entry scans skipped.
+  EXPECT_GT(windowed.streams_pruned(), 0u);
+  EXPECT_LT(windowed.live_streams(), streams_start);
+  EXPECT_GT(windowed.dead_stream_scans_avoided(), 0u);
+  EXPECT_EQ(windowed.live_streams() + windowed.streams_pruned(),
+            streams_start);
+  // Pruning is an optimization only: the stream is unchanged.
+  ASSERT_EQ(out.size(), reference.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], reference[i]) << "diverges at packet " << i;
+  }
+}
+
 TEST(CollectionModelTest, FileReadyAfterHourPlusDelay) {
   CollectionModel model;
   EXPECT_EQ(model.file_ready_time(0), kMicrosPerHour + hours(3.5));

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: regular build + full test suite + metrics-name lint,
 # then a ThreadSanitizer build of the concurrency-bearing test binaries
-# (the threaded ingest stage, the blocking buffer, the TCP listener path).
+# (the threaded ingest stage, the blocking buffer, the TCP listener path,
+# the parallel traffic producer, and parallel forest training).
 #
 #   tools/ci.sh [build-dir] [tsan-build-dir]
 set -eu
@@ -18,11 +19,11 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "== metrics name lint =="
 bash tools/check_metrics_names.sh
 
-echo "== ThreadSanitizer: pipeline / flow / telescope tests =="
+echo "== ThreadSanitizer: pipeline / producer / flow / telescope / ml tests =="
 cmake -B "$TSAN_BUILD" -S . -DEXIOT_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j"$(nproc)" \
-  --target pipeline_test flow_test telescope_test
-for t in pipeline_test flow_test telescope_test; do
+  --target pipeline_test producer_test flow_test telescope_test ml_test
+for t in pipeline_test producer_test flow_test telescope_test ml_test; do
   echo "-- tsan: $t"
   "$TSAN_BUILD/tests/$t"
 done

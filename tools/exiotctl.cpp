@@ -7,18 +7,19 @@
 //       Replay captured hours through the flow detector and print per-hour
 //       telescope statistics.
 //   exiotctl simulate  [--scale S] [--days N] [--seed N]
-//                      [--shards N] [--buffer N]
+//                      [--producers N] [--shards N] [--buffer N]
 //                      [--jsonl FILE] [--csv FILE] [--dashboard FILE]
-//       Run the full pipeline and export the resulting feed. --shards runs
-//       the capture->detect stage on N detector threads (output is
-//       identical for any value); --buffer sets the per-shard capture
-//       buffer capacity in batches.
+//       Run the full pipeline and export the resulting feed. --producers
+//       synthesizes traffic on N producer threads and --shards runs the
+//       capture->detect stage on N detector threads (output is identical
+//       for any producers x shards combination); --buffer sets the
+//       per-shard capture buffer capacity in batches.
 //   exiotctl query     --jsonl FILE --q EXPR
 //       Evaluate a query-builder expression over an exported feed.
 //   exiotctl fingerprint --banner TEXT
 //       Match a banner against the rule database.
 //   exiotctl metrics   [--scale S] [--days N] [--seed N]
-//                      [--shards N] [--buffer N]
+//                      [--producers N] [--shards N] [--buffer N]
 //                      [--format prom|json] [--out FILE]
 //       Run the pipeline and dump its metrics registry — Prometheus text
 //       exposition (what GET /v1/metrics serves) or the JSON snapshot.
@@ -157,6 +158,7 @@ int cmd_simulate(const Args& args) {
       inet::Population::generate(config.scaled(scale), world);
   pipeline::PipelineConfig pipe_config;
   pipe_config.num_detector_shards = args.get_int("--shards", 1);
+  pipe_config.num_producer_threads = args.get_int("--producers", 1);
   pipe_config.buffer_capacity =
       static_cast<std::size_t>(args.get_int("--buffer", 64));
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
@@ -199,6 +201,7 @@ int cmd_metrics(const Args& args) {
       inet::Population::generate(config.scaled(scale), world);
   pipeline::PipelineConfig pipe_config;
   pipe_config.num_detector_shards = args.get_int("--shards", 1);
+  pipe_config.num_producer_threads = args.get_int("--producers", 1);
   pipe_config.buffer_capacity =
       static_cast<std::size_t>(args.get_int("--buffer", 64));
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
