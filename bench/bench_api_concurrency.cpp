@@ -1,0 +1,246 @@
+// Request throughput of the concurrent API serving layer: a populated
+// feed served over loopback TCP by 1..8 worker threads, hammered by
+// keep-alive clients. Three properties are measured/checked:
+//
+//   - requests/sec scaling with the worker count (the acceptance bar is
+//     >2x the serial (1-worker) rate at 4 workers on multi-core hardware);
+//   - byte-identical responses: every response observed at every worker
+//     count must equal the serial server's bytes for the same request;
+//   - clean drain: every configuration starts and stops its own listener.
+//
+//   ./bench_api_concurrency     (EXIOT_API_RECORDS=3000 EXIOT_API_REQS=150)
+//
+// Results are also written to BENCH_api.json for the perf trajectory.
+// Speedups can only materialize on multi-core hardware — the binary
+// prints the core count so single-core CI numbers are not misread.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/server.h"
+#include "api/tcp.h"
+#include "feed/manager.h"
+
+using namespace exiot;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One framed response off `fd` (Content-Length bounded), "" on EOF.
+std::string read_framed(int fd, std::string& buf) {
+  while (true) {
+    const auto header_end = buf.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      std::size_t length = 0;
+      const auto at = buf.find("Content-Length: ");
+      if (at != std::string::npos && at < header_end) {
+        length = static_cast<std::size_t>(std::atoll(buf.c_str() + at + 16));
+      }
+      const std::size_t total = header_end + 4 + length;
+      if (buf.size() >= total) {
+        std::string out = buf.substr(0, total);
+        buf.erase(0, total);
+        return out;
+      }
+    }
+    char chunk[8192];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return "";
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string wire_request(const std::string& target) {
+  return "GET " + target +
+         " HTTP/1.1\r\nAuthorization: Bearer bench\r\n"
+         "Connection: keep-alive\r\n\r\n";
+}
+
+const std::vector<std::string>& targets() {
+  static const std::vector<std::string> t = {
+      "/v1/records?limit=400",
+      "/v1/query?q=has(label)&limit=200",
+      "/v1/snapshot",
+      "/v1/stats",
+  };
+  return t;
+}
+
+struct RunResult {
+  double rps = 0.0;
+  std::size_t served = 0;
+  std::size_t mismatched = 0;
+};
+
+/// `clients` keep-alive connections x `requests_each` requests against a
+/// `workers`-thread listener; every response is compared to `expected`.
+RunResult run_config(const api::ApiServer& server, int workers, int clients,
+                     int requests_each,
+                     const std::map<std::string, std::string>& expected) {
+  api::TcpListenerOptions options;
+  options.num_workers = workers;
+  options.max_requests_per_connection = 1 << 20;
+  api::TcpListener listener(server, options);
+  auto port = listener.start(0);
+  RunResult result;
+  if (!port.ok()) {
+    std::fprintf(stderr, "listener failed: %s\n",
+                 port.error().message.c_str());
+    return result;
+  }
+
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> mismatched{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      const int fd = connect_loopback(port.value());
+      if (fd < 0) return;
+      std::string buf;
+      for (int i = 0; i < requests_each; ++i) {
+        const std::string& target =
+            targets()[static_cast<std::size_t>(c + i) % targets().size()];
+        const std::string request = wire_request(target);
+        if (::write(fd, request.data(), request.size()) !=
+            static_cast<ssize_t>(request.size())) {
+          break;
+        }
+        const std::string response = read_framed(fd, buf);
+        if (response.empty()) break;
+        ++served;
+        if (response != expected.at(target)) ++mismatched;
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  listener.stop();
+  result.served = served.load();
+  result.mismatched = mismatched.load();
+  result.rps = elapsed > 0.0 ? static_cast<double>(result.served) / elapsed
+                             : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int records = env_int("EXIOT_API_RECORDS", 3000);
+  const int requests_each = env_int("EXIOT_API_REQS", 150);
+  const int clients = env_int("EXIOT_API_CLIENTS", 8);
+
+  // A populated feed: enough records that the record-listing and
+  // aggregation handlers dominate the per-request cost.
+  feed::FeedManager feed;
+  static const char* countries[] = {"CN", "US", "BR", "RU", "DE"};
+  for (int i = 0; i < records; ++i) {
+    feed::CtiRecord r;
+    r.src = Ipv4(50, static_cast<std::uint8_t>(i >> 16),
+                 static_cast<std::uint8_t>(i >> 8),
+                 static_cast<std::uint8_t>(i));
+    r.label = i % 3 != 0 ? feed::kLabelIot : feed::kLabelNonIot;
+    r.country_code = countries[i % 5];
+    r.asn = 4134 + i % 7;
+    r.published_at = hours(1);
+    (void)feed.publish(r, hours(1));
+  }
+  api::ApiServer server(feed);
+  server.add_token("bench");
+
+  // Reference bytes: the transport-independent handler is the serial
+  // server — every concurrent response must match these exactly.
+  std::map<std::string, std::string> expected;
+  for (const auto& target : targets()) {
+    auto request = api::HttpRequest::parse(wire_request(target));
+    api::HttpResponse response = server.handle(*request);
+    response.headers["Connection"] = "keep-alive";
+    expected[target] = response.serialize();
+  }
+
+  std::printf("feed: %d records; %d clients x %d keep-alive requests; "
+              "%u hardware threads\n\n",
+              records, clients, requests_each,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %10s %10s %12s\n", "workers", "req/s", "speedup",
+              "served", "mismatched");
+
+  std::FILE* json = std::fopen("BENCH_api.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"api_concurrency\",\n"
+                 "  \"records\": %d,\n  \"clients\": %d,\n"
+                 "  \"requests_each\": %d,\n  \"hardware_threads\": %u,\n"
+                 "  \"workers\": [",
+                 records, clients, requests_each,
+                 std::thread::hardware_concurrency());
+  }
+
+  double base = 0.0;
+  bool first = true;
+  std::size_t total_mismatched = 0;
+  for (const int workers : {1, 2, 4, 8}) {
+    RunResult best;
+    for (int rep = 0; rep < 2; ++rep) {
+      const RunResult run =
+          run_config(server, workers, clients, requests_each, expected);
+      if (run.rps > best.rps) best = run;
+      total_mismatched += run.mismatched;
+    }
+    if (workers == 1) base = best.rps;
+    std::printf("%8d %12.0f %9.2fx %10zu %12zu\n", workers, best.rps,
+                base > 0.0 ? best.rps / base : 0.0, best.served,
+                best.mismatched);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    {\"workers\": %d, \"rps\": %.0f, "
+                   "\"speedup\": %.3f, \"served\": %zu, "
+                   "\"mismatched\": %zu}",
+                   first ? "" : ",", workers, best.rps,
+                   base > 0.0 ? best.rps / base : 0.0, best.served,
+                   best.mismatched);
+    }
+    first = false;
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_api.json\n");
+  }
+  std::printf("\nspeedup >= 2x at 4 workers expected on >=4 cores; "
+              "mismatched must be 0 at every worker count (responses are "
+              "byte-identical to the serial server).\n");
+  return total_mismatched == 0 ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 // A minimal HTTP/1.1 message layer for the REST API: request parsing
 // (request line, headers, query strings, percent-decoding) and response
-// serialization. Deliberately small — one request per connection.
+// serialization. Deliberately small; Content-Length framing only (no
+// chunked encoding), which is what lets the TCP binding serve multiple
+// keep-alive requests per connection.
 #pragma once
 
 #include <map>

@@ -95,10 +95,21 @@ HttpResponse ApiServer::handle_records(const HttpRequest& request) const {
     if (auto s = request.query_param("since"); !s.empty()) since = std::stoll(s);
     if (auto u = request.query_param("until"); !u.empty()) until = std::stoll(u);
     if (auto l = request.query_param("limit"); !l.empty()) {
-      limit = static_cast<std::size_t>(std::stoll(l));
+      const std::int64_t parsed = std::stoll(l);
+      // A negative limit would cast to a huge size_t and turn the capped
+      // endpoint into an unbounded dump.
+      if (parsed < 0) {
+        return HttpResponse::json(
+            400, error_body("negative numeric parameter").dump());
+      }
+      limit = static_cast<std::size_t>(parsed);
     }
   } catch (const std::exception&) {
     return HttpResponse::json(400, error_body("bad numeric parameter").dump());
+  }
+  if (since < 0 || until < 0) {
+    return HttpResponse::json(400,
+                              error_body("negative numeric parameter").dump());
   }
 
   json::Array records;
@@ -159,7 +170,12 @@ HttpResponse ApiServer::handle_query(const HttpRequest& request) const {
   std::size_t limit = 100;
   try {
     if (auto l = request.query_param("limit"); !l.empty()) {
-      limit = static_cast<std::size_t>(std::stoll(l));
+      const std::int64_t parsed = std::stoll(l);
+      if (parsed < 0) {
+        return HttpResponse::json(
+            400, error_body("negative numeric parameter").dump());
+      }
+      limit = static_cast<std::size_t>(parsed);
     }
   } catch (const std::exception&) {
     return HttpResponse::json(400, error_body("bad numeric parameter").dump());
@@ -186,6 +202,10 @@ HttpResponse ApiServer::handle_snapshot(const HttpRequest& request) const {
     if (auto s = request.query_param("since"); !s.empty()) since = std::stoll(s);
   } catch (const std::exception&) {
     return HttpResponse::json(400, error_body("bad numeric parameter").dump());
+  }
+  if (since < 0) {
+    return HttpResponse::json(400,
+                              error_body("negative numeric parameter").dump());
   }
   std::map<std::string, int> by_country, by_vendor, by_label;
   std::map<std::int64_t, int> by_asn;

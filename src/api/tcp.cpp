@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <charconv>
 #include <cstring>
 
@@ -33,9 +35,58 @@ std::size_t declared_body_length(std::string_view raw,
   return 0;
 }
 
+/// Bytes of `raw` consumed by the complete request at its front.
+std::size_t request_span(std::string_view raw) {
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) return raw.size();
+  return std::min(raw.size(),
+                  header_end + 4 + declared_body_length(raw, header_end));
+}
+
+void set_deadline(int fd, int option, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
 }  // namespace
 
+TcpListener::TcpListener(const ApiServer& server, TcpListenerOptions options)
+    : server_(server),
+      options_(options),
+      queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  instrument(obs::scratch_registry());
+}
+
 TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::instrument(obs::MetricsRegistry& registry) {
+  connections_c_ = &registry.counter("exiot_api_connections_total",
+                                     "Connections accepted by the listener.");
+  inflight_g_ = &registry.gauge("exiot_api_connections_inflight",
+                                "Connections currently held by a worker.");
+  static const char* kClasses[4] = {"2xx", "3xx", "4xx", "5xx"};
+  for (int i = 0; i < 4; ++i) {
+    class_c_[i] = &registry.counter("exiot_api_requests_total",
+                                    "Responses served, by status class.",
+                                    {{"class", kClasses[i]}});
+  }
+  latency_h_ = &registry.histogram(
+      "exiot_api_request_latency_seconds",
+      "Wall-clock handle+write latency per request.", obs::latency_buckets());
+  timeouts_c_ = &registry.counter(
+      "exiot_api_timeouts_total",
+      "Connections that hit a read/write deadline (SO_RCVTIMEO/SO_SNDTIMEO).");
+  oversize_c_ = &registry.counter(
+      "exiot_api_oversize_total",
+      "Requests rejected 413 for exceeding max_request_bytes.");
+  rejected_c_ = &registry.counter(
+      "exiot_api_rejected_total",
+      "Connections answered 503: dispatch queue full or server draining.");
+  queue_.instrument(registry, {{"buffer", "api"}});
+}
 
 Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -57,7 +108,7 @@ Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
     return make_error("tcp",
                       "bind() failed: " + std::string(std::strerror(errno)));
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 128) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return make_error("tcp", "listen() failed: " +
@@ -67,60 +118,202 @@ Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  queue_.reopen();  // Rearm after a previous stop().
   running_.store(true);
-  thread_ = std::thread([this] { serve_loop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
   return port_;
 }
 
 void TcpListener::stop() {
   if (!running_.exchange(false)) return;
+  // Wake the blocked accept() without invalidating the fd number: the
+  // acceptor may be inside accept(listen_fd_) right now, so the descriptor
+  // must stay reserved until it is joined. shutdown() forces accept() to
+  // return; close() happens strictly after the join.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  // Workers drain the queue (refusing what remains, running_ is false)
+  // and finish their in-flight request. Idle keep-alive reads are woken
+  // by shutting down the read side; the response side stays writable so
+  // an in-flight response still completes.
+  queue_.close();
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (int fd : active_clients_) ::shutdown(fd, SHUT_RD);
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (thread_.joinable()) thread_.join();
 }
 
-void TcpListener::serve_loop() {
+void TcpListener::accept_loop() {
   while (running_.load()) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) {
       if (!running_.load()) break;
+      if (errno == EINTR) continue;
       continue;
     }
-    // Read until the end of headers plus the declared body, or the peer
-    // shuts down its write side.
-    std::string raw;
-    char buf[4096];
-    while (true) {
-      const auto header_end = raw.find("\r\n\r\n");
-      if (header_end != std::string::npos &&
-          raw.size() >= header_end + 4 + declared_body_length(raw,
-                                                              header_end)) {
-        break;
-      }
-      if (raw.size() > 1 << 20) break;  // Refuse absurd requests.
-      const ssize_t n = ::read(client, buf, sizeof(buf));
-      if (n <= 0) break;
-      raw.append(buf, static_cast<std::size_t>(n));
+    connections_c_->inc();
+    if (!running_.load() || !queue_.try_push(client)) {
+      // Queue full (back-pressure) or already draining.
+      refuse(client);
     }
+  }
+}
+
+void TcpListener::worker_loop() {
+  while (auto client = queue_.pop()) {
+    if (!running_.load()) {
+      // Drain after stop(): queued sockets never reach a handler.
+      refuse(*client);
+      continue;
+    }
+    serve_connection(*client);
+  }
+}
+
+void TcpListener::serve_connection(int client) {
+  inflight_g_->inc();
+  register_client(client);
+  set_deadline(client, SO_RCVTIMEO, options_.read_timeout);
+  set_deadline(client, SO_SNDTIMEO, options_.write_timeout);
+
+  std::string raw;  // Carries pipelined leftover bytes across requests.
+  std::size_t served = 0;
+  bool open = true;
+  while (open && running_.load()) {
+    const ReadStatus status = read_request(client, raw);
+    if (status == ReadStatus::kOversize) {
+      oversize_c_->inc();
+      class_c_[2]->inc();
+      send_all(client,
+               HttpResponse::json(413, R"({"error":"request too large"})")
+                   .serialize());
+      break;
+    }
+    if (status == ReadStatus::kTimeout) {
+      timeouts_c_->inc();
+      // Mid-request silence gets an explicit 408; an idle keep-alive
+      // connection that simply stopped talking is closed quietly.
+      if (!raw.empty()) {
+        class_c_[2]->inc();
+        send_all(client,
+                 HttpResponse::json(408, R"({"error":"request timeout"})")
+                     .serialize());
+      }
+      break;
+    }
+    if (status != ReadStatus::kComplete) {
+      // EOF/error with a partial request still buffered: malformed.
+      if (!raw.empty() && served == 0) {
+        class_c_[2]->inc();
+        send_all(client,
+                 HttpResponse::json(400, R"({"error":"malformed request"})")
+                     .serialize());
+      }
+      break;
+    }
+
+    const std::size_t span = request_span(raw);
+    const auto request = HttpRequest::parse(std::string_view(raw).substr(0, span));
+    const auto start = std::chrono::steady_clock::now();
     HttpResponse response;
-    if (auto request = HttpRequest::parse(raw)) {
+    bool keep = false;
+    if (request.has_value()) {
       response = server_.handle(*request);
+      const std::string token = to_lower(request->header("connection"));
+      keep = token == "keep-alive" &&
+             served + 1 < options_.max_requests_per_connection;
+      if (keep && !response.headers.contains("Connection")) {
+        response.headers["Connection"] = "keep-alive";
+      }
     } else {
       response = HttpResponse::json(400, R"({"error":"malformed request"})");
     }
-    const std::string wire = response.serialize();
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-      const ssize_t n =
-          ::write(client, wire.data() + sent, wire.size() - sent);
-      if (n <= 0) break;
-      sent += static_cast<std::size_t>(n);
-    }
-    ::close(client);
+    raw.erase(0, span);
+    send_all(client, response.serialize());
+    latency_h_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    const int cls = response.status / 100;
+    class_c_[cls >= 2 && cls <= 5 ? cls - 2 : 3]->inc();
+    ++served;
+    open = keep;
   }
+  unregister_and_close(client);
+  inflight_g_->dec();
+}
+
+TcpListener::ReadStatus TcpListener::read_request(int client,
+                                                  std::string& raw) const {
+  char buf[4096];
+  while (true) {
+    const auto header_end = raw.find("\r\n\r\n");
+    if (header_end != std::string::npos &&
+        raw.size() >=
+            header_end + 4 + declared_body_length(raw, header_end)) {
+      return ReadStatus::kComplete;
+    }
+    if (raw.size() > options_.max_request_bytes) return ReadStatus::kOversize;
+    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+    if (n == 0) return ReadStatus::kClosed;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimeout;
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void TcpListener::send_all(int client, const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(client, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timeouts_c_->inc();  // Write deadline: client stopped draining.
+      }
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpListener::refuse(int client) {
+  rejected_c_->inc();
+  class_c_[3]->inc();
+  set_deadline(client, SO_SNDTIMEO, options_.write_timeout);
+  HttpResponse response =
+      HttpResponse::json(503, R"({"error":"server unavailable"})");
+  response.headers["Connection"] = "close";
+  send_all(client, response.serialize());
+  ::close(client);
+}
+
+void TcpListener::register_client(int client) {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  active_clients_.insert(client);
+}
+
+void TcpListener::unregister_and_close(int client) {
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    active_clients_.erase(client);
+  }
+  ::close(client);
 }
 
 }  // namespace exiot::api

@@ -1,41 +1,136 @@
-// TCP binding for the API server: a small loopback HTTP listener so the
-// feed can actually be curl'd. One request per connection; the accept loop
-// runs on a background thread until stop().
+// TCP binding for the API server: a loopback HTTP/1.1 listener so the
+// feed can actually be curl'd — and polled by many consumers at once.
+//
+// Serving model (the paper's operational feed answers bulk queries from
+// concurrent consumers):
+//
+//   - one acceptor thread accepts sockets and dispatches them over a
+//     pipeline::BoundedBuffer (the same MPMC queue that backs the capture
+//     mbuffer) to a fixed pool of `num_workers` worker threads;
+//   - every connection carries read/write deadlines (SO_RCVTIMEO /
+//     SO_SNDTIMEO) so one slow or silent client (slow-loris) can only pin
+//     its own worker for `read_timeout`, never the whole server;
+//   - HTTP/1.1 keep-alive: a client that sends "Connection: keep-alive"
+//     gets further requests served on the same connection (Content-Length
+//     framing; pipelined bytes carry over), bounded by
+//     `max_requests_per_connection`; without the header the connection
+//     closes after one response, exactly like the original serial server;
+//   - `stop()` drains gracefully: the acceptor is shut down first and
+//     joined (no accept/close race on the listening fd), in-flight
+//     requests finish their response, queued-but-unserved sockets are
+//     answered 503 with "Connection: close", and idle keep-alive
+//     connections are woken via shutdown(SHUT_RD).
+//
+// Handlers run on worker threads, so the ApiServer passed in must be safe
+// for concurrent const access (it is: `handle` is const over const feed
+// state). Mutating the feed while serving requires external
+// synchronization — the pipeline publishes before the listener starts.
+//
+// Observability (registered via instrument(), rendered by /v1/metrics):
+//   exiot_api_connections_total            accepted connections
+//   exiot_api_connections_inflight         gauge, currently being served
+//   exiot_api_requests_total{class=...}    responses by status class
+//   exiot_api_request_latency_seconds      handle+write wall latency
+//   exiot_api_timeouts_total               read/write deadline expiries
+//   exiot_api_oversize_total               413 rejections (> max bytes)
+//   exiot_api_rejected_total               503s: queue full or draining
+//   exiot_buffer_*{buffer="api"}           dispatch-queue depth/blocking
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <thread>
+#include <unordered_set>
+#include <vector>
 
 #include "api/server.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "pipeline/buffer.h"
 
 namespace exiot::api {
 
+struct TcpListenerOptions {
+  /// Worker threads serving accepted sockets. 1 reproduces the serial
+  /// server's throughput (but still enforces deadlines and keep-alive).
+  int num_workers = 4;
+  /// Per-connection socket deadlines (SO_RCVTIMEO / SO_SNDTIMEO). A
+  /// client that stays silent longer gets 408 (mid-request) or a quiet
+  /// close (idle keep-alive).
+  std::chrono::milliseconds read_timeout{5000};
+  std::chrono::milliseconds write_timeout{5000};
+  /// Requests larger than this answer 413 Payload Too Large.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Accepted sockets waiting for a worker; beyond this the acceptor
+  /// answers 503 immediately instead of queueing unbounded.
+  std::size_t queue_capacity = 128;
+  /// Keep-alive bound: after this many requests the connection closes.
+  std::size_t max_requests_per_connection = 100;
+};
+
 class TcpListener {
  public:
-  explicit TcpListener(const ApiServer& server) : server_(server) {}
+  explicit TcpListener(const ApiServer& server, TcpListenerOptions options = {});
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving. Returns
-  /// the bound port.
+  /// Registers the listener's counters/gauges/histogram (and the dispatch
+  /// queue's buffer metrics) in `registry`. Call before start(); without
+  /// it the listener records into the scratch registry.
+  void instrument(obs::MetricsRegistry& registry);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the acceptor and the
+  /// worker pool. Returns the bound port. Restartable after stop().
   Result<std::uint16_t> start(std::uint16_t port = 0);
 
+  /// Graceful drain: stops accepting, finishes in-flight requests,
+  /// answers queued sockets 503/Connection: close, joins all threads.
   void stop();
 
   std::uint16_t port() const { return port_; }
+  const TcpListenerOptions& options() const { return options_; }
 
  private:
-  void serve_loop();
+  enum class ReadStatus { kComplete, kClosed, kTimeout, kOversize, kError };
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int client);
+  ReadStatus read_request(int client, std::string& raw) const;
+  void send_all(int client, const std::string& wire);
+  /// 503 + Connection: close for sockets the pool cannot (or will no
+  /// longer) serve.
+  void refuse(int client);
+  void register_client(int client);
+  void unregister_and_close(int client);
 
   const ApiServer& server_;
+  TcpListenerOptions options_;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::thread thread_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  pipeline::BoundedBuffer<int> queue_;
+
+  // Client fds currently owned by a worker, so stop() can wake idle
+  // keep-alive reads with shutdown(SHUT_RD). Guarded by clients_mutex_;
+  // a worker removes its fd under the lock *before* closing it, so stop()
+  // never touches a recycled descriptor.
+  std::mutex clients_mutex_;
+  std::unordered_set<int> active_clients_;
+
+  obs::Counter* connections_c_;
+  obs::Gauge* inflight_g_;
+  obs::Counter* class_c_[4];  // 2xx, 3xx, 4xx, 5xx.
+  obs::Histogram* latency_h_;
+  obs::Counter* timeouts_c_;
+  obs::Counter* oversize_c_;
+  obs::Counter* rejected_c_;
 };
 
 }  // namespace exiot::api

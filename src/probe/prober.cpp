@@ -116,13 +116,10 @@ std::vector<GrabbedBanner> ActiveProber::banners_for(
   return out;
 }
 
-ProbeResult ActiveProber::probe(Ipv4 addr, TimeMicros start) const {
+ProbeResult ActiveProber::probe_from(Ipv4 addr, TimeMicros sweep_done) const {
   ProbeResult result;
   result.addr = addr;
-  const double sweep_seconds =
-      static_cast<double>(config_.ports.size()) / config_.zmap_pps;
-  result.completed_at =
-      start + static_cast<TimeMicros>(sweep_seconds * kMicrosPerSecond);
+  result.completed_at = sweep_done;
 
   const inet::Host* host = population_.find(addr);
   if (host == nullptr) return result;
@@ -132,6 +129,8 @@ ProbeResult ActiveProber::probe(Ipv4 addr, TimeMicros start) const {
   for (const auto& b : result.banners) result.open_ports.push_back(b.port);
   std::sort(result.open_ports.begin(), result.open_ports.end());
   if (result.responded) {
+    // ZGrab only connects once the sweep has reported the open ports, so
+    // the grab latency always lands on top of the sweep completion.
     result.completed_at +=
         config_.grab_latency * static_cast<TimeMicros>(
                                    result.banners.size());
@@ -139,21 +138,29 @@ ProbeResult ActiveProber::probe(Ipv4 addr, TimeMicros start) const {
   return result;
 }
 
+TimeMicros ActiveProber::sweep_micros(std::size_t addr_count) const {
+  const double sweep_seconds = static_cast<double>(addr_count) *
+                               static_cast<double>(config_.ports.size()) /
+                               config_.zmap_pps;
+  return static_cast<TimeMicros>(sweep_seconds * kMicrosPerSecond);
+}
+
+ProbeResult ActiveProber::probe(Ipv4 addr, TimeMicros start) const {
+  return probe_from(addr, start + sweep_micros(1));
+}
+
 std::vector<ProbeResult> ActiveProber::probe_batch(
     const std::vector<Ipv4>& addrs, TimeMicros start) const {
   // ZMap sweeps the whole batch x port matrix at zmap_pps before ZGrab
-  // collects banners, so every result completes no earlier than the sweep.
-  const double sweep_seconds =
-      static_cast<double>(addrs.size()) *
-      static_cast<double>(config_.ports.size()) / config_.zmap_pps;
+  // collects banners, so every host's grab starts no earlier than the
+  // later of its own sweep path and the batch sweep — and the grab
+  // latency is added on top of that, never swallowed by it.
   const TimeMicros sweep_done =
-      start + static_cast<TimeMicros>(sweep_seconds * kMicrosPerSecond);
+      std::max(start + sweep_micros(1), start + sweep_micros(addrs.size()));
   std::vector<ProbeResult> out;
   out.reserve(addrs.size());
   for (Ipv4 addr : addrs) {
-    ProbeResult r = probe(addr, start);
-    r.completed_at = std::max(r.completed_at, sweep_done);
-    out.push_back(std::move(r));
+    out.push_back(probe_from(addr, sweep_done));
   }
   return out;
 }

@@ -63,6 +63,11 @@ class ActiveProber {
 
  private:
   std::vector<GrabbedBanner> banners_for(const inet::Host& host) const;
+  /// Resolves a host whose port sweep finished at `sweep_done`; banner
+  /// grabs add their latency on top of that.
+  ProbeResult probe_from(Ipv4 addr, TimeMicros sweep_done) const;
+  /// Virtual cost of sweeping `addr_count` hosts x ports at zmap_pps.
+  TimeMicros sweep_micros(std::size_t addr_count) const;
 
   const inet::Population& population_;
   ProberConfig config_;

@@ -7,6 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
+
 #include "api/server.h"
 #include "api/tcp.h"
 #include "feed/manager.h"
@@ -88,6 +91,20 @@ TEST(HttpTest, ResponseSerialization) {
   EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
   EXPECT_NE(wire.find("Content-Length: 11"), std::string::npos);
   EXPECT_TRUE(wire.ends_with(R"({"ok":true})"));
+}
+
+TEST(HttpTest, StatusTextCoversServingErrors) {
+  EXPECT_STREQ(status_text(408), "Request Timeout");
+  EXPECT_STREQ(status_text(413), "Payload Too Large");
+  EXPECT_STREQ(status_text(500), "Internal Server Error");
+  EXPECT_STREQ(status_text(503), "Service Unavailable");
+  // The serving-layer responses must not masquerade as 500s on the wire.
+  EXPECT_NE(HttpResponse::json(413, "{}").serialize().find(
+                "HTTP/1.1 413 Payload Too Large\r\n"),
+            std::string::npos);
+  EXPECT_NE(HttpResponse::json(408, "{}").serialize().find(
+                "HTTP/1.1 408 Request Timeout\r\n"),
+            std::string::npos);
 }
 
 TEST(HttpTest, SerializeRespectsHandlerHeaders) {
@@ -191,6 +208,19 @@ TEST_F(ApiTest, RecordsTimeWindowAndLimit) {
   EXPECT_EQ(get("/v1/records?since=abc").status, 400);
 }
 
+TEST_F(ApiTest, NegativeNumericParamsRejected) {
+  // limit=-1 used to cast through std::size_t into an unbounded dump.
+  EXPECT_EQ(get("/v1/records?limit=-1").status, 400);
+  EXPECT_EQ(get("/v1/records?since=-5").status, 400);
+  EXPECT_EQ(get("/v1/records?until=-1").status, 400);
+  EXPECT_EQ(get("/v1/query?q=has(label)&limit=-1").status, 400);
+  EXPECT_EQ(get("/v1/snapshot?since=-1").status, 400);
+  // Zero stays a valid (empty) limit, not an error.
+  auto res = get("/v1/records?limit=0");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(body_of(res).get_int("count"), 0);
+}
+
 TEST_F(ApiTest, RecordsForIp) {
   auto res = get("/v1/records/50.1.2.3");
   EXPECT_EQ(res.status, 200);
@@ -287,6 +317,194 @@ TEST_F(ApiTest, UnknownEndpointAndMethod) {
 }
 
 // ------------------------------------------------------------------ TCP ----
+
+// Loopback client with response framing: reads exactly one response per
+// call (headers + Content-Length body), buffering keep-alive leftovers.
+class TcpClient {
+ public:
+  explicit TcpClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~TcpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(const std::string& bytes) {
+    return ::write(fd_, bytes.data(), bytes.size()) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  bool send_get(const std::string& target, const std::string& connection) {
+    std::string raw = "GET " + target +
+                      " HTTP/1.1\r\nAuthorization: Bearer secret\r\n";
+    if (!connection.empty()) raw += "Connection: " + connection + "\r\n";
+    raw += "\r\n";
+    return send_raw(raw);
+  }
+
+  /// One framed response, or "" on EOF/error before a complete response.
+  std::string read_response() {
+    while (true) {
+      const auto header_end = buf_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::size_t length = 0;
+        const std::string head = buf_.substr(0, header_end);
+        const auto at = head.find("Content-Length: ");
+        if (at != std::string::npos) {
+          length = static_cast<std::size_t>(
+              std::atoll(head.c_str() + at + 16));
+        }
+        const std::size_t total = header_end + 4 + length;
+        if (buf_.size() >= total) {
+          std::string out = buf_.substr(0, total);
+          buf_.erase(0, total);
+          return out;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Reads to EOF (a closed connection drains whatever remains).
+  std::string read_to_eof() {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(fd_, chunk, sizeof(chunk))) > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string out = std::move(buf_);
+    buf_.clear();
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+TEST_F(ApiTest, TcpKeepAliveServesMultipleRequests) {
+  obs::MetricsRegistry registry;
+  TcpListenerOptions options;
+  options.num_workers = 2;
+  TcpListener listener(server_, options);
+  listener.instrument(registry);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+
+  TcpClient client(port.value());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_get("/v1/stats", "keep-alive"));
+  const std::string first = client.read_response();
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(first.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(first.find("total_records"), std::string::npos);
+
+  // Second request on the same connection.
+  ASSERT_TRUE(client.send_get("/v1/snapshot", "keep-alive"));
+  const std::string second = client.read_response();
+  EXPECT_NE(second.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(second.find("by_label"), std::string::npos);
+
+  // Without the keep-alive token the server answers and closes.
+  ASSERT_TRUE(client.send_get("/v1/health", ""));
+  const std::string last = client.read_response();
+  EXPECT_NE(last.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(last.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(client.read_response(), "");  // EOF.
+
+  listener.stop();
+  EXPECT_EQ(registry.counter_value("exiot_api_requests_total",
+                                   {{"class", "2xx"}}),
+            3u);
+  EXPECT_EQ(registry.counter_value("exiot_api_connections_total"), 1u);
+  const auto* latency = registry.find_histogram(
+      "exiot_api_request_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 3u);
+}
+
+TEST_F(ApiTest, TcpPipelinedKeepAliveRequestsBothAnswered) {
+  TcpListener listener(server_);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+  TcpClient client(port.value());
+  ASSERT_TRUE(client.connected());
+  // Both requests in a single write: the second must not leak into the
+  // first request's body, and must be answered from the carry-over buffer.
+  const std::string two =
+      "GET /v1/stats HTTP/1.1\r\nAuthorization: Bearer secret\r\n"
+      "Connection: keep-alive\r\n\r\n"
+      "GET /v1/health HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+  ASSERT_TRUE(client.send_raw(two));
+  const std::string first = client.read_response();
+  const std::string second = client.read_response();
+  EXPECT_NE(first.find("total_records"), std::string::npos);
+  EXPECT_NE(second.find("\"status\":"), std::string::npos);
+  listener.stop();
+}
+
+TEST_F(ApiTest, TcpOversizedRequestAnswers413) {
+  obs::MetricsRegistry registry;
+  TcpListenerOptions options;
+  options.max_request_bytes = 1024;
+  TcpListener listener(server_, options);
+  listener.instrument(registry);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+  TcpClient client(port.value());
+  ASSERT_TRUE(client.connected());
+  // Headers that never end, well past the cap.
+  std::string flood = "GET /v1/health HTTP/1.1\r\n";
+  while (flood.size() <= 2048) flood += "X-Pad: aaaaaaaaaaaaaaaaaaaa\r\n";
+  ASSERT_TRUE(client.send_raw(flood));
+  const std::string response = client.read_to_eof();
+  EXPECT_NE(response.find("HTTP/1.1 413 Payload Too Large"),
+            std::string::npos);
+  listener.stop();
+  EXPECT_EQ(registry.counter_value("exiot_api_oversize_total"), 1u);
+}
+
+TEST_F(ApiTest, TcpSlowClientAnswers408) {
+  obs::MetricsRegistry registry;
+  TcpListenerOptions options;
+  options.read_timeout = std::chrono::milliseconds(100);
+  TcpListener listener(server_, options);
+  listener.instrument(registry);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+  TcpClient client(port.value());
+  ASSERT_TRUE(client.connected());
+  // A partial request, then silence: the read deadline must fire instead
+  // of the worker hanging forever on this connection.
+  ASSERT_TRUE(client.send_raw("GET /v1/health HT"));
+  const std::string response = client.read_to_eof();
+  EXPECT_NE(response.find("HTTP/1.1 408 Request Timeout"), std::string::npos);
+  listener.stop();
+  EXPECT_EQ(registry.counter_value("exiot_api_timeouts_total"), 1u);
+}
 
 TEST_F(ApiTest, ServesOverLoopbackTcp) {
   TcpListener listener(server_);

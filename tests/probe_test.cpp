@@ -145,6 +145,44 @@ TEST_F(ProberTest, BatchSweepSerializesCost) {
   }
 }
 
+TEST_F(ProberTest, BatchGrabLatencyAddsAfterSweep) {
+  // Regression: the batch path used to fold the ZGrab grab latency into
+  // max(host, sweep), so any batch whose shared sweep dominated reported
+  // banner grabs as completing the instant the sweep ended.
+  const inet::Host* responder = nullptr;
+  for (const auto& h : pop_.hosts()) {
+    if (h.responds_banner && h.cls == inet::HostClass::kInfectedIot &&
+        prober_.probe(h.addr, 0).responded) {
+      responder = &h;
+      break;
+    }
+  }
+  ASSERT_NE(responder, nullptr);
+
+  std::vector<Ipv4> addrs{responder->addr};
+  for (const auto& h : pop_.hosts()) {
+    if (addrs.size() == 100) break;
+    if (!h.responds_banner && h.addr != responder->addr) {
+      addrs.push_back(h.addr);
+    }
+  }
+  ASSERT_EQ(addrs.size(), 100u);
+
+  auto results = prober_.probe_batch(addrs, 0);
+  // 100 addrs x 50 ports at 5k pps: the shared sweep ends at exactly 1 s.
+  const TimeMicros sweep_done = static_cast<TimeMicros>(
+      100.0 * 50.0 / 5000.0 * kMicrosPerSecond);
+  ASSERT_TRUE(results[0].responded);
+  // Silent hosts complete with the sweep; the responder's grabs land on
+  // top of it, one grab_latency per banner — never swallowed by the max.
+  EXPECT_EQ(results[1].completed_at, sweep_done);
+  EXPECT_EQ(results[0].completed_at,
+            sweep_done + prober_.config().grab_latency *
+                             static_cast<TimeMicros>(
+                                 results[0].banners.size()));
+  EXPECT_GE(results[0].completed_at, sweep_done + seconds(2));
+}
+
 TEST(BatcherTest, FlushesAtMaxRecords) {
   BatcherConfig config;
   config.max_records = 3;

@@ -23,14 +23,26 @@
 //                      [--format prom|json] [--out FILE]
 //       Run the pipeline and dump its metrics registry — Prometheus text
 //       exposition (what GET /v1/metrics serves) or the JSON snapshot.
+//   exiotctl serve     [--scale S] [--days N] [--seed N] [--producers N]
+//                      [--shards N] [--port P] [--token T]
+//                      [--api-workers N] [--api-timeout MS]
+//       Run the pipeline, then serve the resulting feed over the REST API
+//       on 127.0.0.1:PORT until SIGINT/SIGTERM. --api-workers sizes the
+//       worker pool (concurrent consumers), --api-timeout sets the
+//       per-connection read/write deadlines in milliseconds.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "api/query.h"
+#include "api/tcp.h"
 #include "feed/export.h"
 #include "fingerprint/rules.h"
 #include "pipeline/exiot.h"
@@ -255,6 +267,62 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_stop{false};
+
+void on_serve_signal(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const Args& args) {
+  const double scale = args.get_double("--scale", 0.2);
+  const int days = args.get_int("--days", 1);
+  auto world = inet::WorldModel::standard(aperture());
+  inet::PopulationConfig config;
+  config.days = days;
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  auto population =
+      inet::Population::generate(config.scaled(scale), world);
+  pipeline::PipelineConfig pipe_config;
+  pipe_config.num_detector_shards = args.get_int("--shards", 1);
+  pipe_config.num_producer_threads = args.get_int("--producers", 1);
+  pipeline::ExIotPipeline pipe(population, world, pipe_config);
+  pipe.run_days(0, days);
+  pipe.finish();
+
+  const std::string token = args.get("--token", "exiot");
+  api::ApiServer server(pipe.feed());
+  server.add_token(token);
+  server.attach_metrics(&pipe.metrics());
+
+  api::TcpListenerOptions options;
+  options.num_workers = args.get_int("--api-workers", 4);
+  const int timeout_ms = args.get_int("--api-timeout", 5000);
+  options.read_timeout = std::chrono::milliseconds(timeout_ms);
+  options.write_timeout = std::chrono::milliseconds(timeout_ms);
+  api::TcpListener listener(server, options);
+  listener.instrument(pipe.metrics());
+  auto port = listener.start(
+      static_cast<std::uint16_t>(args.get_int("--port", 8080)));
+  if (!port.ok()) {
+    std::fprintf(stderr, "serve: %s\n", port.error().message.c_str());
+    return 1;
+  }
+  std::printf("serving http://127.0.0.1:%u (%d workers, %d ms deadlines)\n",
+              port.value(), options.num_workers, timeout_ms);
+  std::printf("  curl http://127.0.0.1:%u/v1/health\n", port.value());
+  std::printf("  curl -H 'Authorization: Bearer %s' "
+              "'http://127.0.0.1:%u/v1/records?limit=10'\n",
+              token.c_str(), port.value());
+  std::printf("Ctrl-C to drain and exit.\n");
+
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("draining...\n");
+  listener.stop();
+  return 0;
+}
+
 int cmd_fingerprint(const Args& args) {
   const std::string banner = args.get("--banner");
   if (banner.empty()) {
@@ -290,7 +358,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: exiotctl <capture|replay|simulate|query|"
-                 "fingerprint|metrics> [flags]\n");
+                 "fingerprint|metrics|serve> [flags]\n");
     return 2;
   }
   const Args args(argc, argv);
@@ -301,6 +369,7 @@ int main(int argc, char** argv) {
   if (command == "query") return cmd_query(args);
   if (command == "fingerprint") return cmd_fingerprint(args);
   if (command == "metrics") return cmd_metrics(args);
+  if (command == "serve") return cmd_serve(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }
