@@ -210,15 +210,19 @@ HttpResponse ApiServer::handle_snapshot(const HttpRequest& request) const {
   std::map<std::string, int> by_country, by_vendor, by_label;
   std::map<std::int64_t, int> by_asn;
   int total = 0;
-  feed_.latest_store().for_each(
-      [&](const store::ObjectId&, const json::Value& doc) {
-        if (doc.get_int("published_at") < since) return;
-        ++total;
-        ++by_label[doc.get_string("label")];
-        if (auto c = doc.get_string("country"); !c.empty()) ++by_country[c];
-        if (auto v = doc.get_string("vendor"); !v.empty()) ++by_vendor[v];
-        if (auto a = doc.get_int("asn"); a != 0) ++by_asn[a];
-      });
+  // published_at >= since via the store's ordered index, not a full scan.
+  const store::DocumentStore& latest = feed_.latest_store();
+  for (const auto& id : latest.find_range(
+           "published_at", since, std::numeric_limits<std::int64_t>::max())) {
+    const json::Value* found = latest.get(id);
+    if (found == nullptr) continue;
+    const json::Value& doc = *found;
+    ++total;
+    ++by_label[doc.get_string("label")];
+    if (auto c = doc.get_string("country"); !c.empty()) ++by_country[c];
+    if (auto v = doc.get_string("vendor"); !v.empty()) ++by_vendor[v];
+    if (auto a = doc.get_int("asn"); a != 0) ++by_asn[a];
+  }
 
   auto to_object = [](const auto& counts) {
     json::Object obj;

@@ -9,6 +9,7 @@ FeedManager::FeedManager(obs::MetricsRegistry* metrics)
       active_(metrics, "active") {
   latest_.ensure_index("src_ip");
   latest_.ensure_index("label");
+  latest_.ensure_ordered_index("published_at");
   historical_.ensure_index("src_ip");
 
   obs::MetricsRegistry& reg =
@@ -92,27 +93,27 @@ std::vector<CtiRecord> FeedManager::records_for(Ipv4 src) const {
 
 std::vector<CtiRecord> FeedManager::published_between(TimeMicros from,
                                                       TimeMicros to) const {
+  // Range lookup over the published_at ordered index instead of a full
+  // scan; find_range returns id order, so the output is unchanged.
   std::vector<CtiRecord> out;
-  latest_.for_each([&](const store::ObjectId&, const json::Value& doc) {
-    const TimeMicros published = doc.get_int("published_at");
-    if (published >= from && published < to) {
-      out.push_back(CtiRecord::from_json(doc));
-    }
-  });
+  for (const auto& id : latest_.find_range("published_at", from, to)) {
+    const json::Value* doc = latest_.get(id);
+    if (doc != nullptr) out.push_back(CtiRecord::from_json(*doc));
+  }
   return out;
 }
 
 std::vector<Ipv4> FeedManager::sources_between(
     TimeMicros from, TimeMicros to, const std::string& label) const {
   std::map<std::uint32_t, bool> seen;
-  latest_.for_each([&](const store::ObjectId&, const json::Value& doc) {
-    const TimeMicros published = doc.get_int("published_at");
-    if (published < from || published >= to) return;
-    if (!label.empty() && doc.get_string("label") != label) return;
-    if (auto ip = Ipv4::parse(doc.get_string("src_ip"))) {
+  for (const auto& id : latest_.find_range("published_at", from, to)) {
+    const json::Value* doc = latest_.get(id);
+    if (doc == nullptr) continue;
+    if (!label.empty() && doc->get_string("label") != label) continue;
+    if (auto ip = Ipv4::parse(doc->get_string("src_ip"))) {
       seen.emplace(ip->value(), true);
     }
-  });
+  }
   std::vector<Ipv4> out;
   out.reserve(seen.size());
   for (const auto& [value, unused] : seen) out.emplace_back(value);

@@ -1,0 +1,214 @@
+#include "pipeline/annotate.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace exiot::pipeline {
+
+namespace {
+
+std::uint64_t elapsed_micros(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+AnnotateStage::AnnotateStage(AnnotateStageConfig config, Annotator annotator,
+                             CommitFn commit, MarkEndedFn mark_ended,
+                             obs::MetricsRegistry* metrics)
+    : config_(config),
+      annotator_(std::move(annotator)),
+      commit_(std::move(commit)),
+      mark_ended_(std::move(mark_ended)),
+      queue_(config.queue_capacity) {
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  workers_g_ = &reg.gauge("exiot_annotate_workers",
+                          "Annotate-stage worker threads (0 = inline).");
+  inflight_g_ = &reg.gauge(
+      "exiot_annotate_inflight",
+      "Records submitted to the annotate stage and not yet committed.");
+  reorder_depth_g_ = &reg.gauge(
+      "exiot_annotate_reorder_depth",
+      "Ops parked in the reorder window awaiting ordered commit.");
+  records_c_ = &reg.counter("exiot_annotate_records_total",
+                            "Records annotated and committed to the feed.");
+  out_of_order_c_ = &reg.counter(
+      "exiot_annotate_out_of_order_total",
+      "Worker results that completed before an earlier record's.");
+  stall_c_ = &reg.counter(
+      "exiot_annotate_reorder_stall_micros_total",
+      "Wall-clock micros the committer waited on an unready window head "
+      "while later results sat ready.");
+  const int workers = config_.num_workers;
+  workers_g_->set(workers > 1 ? static_cast<double>(workers) : 0.0);
+  if (workers <= 1) return;
+  queue_.instrument(reg, {{"buffer", "annotate"}});
+  busy_c_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    busy_c_.push_back(&reg.counter(
+        "exiot_annotate_worker_busy_micros_total",
+        "Wall-clock micros each worker spent inside the annotator.",
+        {{"worker", std::to_string(w)}}));
+  }
+  committer_ = std::thread([this] { committer_loop(); });
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
+}
+
+AnnotateStage::~AnnotateStage() { shutdown(); }
+
+void AnnotateStage::submit(AnnotateJob job) {
+  if (workers_.empty() || stopped_) {
+    // Serial reference path: annotate + commit inline, in call order.
+    AnnotateResult result = annotator_(job);
+    commit_(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    ++committed_;
+    records_c_->inc();
+    return;
+  }
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = submitted_++;
+    window_.emplace(seq, Op{});
+    inflight_g_->set(static_cast<double>(submitted_ - committed_));
+    reorder_depth_g_->set(static_cast<double>(window_.size()));
+  }
+  (void)queue_.push(SeqJob{seq, std::move(job)});
+}
+
+void AnnotateStage::submit_mark_ended(Ipv4 src, TimeMicros scan_end,
+                                      TimeMicros at) {
+  if (workers_.empty() || stopped_) {
+    mark_ended_(src, scan_end, at);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    ++committed_;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Op op;
+    op.kind = Op::Kind::kMarkEnded;
+    op.ready = true;  // Nothing to compute: born ready, commits in order.
+    op.src = src;
+    op.scan_end = scan_end;
+    op.at = at;
+    window_.emplace(submitted_++, std::move(op));
+    ++ready_;
+    inflight_g_->set(static_cast<double>(submitted_ - committed_));
+    reorder_depth_g_->set(static_cast<double>(window_.size()));
+  }
+  commit_cv_.notify_one();
+}
+
+void AnnotateStage::worker_loop(std::size_t index) {
+  while (auto item = queue_.pop()) {
+    const auto start = std::chrono::steady_clock::now();
+    AnnotateResult result = annotator_(item->job);
+    busy_c_[index]->inc(elapsed_micros(start));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = window_.find(item->seq);
+      it->second.ready = true;
+      it->second.result = std::move(result);
+      ++ready_;
+      if (it != window_.begin()) out_of_order_c_->inc();
+    }
+    commit_cv_.notify_one();
+  }
+}
+
+void AnnotateStage::committer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    while (!head_ready() && !(stop_ && window_.empty())) {
+      // An unready head with ready successors is the reorder cost: a slow
+      // record blocking faster ones behind it. Only that wait counts as
+      // stall time; waiting on an empty window is just idleness. The state
+      // is re-sampled on every wakeup — a wait that began idle turns into
+      // a stall once workers park out-of-order results behind the head.
+      const bool stalled = !window_.empty() && ready_ > 0;
+      const auto start = std::chrono::steady_clock::now();
+      commit_cv_.wait(lock);
+      if (stalled) {
+        const std::uint64_t waited = elapsed_micros(start);
+        stall_micros_ += waited;
+        stall_c_->inc(waited);
+      }
+    }
+    if (!head_ready()) break;  // stop_ && window empty.
+    Op op = std::move(window_.begin()->second);
+    window_.erase(window_.begin());
+    --ready_;
+    reorder_depth_g_->set(static_cast<double>(window_.size()));
+    lock.unlock();
+    apply(op);  // Feed publish / trainer / notifications: off the lock.
+    lock.lock();
+    ++committed_;
+    inflight_g_->set(static_cast<double>(submitted_ - committed_));
+    drain_cv_.notify_all();
+  }
+}
+
+void AnnotateStage::apply(Op& op) {
+  if (op.kind == Op::Kind::kRecord) {
+    commit_(op.result);
+    records_c_->inc();
+  } else {
+    mark_ended_(op.src, op.scan_end, op.at);
+  }
+}
+
+void AnnotateStage::drain() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return committed_ == submitted_; });
+}
+
+void AnnotateStage::shutdown() {
+  if (workers_.empty() || stopped_) {
+    stopped_ = true;
+    return;
+  }
+  // Workers drain the queue backlog after close(), so every parked op
+  // eventually turns ready; the committer then empties the window before
+  // honoring stop_. Nothing in flight is lost.
+  queue_.close();
+  for (auto& worker : workers_) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  commit_cv_.notify_all();
+  committer_.join();
+  workers_.clear();
+  stopped_ = true;
+}
+
+std::uint64_t AnnotateStage::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+std::uint64_t AnnotateStage::committed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return committed_;
+}
+
+std::uint64_t AnnotateStage::reorder_stall_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stall_micros_;
+}
+
+}  // namespace exiot::pipeline

@@ -95,8 +95,12 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                       if (it->second.dropped) pending_.erase(it);
                       return;
                     }
-                    (void)feed_.mark_ended(summary.src, summary.last_seen,
-                                           at);
+                    // The record already left the pipeline: the END_FLOW
+                    // enters the annotate stage's commit log so the feed
+                    // mutation lands in submit order relative to every
+                    // in-flight publication.
+                    annotate_.submit_mark_ended(summary.src,
+                                                summary.last_seen, at);
                   },
               .on_report =
                   [this](const flow::SecondReport& report) {
@@ -107,14 +111,23 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
       organizer_(config.organizer, &metrics_),
       prober_(population, config.prober),
       scan_module_(prober_, fingerprint::RuleDb::standard(), config.batcher,
-                   &metrics_),
+                   &metrics_, config.unknown_banner_capacity),
       trainer_(config.trainer, &metrics_),
       enrich_(world, population),
       feed_(&metrics_),
       notifications_([this](const feed::EmailMessage& message) {
         outbox_.push_back(message);
       }),
-      tunnel_(seconds(5), &metrics_) {
+      tunnel_(seconds(5), &metrics_),
+      annotate_(
+          AnnotateStageConfig{config.num_annotate_workers,
+                              config.annotate_queue_capacity},
+          [this](const AnnotateJob& job) { return annotate_job(job); },
+          [this](AnnotateResult& result) { commit_annotated(result); },
+          [this](Ipv4 src, TimeMicros scan_end, TimeMicros at) {
+            (void)feed_.mark_ended(src, scan_end, at);
+          },
+          &metrics_) {
   const std::string detector_help =
       "Flow-detector events, scraped hourly from the CAIDA side.";
   inst_.packets = &metrics_.counter("exiot_detector_packets_processed_total",
@@ -178,24 +191,37 @@ void ExIotPipeline::try_publish(PendingRecord& pending) {
 }
 
 void ExIotPipeline::publish_record(PendingRecord& pending) {
-  const ProbeOutcome& probe = *pending.probe;
-  const ScannerBundle& bundle = *pending.bundle;
-  const TimeMicros published =
-      std::max(probe.completed_at, pending.sample_ready_at) +
-      config_.annotate_latency;
+  AnnotateJob job;
+  job.summary = pending.summary;
+  job.probe = std::move(*pending.probe);
+  job.bundle = std::move(*pending.bundle);
+  job.sample_ready_at = pending.sample_ready_at;
+  job.ended = pending.ended;
+  job.end_ts = pending.end_ts;
+  const std::uint32_t key = pending.summary.src.value();
+  annotate_.submit(std::move(job));
+  pending_.erase(key);
+}
+
+AnnotateResult ExIotPipeline::annotate_job(const AnnotateJob& job) const {
+  const ProbeOutcome& probe = job.probe;
+  const ScannerBundle& bundle = job.bundle;
+
+  AnnotateResult out;
+  out.annotate_start = std::max(probe.completed_at, job.sample_ready_at);
+  out.published = out.annotate_start + config_.annotate_latency;
+  out.training_label = probe.training_label;
+  out.ended = job.ended;
+  out.end_ts = job.end_ts;
+  const TimeMicros published = out.published;
 
   // Feature extraction over the sampled flow.
-  ml::FeatureVector features = ml::flow_features(bundle.sample);
+  out.features = ml::flow_features(bundle.sample);
 
-  // Banner-derived training label feeds the Update Classifier.
-  if (probe.training_label != -1) {
-    trainer_.add_example(published, features, probe.training_label);
-  }
-
-  feed::CtiRecord record;
-  record.src = pending.summary.src;
-  record.scan_start = pending.summary.first_seen;
-  record.detect_time = pending.summary.detect_time;
+  feed::CtiRecord& record = out.record;
+  record.src = job.summary.src;
+  record.scan_start = job.summary.first_seen;
+  record.detect_time = job.summary.detect_time;
   record.published_at = published;
   record.banner_returned = probe.banner_returned;
 
@@ -208,7 +234,7 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
     record.label = feed::kLabelBenign;
     record.score = 0.0;
   } else if (const DeployedModel* model = trainer_.model_at(published)) {
-    record.score = model->score(features);
+    record.score = model->score(out.features);
     record.label =
         record.score >= 0.5 ? feed::kLabelIot : feed::kLabelNonIot;
   } else if (probe.training_label == 1) {
@@ -263,20 +289,26 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
   record.address_repetition = flow_stats.address_repetition_ratio;
   record.targeted_ports = flow_stats.port_distribution;
 
-  record.active = !pending.ended;
-  record.scan_end = pending.ended ? pending.end_ts : 0;
-  obs::VirtualTimer annotate_timer(
-      *inst_.annotate_latency,
-      std::max(probe.completed_at, pending.sample_ready_at));
-  annotate_timer.stop(published);
-  (void)feed_.publish(record, published);
-  if (pending.ended) {
-    // The record was born closed; retire its active-cache entry.
-    (void)feed_.mark_ended(record.src, pending.end_ts, published);
-  }
-  (void)notifications_.on_record_published(record, published);
+  record.active = !job.ended;
+  record.scan_end = job.ended ? job.end_ts : 0;
+  return out;
+}
 
-  pending_.erase(record.src.value());
+void ExIotPipeline::commit_annotated(AnnotateResult& result) {
+  const TimeMicros published = result.published;
+  // Banner-derived training label feeds the Update Classifier.
+  if (result.training_label != -1) {
+    trainer_.add_example(published, result.features, result.training_label);
+  }
+  obs::VirtualTimer annotate_timer(*inst_.annotate_latency,
+                                   result.annotate_start);
+  annotate_timer.stop(published);
+  (void)feed_.publish(result.record, published);
+  if (result.ended) {
+    // The record was born closed; retire its active-cache entry.
+    (void)feed_.mark_ended(result.record.src, result.end_ts, published);
+  }
+  (void)notifications_.on_record_published(result.record, published);
 }
 
 void ExIotPipeline::run_hours(std::int64_t first_hour,
@@ -294,6 +326,9 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
         config_.collection.file_ready_time(hour) +
         config_.processing_per_hour;
     handle_probe_outcomes(scan_module_.tick(processing_end));
+    // Barrier: retraining reallocates the deployed-model registry the
+    // annotate workers read, and expiry/scrapes read committer-side state.
+    annotate_.drain();
     if (trainer_.maybe_retrain(processing_end).has_value()) {
       EXIOT_LOG(LogLevel::kInfo, "pipeline",
                 "retrained model at " + format_time(processing_end));
@@ -366,6 +401,7 @@ void ExIotPipeline::finish() {
       pending_.erase(it);
     }
   }
+  annotate_.drain();
   scrape_detector();
   inst_.pending->set(static_cast<double>(pending_.size()));
 }

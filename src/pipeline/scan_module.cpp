@@ -5,10 +5,16 @@ namespace exiot::pipeline {
 ScanModule::ScanModule(const probe::ActiveProber& prober,
                        fingerprint::RuleDb rules,
                        probe::BatcherConfig batcher_config,
-                       obs::MetricsRegistry* metrics)
-    : prober_(prober), rules_(std::move(rules)), batcher_(batcher_config) {
+                       obs::MetricsRegistry* metrics,
+                       std::size_t unknown_banner_capacity)
+    : prober_(prober),
+      rules_(std::move(rules)),
+      batcher_(batcher_config),
+      unknown_log_(unknown_banner_capacity) {
   obs::MetricsRegistry& reg =
       metrics != nullptr ? *metrics : obs::scratch_registry();
+  rules_.instrument(reg);
+  unknown_log_.instrument(reg);
   batches_c_ = &reg.counter("exiot_scan_module_batches_total",
                             "Scanner batches flushed to the prober.");
   probed_c_ = &reg.counter("exiot_scan_module_probed_total",

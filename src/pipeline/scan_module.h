@@ -34,7 +34,9 @@ class ScanModule {
   ScanModule(const probe::ActiveProber& prober,
              fingerprint::RuleDb rules,
              probe::BatcherConfig batcher_config = {},
-             obs::MetricsRegistry* metrics = nullptr);
+             obs::MetricsRegistry* metrics = nullptr,
+             std::size_t unknown_banner_capacity =
+                 fingerprint::UnknownBannerLog::kDefaultCapacity);
 
   /// Enqueues a newly detected scanner at processing time `now`. Returns
   /// the outcomes of any batch this submission flushed.

@@ -8,6 +8,10 @@ void DocumentStore::ensure_index(const std::string& field) {
   indexes_.try_emplace(field);
 }
 
+void DocumentStore::ensure_ordered_index(const std::string& field) {
+  ordered_indexes_.try_emplace(field);
+}
+
 std::string DocumentStore::index_key(const json::Value& doc,
                                      const std::string& field) {
   const json::Value* v = doc.find(field);
@@ -22,12 +26,24 @@ void DocumentStore::index_insert(const ObjectId& id, const json::Value& doc) {
     const std::string key = index_key(doc, field);
     if (!key.empty()) buckets[key].push_back(id);
   }
+  for (auto& [field, buckets] : ordered_indexes_) {
+    const json::Value* v = doc.find(field);
+    if (v != nullptr && v->is_number()) buckets[v->as_int()].push_back(id);
+  }
 }
 
 void DocumentStore::index_remove(const ObjectId& id, const json::Value& doc) {
   for (auto& [field, buckets] : indexes_) {
     const std::string key = index_key(doc, field);
     auto it = buckets.find(key);
+    if (it == buckets.end()) continue;
+    std::erase(it->second, id);
+    if (it->second.empty()) buckets.erase(it);
+  }
+  for (auto& [field, buckets] : ordered_indexes_) {
+    const json::Value* v = doc.find(field);
+    if (v == nullptr || !v->is_number()) continue;
+    auto it = buckets.find(v->as_int());
     if (it == buckets.end()) continue;
     std::erase(it->second, id);
     if (it->second.empty()) buckets.erase(it);
@@ -80,6 +96,25 @@ std::vector<ObjectId> DocumentStore::find_by(const std::string& field,
   auto bucket_it = index_it->second.find(value);
   if (bucket_it == index_it->second.end()) return {};
   return bucket_it->second;
+}
+
+std::vector<ObjectId> DocumentStore::find_range(const std::string& field,
+                                                std::int64_t from,
+                                                std::int64_t to) const {
+  ops_.read->inc();
+  auto index_it = ordered_indexes_.find(field);
+  if (index_it == ordered_indexes_.end() || from >= to) return {};
+  const auto& buckets = index_it->second;
+  std::vector<ObjectId> out;
+  for (auto it = buckets.lower_bound(from); it != buckets.end(); ++it) {
+    if (it->first >= to) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  // Documents are only approximately ordered by indexed value (batch
+  // completion interleaves publication times), so restore the id order a
+  // full scan would have produced.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<ObjectId> DocumentStore::find_if(

@@ -34,6 +34,11 @@ class DocumentStore {
   /// called before documents are inserted.
   void ensure_index(const std::string& field);
 
+  /// Declares an ordered secondary index over a top-level integer field,
+  /// enabling `find_range` lookups (e.g. "published_at" windows). Must be
+  /// called before documents are inserted.
+  void ensure_ordered_index(const std::string& field);
+
   /// Inserts a document at virtual time `now`; stamps "_id" and
   /// "updated_at" fields and returns the id.
   ObjectId insert(json::Value doc, TimeMicros now);
@@ -52,6 +57,13 @@ class DocumentStore {
   /// Index lookup: ids of documents whose `field` stringifies to `value`.
   std::vector<ObjectId> find_by(const std::string& field,
                                 const std::string& value) const;
+
+  /// Ordered-index range lookup: ids of documents with `from` <= field <
+  /// `to`, returned in id (insertion) order — the same order a full scan
+  /// yields, so routing a query through the index cannot change its
+  /// output. Empty when no ordered index exists on `field`.
+  std::vector<ObjectId> find_range(const std::string& field,
+                                   std::int64_t from, std::int64_t to) const;
 
   /// Full scan with predicate (the query-builder path).
   std::vector<ObjectId> find_if(
@@ -81,6 +93,9 @@ class DocumentStore {
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<ObjectId>>>
       indexes_;
+  /// field -> (value -> ids with that value), value-sorted for ranges.
+  std::map<std::string, std::map<std::int64_t, std::vector<ObjectId>>>
+      ordered_indexes_;
 };
 
 }  // namespace exiot::store

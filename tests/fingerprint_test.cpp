@@ -1,6 +1,13 @@
-// Tests for banner fingerprinting rules and packet-level tool signatures.
+// Tests for banner fingerprinting rules and packet-level tool signatures,
+// including the literal-anchor prefilter's exact equivalence to the plain
+// linear regex sweep and its thread safety under concurrent matching.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
+#include <thread>
+
+#include "common/rng.h"
 #include "fingerprint/rules.h"
 #include "fingerprint/tools.h"
 #include "inet/behavior.h"
@@ -90,6 +97,160 @@ TEST_F(RuleDbTest, FirstRuleWinsOrdering) {
   EXPECT_EQ(m->rule_name, "specific");
 }
 
+// ----------------------------------------------------------- Prefilter ----
+
+void expect_same_match(const RuleDb& db, const std::string& banner) {
+  auto fast = db.match(banner);
+  auto slow = db.match_linear(banner);
+  ASSERT_EQ(fast.has_value(), slow.has_value()) << banner;
+  if (!fast.has_value()) return;
+  EXPECT_EQ(fast->rule_name, slow->rule_name) << banner;
+  EXPECT_EQ(fast->vendor, slow->vendor) << banner;
+  EXPECT_EQ(fast->device_type, slow->device_type) << banner;
+  EXPECT_EQ(fast->model, slow->model) << banner;
+  EXPECT_EQ(fast->firmware, slow->firmware) << banner;
+  EXPECT_EQ(fast->label, slow->label) << banner;
+}
+
+TEST(AnchorExtractionTest, LiteralRunsAndQuantifiers) {
+  EXPECT_EQ(extract_literal_anchor("RouterOS v([0-9.]+)"), "routeros v");
+  EXPECT_EQ(extract_literal_anchor(R"(SSH-2\.0-ROSSSH)"), "ssh-2.0-rosssh");
+  // '?' makes the preceding char optional: it must not enter the anchor.
+  EXPECT_EQ(extract_literal_anchor("TP-?LINK"), "link");
+  EXPECT_EQ(extract_literal_anchor(R"(SIMATIC,?\s+(S7-[0-9]+))"), "simatic");
+  // '+' keeps the char but ends the run ("ab+c" matches "abbc").
+  EXPECT_EQ(extract_literal_anchor("ab+cdef"), "cdef");
+  // Top-level alternation guarantees nothing.
+  EXPECT_EQ(extract_literal_anchor("Server: Schneider-WEB|Modicon (M[0-9]+)"),
+            "");
+  // Purely group/class patterns have no required literal.
+  EXPECT_EQ(extract_literal_anchor("(ZX[A-Z0-9]+ [A-Z0-9]+)"), "");
+  // The longest run wins across class/group breaks.
+  EXPECT_EQ(
+      extract_literal_anchor(R"(AXIS (\S+)[^\r\n]*Network Camera ([0-9.]+)?)"),
+      "network camera ");
+  EXPECT_EQ(extract_literal_anchor(R"(Server: Apache(?:/([0-9.]+))?)"),
+            "server: apache");
+}
+
+TEST_F(RuleDbTest, MostStandardRulesCarryAnchors) {
+  // The prefilter only pays off if it covers the bulk of the sweep.
+  EXPECT_GE(db_.anchored_rules() * 10, db_.size() * 8);
+  for (std::size_t i = 0; i < db_.size(); ++i) {
+    // Anchors are stored case-folded (the banner is folded once to match).
+    for (char c : db_.anchor(i)) {
+      EXPECT_FALSE(c >= 'A' && c <= 'Z');
+    }
+  }
+}
+
+TEST_F(RuleDbTest, PrefilterEquivalentOnCatalogBanners) {
+  auto catalog = inet::DeviceCatalog::standard();
+  for (const auto& model : catalog.models()) {
+    for (const auto& banner : model.banners) {
+      expect_same_match(db_, banner.text);
+    }
+  }
+}
+
+TEST_F(RuleDbTest, PrefilterEquivalentOnNearMissFuzzCorpus) {
+  // Mutate realistic banners into near-misses — dropped characters, case
+  // flips, injected noise, truncations — and assert the prefiltered match
+  // agrees with the linear reference on every one. A too-long anchor
+  // (e.g. one that swallowed an optional char) would diverge here.
+  std::vector<std::string> seeds = {
+      "HTTP/1.1 200 OK\r\n\r\n<title>RouterOS v6.45.9</title>",
+      "MikroTik FTP server (MikroTik 6.44) ready",
+      "SSH-2.0-ROSSSH",
+      "220 AXIS Q6115-E PTZ Dome Network Camera 6.20.1.2 (2016) ready.",
+      "WWW-Authenticate: Basic realm=\"HikvisionDS-2CD2042WD\"",
+      "TP-LINK Router TL-WR841N",
+      "TPLINK WR940N",
+      "DIR-300 Ver 1.04",
+      "Server: Schneider-WEB",
+      "Modicon M340 v2.7",
+      "SIMATIC, S7-300",
+      "fox hello world Niagara 3.8",
+      "Server: Apache/2.4.18 (Ubuntu)",
+      "Server: nginx",
+      "SSH-2.0-OpenSSH_7.4",
+      "SSH-2.0-dropbear_2017.75",
+      "NETGEAR R7000",
+      "uc-httpd 1.0.0",
+      "ESMTP Postfix",
+      "BACnet device Honeywell XL15C v3.1",
+  };
+  Rng rng(0xF1273);
+  std::vector<std::string> corpus = seeds;
+  for (const auto& seed : seeds) {
+    for (int variant = 0; variant < 40; ++variant) {
+      std::string s = seed;
+      switch (variant % 4) {
+        case 0:  // Drop one character.
+          s.erase(rng.uniform_int(0, static_cast<int>(s.size()) - 1), 1);
+          break;
+        case 1: {  // Flip one character's case or swap a digit.
+          auto& c = s[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<int>(s.size()) - 1))];
+          c = std::isdigit(static_cast<unsigned char>(c))
+                  ? static_cast<char>('0' + rng.uniform_int(0, 9))
+                  : static_cast<char>(c ^ 0x20);
+          break;
+        }
+        case 2:  // Inject noise.
+          s.insert(static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<int>(s.size()))),
+                   1, static_cast<char>('!' + rng.uniform_int(0, 60)));
+          break;
+        default:  // Truncate.
+          s.resize(static_cast<std::size_t>(
+              rng.uniform_int(1, static_cast<int>(s.size()))));
+          break;
+      }
+      corpus.push_back(std::move(s));
+    }
+  }
+  for (const auto& banner : corpus) expect_same_match(db_, banner);
+}
+
+TEST_F(RuleDbTest, PrefilterSkipsRulesWithoutRunningRegex) {
+  obs::MetricsRegistry registry;
+  db_.instrument(registry);
+  ASSERT_FALSE(db_.match("completely unrelated banner text").has_value());
+  const auto skipped =
+      registry.counter_value("exiot_fingerprint_prefilter_skipped_total");
+  const auto searched =
+      registry.counter_value("exiot_fingerprint_prefilter_regex_total");
+  EXPECT_EQ(skipped + searched, db_.size());
+  // Every anchored rule was rejected by the cheap substring pass.
+  EXPECT_EQ(skipped, db_.anchored_rules());
+  EXPECT_EQ(searched, db_.size() - db_.anchored_rules());
+}
+
+TEST_F(RuleDbTest, ConcurrentMatchIsThreadSafe) {
+  // Shared db + shared magic-static device-text regex hammered from many
+  // threads: annotate workers do exactly this. Run under TSan in CI.
+  const std::vector<std::string> banners = {
+      "RouterOS v6.45.9", "SSH-2.0-OpenSSH_7.4", "no match at all",
+      "TL-WR841N device text", "Server: Apache/2.4.18"};
+  std::atomic<int> matches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      int local = 0;
+      for (int i = 0; i < 200; ++i) {
+        for (const auto& banner : banners) {
+          if (db_.match(banner).has_value()) ++local;
+          (void)looks_like_device_text(banner);
+        }
+      }
+      matches.fetch_add(local);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(matches.load(), 8 * 200 * 3);
+}
+
 TEST(DeviceTextTest, GenericRuleMatchesProductIdentifiers) {
   EXPECT_TRUE(looks_like_device_text("model hg8245h detected"));
   EXPECT_TRUE(looks_like_device_text("TL-WR841N"));
@@ -104,6 +265,25 @@ TEST(DeviceTextTest, UnknownBannerLogKeepsPromisingOnly) {
   EXPECT_TRUE(log.offer("Welcome to ACME x500-b terminal"));
   EXPECT_FALSE(log.offer("plain text banner"));
   EXPECT_EQ(log.entries().size(), 1u);
+}
+
+TEST(DeviceTextTest, UnknownBannerLogBoundedByCapacity) {
+  UnknownBannerLog log(3);
+  obs::MetricsRegistry registry;
+  log.instrument(registry);
+  for (int i = 0; i < 10; ++i) {
+    const bool kept = log.offer("device acme-x" + std::to_string(100 + i));
+    EXPECT_EQ(kept, i < 3);
+  }
+  EXPECT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.capacity(), 3u);
+  EXPECT_EQ(log.dropped(), 7u);
+  EXPECT_EQ(registry.counter_value(
+                "exiot_fingerprint_unknown_banners_dropped_total"),
+            7u);
+  // Uninteresting banners are rejected, not counted as capacity drops.
+  EXPECT_FALSE(log.offer("plain text banner"));
+  EXPECT_EQ(log.dropped(), 7u);
 }
 
 // -------------------------------------------------------------- Tools ----

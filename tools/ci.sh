@@ -3,7 +3,8 @@
 # then a ThreadSanitizer build of the concurrency-bearing test binaries
 # (the threaded ingest stage, the blocking buffer, the concurrent API
 # listener — worker pool, keep-alive, stop-while-serving — the parallel
-# traffic producer, and parallel forest training).
+# traffic producer, parallel forest training, the annotate worker pool
+# with its ordered reorder commit, and concurrent banner-rule matching).
 #
 #   tools/ci.sh [build-dir] [tsan-build-dir]
 set -eu
@@ -20,13 +21,13 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "== metrics name lint =="
 bash tools/check_metrics_names.sh
 
-echo "== ThreadSanitizer: pipeline / producer / flow / telescope / ml / api tests =="
+echo "== ThreadSanitizer: pipeline / producer / annotate / fingerprint / flow / telescope / ml / api tests =="
 cmake -B "$TSAN_BUILD" -S . -DEXIOT_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j"$(nproc)" \
-  --target pipeline_test producer_test flow_test telescope_test ml_test \
-           api_test robustness_test
-for t in pipeline_test producer_test flow_test telescope_test ml_test \
-         api_test robustness_test; do
+  --target pipeline_test producer_test annotate_test fingerprint_test \
+           flow_test telescope_test ml_test api_test robustness_test
+for t in pipeline_test producer_test annotate_test fingerprint_test \
+         flow_test telescope_test ml_test api_test robustness_test; do
   echo "-- tsan: $t"
   "$TSAN_BUILD/tests/$t"
 done

@@ -8,11 +8,14 @@
 //       telescope statistics.
 //   exiotctl simulate  [--scale S] [--days N] [--seed N]
 //                      [--producers N] [--shards N] [--buffer N]
+//                      [--annotate-workers N]
 //                      [--jsonl FILE] [--csv FILE] [--dashboard FILE]
 //       Run the full pipeline and export the resulting feed. --producers
-//       synthesizes traffic on N producer threads and --shards runs the
-//       capture->detect stage on N detector threads (output is identical
-//       for any producers x shards combination); --buffer sets the
+//       synthesizes traffic on N producer threads, --shards runs the
+//       capture->detect stage on N detector threads, and
+//       --annotate-workers annotates/classifies records on N workers with
+//       an ordered reorder commit (output is identical for any producers
+//       x shards x annotate-workers combination); --buffer sets the
 //       per-shard capture buffer capacity in batches.
 //   exiotctl query     --jsonl FILE --q EXPR
 //       Evaluate a query-builder expression over an exported feed.
@@ -20,11 +23,13 @@
 //       Match a banner against the rule database.
 //   exiotctl metrics   [--scale S] [--days N] [--seed N]
 //                      [--producers N] [--shards N] [--buffer N]
+//                      [--annotate-workers N]
 //                      [--format prom|json] [--out FILE]
 //       Run the pipeline and dump its metrics registry — Prometheus text
 //       exposition (what GET /v1/metrics serves) or the JSON snapshot.
 //   exiotctl serve     [--scale S] [--days N] [--seed N] [--producers N]
-//                      [--shards N] [--port P] [--token T]
+//                      [--shards N] [--annotate-workers N]
+//                      [--port P] [--token T]
 //                      [--api-workers N] [--api-timeout MS]
 //       Run the pipeline, then serve the resulting feed over the REST API
 //       on 127.0.0.1:PORT until SIGINT/SIGTERM. --api-workers sizes the
@@ -171,6 +176,7 @@ int cmd_simulate(const Args& args) {
   pipeline::PipelineConfig pipe_config;
   pipe_config.num_detector_shards = args.get_int("--shards", 1);
   pipe_config.num_producer_threads = args.get_int("--producers", 1);
+  pipe_config.num_annotate_workers = args.get_int("--annotate-workers", 1);
   pipe_config.buffer_capacity =
       static_cast<std::size_t>(args.get_int("--buffer", 64));
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
@@ -214,6 +220,7 @@ int cmd_metrics(const Args& args) {
   pipeline::PipelineConfig pipe_config;
   pipe_config.num_detector_shards = args.get_int("--shards", 1);
   pipe_config.num_producer_threads = args.get_int("--producers", 1);
+  pipe_config.num_annotate_workers = args.get_int("--annotate-workers", 1);
   pipe_config.buffer_capacity =
       static_cast<std::size_t>(args.get_int("--buffer", 64));
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
@@ -283,6 +290,7 @@ int cmd_serve(const Args& args) {
   pipeline::PipelineConfig pipe_config;
   pipe_config.num_detector_shards = args.get_int("--shards", 1);
   pipe_config.num_producer_threads = args.get_int("--producers", 1);
+  pipe_config.num_annotate_workers = args.get_int("--annotate-workers", 1);
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
   pipe.run_days(0, days);
   pipe.finish();
