@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "fingerprint/rules.h"
 #include "fingerprint/tools.h"
@@ -187,7 +188,7 @@ int main() {
               std::thread::hardware_concurrency());
   const Workload workload = build_workload(records, seed);
 
-  std::FILE* json = std::fopen("BENCH_annotate.json", "w");
+  std::FILE* json = benchx::open_bench_json("BENCH_annotate.json");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"bench\": \"annotate_throughput\",\n"
@@ -245,7 +246,8 @@ int main() {
                  linear_bps, fast_bps, fast_bps / linear_bps);
     std::fprintf(json, "}\n");
     std::fclose(json);
-    std::printf("\nwrote BENCH_annotate.json\n");
+    std::printf("\nwrote %s\n",
+                benchx::bench_json_path("BENCH_annotate.json").c_str());
   }
   std::printf("\nspeedup >= 2x at 4 workers expected on >=4 cores; on fewer "
               "cores the worker pool adds queueing overhead without "

@@ -29,6 +29,7 @@
 
 #include "api/server.h"
 #include "api/tcp.h"
+#include "bench_common.h"
 #include "feed/manager.h"
 
 using namespace exiot;
@@ -197,7 +198,7 @@ int main() {
   std::printf("%8s %12s %10s %10s %12s\n", "workers", "req/s", "speedup",
               "served", "mismatched");
 
-  std::FILE* json = std::fopen("BENCH_api.json", "w");
+  std::FILE* json = benchx::open_bench_json("BENCH_api.json");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"bench\": \"api_concurrency\",\n"
@@ -237,7 +238,8 @@ int main() {
   if (json != nullptr) {
     std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);
-    std::printf("\nwrote BENCH_api.json\n");
+    std::printf("\nwrote %s\n",
+                benchx::bench_json_path("BENCH_api.json").c_str());
   }
   std::printf("\nspeedup >= 2x at 4 workers expected on >=4 cores; "
               "mismatched must be 0 at every worker count (responses are "

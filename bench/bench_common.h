@@ -3,9 +3,13 @@
 // output doubles as the EXPERIMENTS.md evidence.
 //
 // Environment knobs (all benches):
-//   EXIOT_SCALE  population scale relative to the default (default varies
-//                per bench; 1.0 = ~7.6k scanners/day = paper at 1/100)
-//   EXIOT_SEED   population seed (default 42)
+//   EXIOT_SCALE      population scale relative to the default (default
+//                    varies per bench; 1.0 = ~7.6k scanners/day = paper
+//                    at 1/100)
+//   EXIOT_SEED       population seed (default 42)
+//   EXIOT_BENCH_DIR  directory for BENCH_*.json result files (default:
+//                    the working directory) — lets CI collect them without
+//                    caring where the binary ran
 #pragma once
 
 #include <cstdio>
@@ -30,6 +34,27 @@ inline std::uint64_t env_seed() {
 }
 
 inline Cidr aperture() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+/// Where a bench's BENCH_<name>.json belongs: $EXIOT_BENCH_DIR/<filename>
+/// when the variable is set, else `filename` in the working directory.
+inline std::string bench_json_path(const std::string& filename) {
+  const char* dir = std::getenv("EXIOT_BENCH_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  return path + filename;
+}
+
+/// Opens the bench's JSON result file, warning (not failing) when the
+/// path is unwritable — the numbers on stdout are the primary output.
+inline std::FILE* open_bench_json(const std::string& filename) {
+  const std::string path = bench_json_path(filename);
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+  return json;
+}
 
 struct Sim {
   inet::WorldModel world;

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "flow/detector.h"
 #include "inet/population.h"
 #include "pipeline/ingest.h"
@@ -65,11 +66,19 @@ double run_replay(const std::vector<net::Packet>& packets, int shards) {
 }
 
 double run_live(const inet::Population& population, Cidr aperture,
-                int producers, int shards, std::size_t* packets_out) {
+                int producers, int shards, std::size_t* packets_out,
+                obs::Tracer* tracer = nullptr) {
   pipeline::ProducerConfig producer_config;
   producer_config.num_producers = producers;
-  pipeline::ParallelProducer producer(population, aperture, producer_config);
-  pipeline::ThreadedIngest ingest = make_ingest(shards);
+  pipeline::ParallelProducer producer(population, aperture, producer_config,
+                                      nullptr, tracer);
+  pipeline::IngestConfig ingest_config;
+  ingest_config.num_shards = shards;
+  ingest_config.buffer_capacity = 64;
+  ingest_config.batch_size = 512;
+  pipeline::ThreadedIngest ingest(ingest_config, flow::DetectorConfig{},
+                                  flow::DetectorEvents{},
+                                  probe::table1_ports(), nullptr, tracer);
   const auto start = std::chrono::steady_clock::now();
   const std::size_t count = ingest.run_hour(
       [&producer](const pipeline::ThreadedIngest::PacketFn& fn) {
@@ -108,7 +117,7 @@ int main() {
               static_cast<unsigned long long>(seed),
               std::thread::hardware_concurrency());
 
-  std::FILE* json = std::fopen("BENCH_ingest.json", "w");
+  std::FILE* json = benchx::open_bench_json("BENCH_ingest.json");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"bench\": \"ingest_throughput\",\n"
@@ -174,13 +183,49 @@ int main() {
       first = false;
     }
   }
+  if (json != nullptr) std::fprintf(json, "\n  ],\n");
+
+  // Span-tracing overhead on the live 1x1 path: a disabled tracer must be
+  // a single predictable branch (<= 3% cost is the budget; see
+  // src/obs/span.h), and even 100% sampling should only pay for timestamp
+  // reads and ring writes.
+  std::printf("\ntracing overhead (live, 1 producer x 1 shard)\n");
+  std::printf("%16s %14s %10s\n", "sampling", "pps", "vs off");
+  double trace_base = 0.0;
+  first = true;
+  if (json != nullptr) std::fprintf(json, "  \"tracing\": [");
+  for (const double rate : {-1.0, 0.0, 1.0}) {
+    obs::MetricsRegistry scratch;
+    obs::Tracer tracer(obs::TracerConfig{rate < 0.0 ? 0.0 : rate, 4096},
+                       &scratch);
+    obs::Tracer* arg = rate < 0.0 ? nullptr : &tracer;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double pps = run_live(population, aperture, 1, 1, nullptr, arg);
+      if (pps > best) best = pps;
+    }
+    if (rate < 0.0) trace_base = best;
+    const char* label = rate < 0.0 ? "no tracer"
+                        : rate == 0.0 ? "0% (disabled)" : "100%";
+    std::printf("%16s %14.0f %9.3fx\n", label, best, best / trace_base);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    {\"sampling\": \"%s\", \"pps\": %.0f, "
+                   "\"relative\": %.4f}",
+                   first ? "" : ",", label, best, best / trace_base);
+    }
+    first = false;
+  }
   if (json != nullptr) {
     std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);
-    std::printf("\nwrote BENCH_ingest.json\n");
+    std::printf("\nwrote %s\n",
+                benchx::bench_json_path("BENCH_ingest.json").c_str());
   }
   std::printf("\nspeedup >= 2x at 4 producers (live) and >= 1.8x at 4 "
               "shards (replay) expected on >=4 cores; on fewer cores the "
-              "threaded paths add queueing overhead without parallelism.\n");
+              "threaded paths add queueing overhead without parallelism. "
+              "0%% sampling should stay within ~3%% of the no-tracer "
+              "baseline.\n");
   return 0;
 }

@@ -25,12 +25,28 @@ bool ApiServer::authorized(const HttpRequest& request) const {
 }
 
 HttpResponse ApiServer::handle(const HttpRequest& request) const {
+  HttpResponse response = dispatch(request);
+  if (flight_ != nullptr && response.status >= 400) {
+    flight_->record("api", std::to_string(response.status) + " " +
+                               request.method + " " + request.path);
+  }
+  return response;
+}
+
+HttpResponse ApiServer::dispatch(const HttpRequest& request) const {
   if (request.method != "GET") {
     return HttpResponse::json(405, error_body("method not allowed").dump());
   }
   if (request.path == "/v1/health") {
     json::Value body;
     body["status"] = "ok";
+    if (watchdog_ != nullptr) {
+      // Health escalates from worker heartbeat ages, evaluated now — the
+      // status crosses to "stalled" within one deadline of a hang.
+      const json::Value watchdog = watchdog_->to_json();
+      body["status"] = watchdog.get_string("health", "ok");
+      body["watchdog"] = watchdog;
+    }
     if (metrics_ != nullptr) {
       // Registry-backed uptime hints: a glance at the health endpoint
       // shows whether the pipeline is actually moving data.
@@ -67,6 +83,14 @@ HttpResponse ApiServer::handle(const HttpRequest& request) const {
   }
   if (request.path == "/v1/snapshot") return handle_snapshot(request);
   if (request.path == "/v1/query") return handle_query(request);
+  if (request.path == "/v1/traces") return handle_traces(request);
+  if (request.path == "/v1/flightrecorder") {
+    if (flight_ == nullptr) {
+      return HttpResponse::json(
+          404, error_body("no flight recorder attached").dump());
+    }
+    return HttpResponse::json(200, flight_->to_json().dump());
+  }
   if (auto it = extra_endpoints_.find(request.path);
       it != extra_endpoints_.end()) {
     return HttpResponse::json(200, it->second().dump());
@@ -194,6 +218,28 @@ HttpResponse ApiServer::handle_query(const HttpRequest& request) const {
   body["count"] = static_cast<std::int64_t>(records.size());
   body["records"] = std::move(records);
   return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_traces(const HttpRequest& request) const {
+  if (tracer_ == nullptr) {
+    return HttpResponse::json(404,
+                              error_body("no tracer attached").dump());
+  }
+  std::size_t limit = 0;  // 0 = all traces in the rings.
+  try {
+    if (auto l = request.query_param("limit"); !l.empty()) {
+      const std::int64_t parsed = std::stoll(l);
+      if (parsed < 0) {
+        return HttpResponse::json(
+            400, error_body("negative numeric parameter").dump());
+      }
+      limit = static_cast<std::size_t>(parsed);
+    }
+  } catch (const std::exception&) {
+    return HttpResponse::json(400,
+                              error_body("bad numeric parameter").dump());
+  }
+  return HttpResponse::json(200, tracer_->to_json(limit).dump());
 }
 
 HttpResponse ApiServer::handle_snapshot(const HttpRequest& request) const {

@@ -13,11 +13,18 @@
 //   GET /v1/snapshot?window_us=         aggregate roll-ups (Table V style)
 //   GET /v1/query?q=<expr>&limit=       query-builder expressions (see
 //                                       api/query.h for the language)
+//   GET /v1/traces?limit=               sampled end-to-end record/batch
+//                                       spans (attach_tracer; auth)
+//   GET /v1/flightrecorder              recent structural events ring
+//                                       (attach_flight_recorder; auth)
 //   GET <registered>                    extra JSON endpoints
 //                                       (add_json_endpoint; e.g.
 //                                       /v1/telescope statistics)
 //
 // Auth: "Authorization: Bearer <token>" checked against registered tokens.
+// With a watchdog attached, /v1/health's status escalates
+// ok -> degraded -> stalled from worker heartbeat ages; with a flight
+// recorder attached, every 4xx/5xx response is recorded as an "api" event.
 #pragma once
 
 #include <functional>
@@ -27,7 +34,10 @@
 
 #include "api/http.h"
 #include "feed/manager.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
 
 namespace exiot::api {
 
@@ -54,20 +64,43 @@ class ApiServer {
     metrics_ = registry;
   }
 
+  /// Attaches a span tracer: enables GET /v1/traces (authenticated). The
+  /// tracer must outlive the server (pass &pipeline.tracer()).
+  void attach_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches a flight recorder: enables GET /v1/flightrecorder
+  /// (authenticated) and records every 4xx/5xx response as an "api"
+  /// event. Must outlive the server.
+  void attach_flight_recorder(obs::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
+  /// Attaches the stall watchdog: /v1/health's "status" becomes
+  /// ok/degraded/stalled from worker heartbeat ages, with per-worker
+  /// detail under "watchdog". Must outlive the server.
+  void attach_watchdog(const obs::Watchdog* watchdog) {
+    watchdog_ = watchdog;
+  }
+
   /// Handles one request (transport-independent; the TCP binding and the
   /// tests both route through here).
   HttpResponse handle(const HttpRequest& request) const;
 
  private:
   bool authorized(const HttpRequest& request) const;
+  HttpResponse dispatch(const HttpRequest& request) const;
   HttpResponse handle_stats() const;
   HttpResponse handle_records(const HttpRequest& request) const;
   HttpResponse handle_records_for_ip(const std::string& ip) const;
   HttpResponse handle_snapshot(const HttpRequest& request) const;
   HttpResponse handle_query(const HttpRequest& request) const;
+  HttpResponse handle_traces(const HttpRequest& request) const;
 
   const feed::FeedManager& feed_;
   const obs::MetricsRegistry* metrics_ = nullptr;
+  const obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  const obs::Watchdog* watchdog_ = nullptr;
   std::unordered_set<std::string> tokens_;
   std::map<std::string, std::function<json::Value()>> extra_endpoints_;
 };

@@ -122,7 +122,8 @@ Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
   running_.store(true);
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
   acceptor_ = std::thread([this] { accept_loop(); });
   return port_;
@@ -171,15 +172,25 @@ void TcpListener::accept_loop() {
   }
 }
 
-void TcpListener::worker_loop() {
-  while (auto client = queue_.pop()) {
+void TcpListener::worker_loop(std::size_t index) {
+  // Blocking on an empty dispatch queue is idle, not stalled; only time
+  // spent inside serve_connection counts against the watchdog deadline.
+  auto heartbeat =
+      obs::Watchdog::attach(watchdog_, "api:" + std::to_string(index));
+  for (;;) {
+    heartbeat.idle();
+    auto client = queue_.pop();
+    if (!client.has_value()) break;
+    heartbeat.busy();
     if (!running_.load()) {
       // Drain after stop(): queued sockets never reach a handler.
       refuse(*client);
       continue;
     }
     serve_connection(*client);
+    heartbeat.beat();
   }
+  heartbeat.retire();
 }
 
 void TcpListener::serve_connection(int client) {

@@ -48,6 +48,7 @@
 #include "api/server.h"
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "pipeline/buffer.h"
 
 namespace exiot::api {
@@ -83,6 +84,11 @@ class TcpListener {
   /// it the listener records into the scratch registry.
   void instrument(obs::MetricsRegistry& registry);
 
+  /// Registers the worker pool with a stall watchdog ("api:<i>" slots).
+  /// Call before start(); workers blocked on an empty dispatch queue are
+  /// idle, not stalled.
+  void set_watchdog(obs::Watchdog* watchdog) { watchdog_ = watchdog; }
+
   /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the acceptor and the
   /// worker pool. Returns the bound port. Restartable after stop().
   Result<std::uint16_t> start(std::uint16_t port = 0);
@@ -98,7 +104,7 @@ class TcpListener {
   enum class ReadStatus { kComplete, kClosed, kTimeout, kOversize, kError };
 
   void accept_loop();
-  void worker_loop();
+  void worker_loop(std::size_t index);
   void serve_connection(int client);
   ReadStatus read_request(int client, std::string& raw) const;
   void send_all(int client, const std::string& wire);
@@ -110,6 +116,7 @@ class TcpListener {
 
   const ApiServer& server_;
   TcpListenerOptions options_;
+  obs::Watchdog* watchdog_ = nullptr;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -2,8 +2,9 @@
 
 namespace exiot::feed {
 
-FeedManager::FeedManager(obs::MetricsRegistry* metrics)
+FeedManager::FeedManager(obs::MetricsRegistry* metrics, obs::Tracer* tracer)
     : metrics_(metrics),
+      tracer_(tracer),
       latest_(-1, metrics, "latest"),
       historical_(14 * kMicrosPerDay, metrics, "historical"),
       active_(metrics, "active") {
@@ -33,8 +34,11 @@ std::string FeedManager::active_key(Ipv4 src) {
   return "active:" + src.to_string();
 }
 
-store::ObjectId FeedManager::publish(const CtiRecord& record,
-                                     TimeMicros now) {
+store::ObjectId FeedManager::publish(const CtiRecord& record, TimeMicros now,
+                                     const obs::TraceContext* trace) {
+  const bool traced =
+      tracer_ != nullptr && trace != nullptr && trace->sampled();
+  const std::uint64_t publish_start = traced ? obs::steady_micros() : 0;
   json::Value doc = record.to_json();
   store::ObjectId id = latest_.insert(doc, now);
   (void)historical_.insert(std::move(doc), now);
@@ -51,6 +55,13 @@ store::ObjectId FeedManager::publish(const CtiRecord& record,
   }
   obs::VirtualTimer(*publish_latency_h_, record.detect_time).stop(now);
   if (!was_active) active_g_->inc();
+  if (traced) {
+    // Tail of the record trace: the store-insert cost. Publish runs inline
+    // in the committer, so there is no queue hop to wait on.
+    tracer_->record(*trace, obs::SpanStage::kPublish, publish_start,
+                    obs::steady_micros() - publish_start, 0,
+                    record.src.value());
+  }
   return id;
 }
 

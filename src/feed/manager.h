@@ -12,6 +12,7 @@
 
 #include "feed/record.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "store/docstore.h"
 #include "store/kvstore.h"
 
@@ -23,11 +24,15 @@ class FeedManager {
   /// per-label record counts, the active-source gauge, and the end-to-end
   /// detect-to-publish latency histogram; the three storage tiers report
   /// their ops labeled store=latest|historical|active.
-  explicit FeedManager(obs::MetricsRegistry* metrics = nullptr);
+  explicit FeedManager(obs::MetricsRegistry* metrics = nullptr,
+                       obs::Tracer* tracer = nullptr);
 
   /// Publishes a new record at virtual time `now`: inserts into latest and
   /// historical stores and registers the source as active in the KV cache.
-  store::ObjectId publish(const CtiRecord& record, TimeMicros now);
+  /// When the record carries a sampled trace context, the wall-clock cost
+  /// of the store inserts is recorded as the trace's kPublish span.
+  store::ObjectId publish(const CtiRecord& record, TimeMicros now,
+                          const obs::TraceContext* trace = nullptr);
 
   /// Handles an END_FLOW for `src`: looks up the active record's ObjectID
   /// in the KV cache and closes it in place. Returns false if no active
@@ -64,6 +69,7 @@ class FeedManager {
   static std::string active_key(Ipv4 src);
 
   obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
   store::DocumentStore latest_;
   store::DocumentStore historical_;
   store::KvStore active_;

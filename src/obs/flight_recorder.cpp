@@ -1,0 +1,156 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include "obs/span.h"
+
+namespace exiot::obs {
+namespace {
+
+void copy_truncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// Unsigned decimal formatting without snprintf — async-signal-safe for the
+/// crash-handler dump path.
+std::size_t format_u64(std::uint64_t v, char* buf) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(capacity_);
+}
+
+void FlightRecorder::record(std::string_view category,
+                            std::string_view detail) {
+  FlightEvent event;
+  event.micros = steady_micros();
+  copy_truncated(event.category, sizeof(event.category), category);
+  copy_truncated(event.detail, sizeof(event.detail), detail);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+  } else {
+    events_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(next_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+json::Value FlightRecorder::to_json() const {
+  json::Array events;
+  for (const FlightEvent& event : snapshot()) {
+    json::Object entry;
+    entry["micros"] = static_cast<std::int64_t>(event.micros);
+    entry["category"] = std::string(event.category);
+    entry["detail"] = std::string(event.detail);
+    events.push_back(std::move(entry));
+  }
+  json::Object root;
+  root["capacity"] = static_cast<std::int64_t>(capacity_);
+  root["recorded"] = static_cast<std::int64_t>(recorded());
+  root["events"] = std::move(events);
+  return json::Value(std::move(root));
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+void FlightRecorder::dump(int fd) const {
+  // Deliberately lock-free: callable from a signal handler while another
+  // thread holds mutex_. events_.size() only grows toward capacity_, and
+  // entries are fixed-size PODs, so the worst case is one torn line.
+  static const char header[] = "--- flight recorder ---\n";
+  write_all(fd, header, sizeof(header) - 1);
+  const std::size_t size = events_.size();
+  const std::size_t start = next_;
+  for (std::size_t i = 0; i < size; ++i) {
+    const FlightEvent& event = events_[(start + i) % size];
+    char line[192];
+    std::size_t pos = 0;
+    pos += format_u64(event.micros, line + pos);
+    line[pos++] = ' ';
+    line[pos++] = '[';
+    for (const char* c = event.category; *c != '\0' &&
+         c < event.category + sizeof(event.category); ++c) {
+      line[pos++] = *c;
+    }
+    line[pos++] = ']';
+    line[pos++] = ' ';
+    for (const char* c = event.detail;
+         *c != '\0' && c < event.detail + sizeof(event.detail); ++c) {
+      line[pos++] = *c;
+    }
+    line[pos++] = '\n';
+    write_all(fd, line, pos);
+  }
+  static const char footer[] = "--- end flight recorder ---\n";
+  write_all(fd, footer, sizeof(footer) - 1);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder(1024);
+  return recorder;
+}
+
+namespace {
+
+std::atomic<const FlightRecorder*> g_crash_recorder{nullptr};
+
+void crash_handler(int signo) {
+  const FlightRecorder* recorder = g_crash_recorder.load();
+  if (recorder == nullptr) recorder = &FlightRecorder::global();
+  recorder->dump(STDERR_FILENO);
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void install_crash_handler(const FlightRecorder* recorder) {
+  g_crash_recorder.store(recorder);
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+  for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    std::signal(signo, crash_handler);
+  }
+}
+
+}  // namespace exiot::obs

@@ -1,0 +1,77 @@
+// Flight recorder: a bounded in-memory ring of recent structured events —
+// stage transitions, drops, retrain/expire barriers, API 4xx/5xx — so the
+// last seconds before a crash, TSan abort, or operator question are always
+// reconstructable. Dumpable on demand (GET /v1/flightrecorder, to_json())
+// and automatically on fatal signal via install_crash_handler().
+//
+// Entries are fixed-size POD (truncating char arrays, no heap) so the
+// signal-handler dump path can walk the ring with plain writes and no
+// allocation. Normal-path record/snapshot take a mutex; the handler skips
+// it (the crashed thread may hold it) and accepts a torn entry over a
+// deadlock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "json/json.h"
+
+namespace exiot::obs {
+
+/// One recorded event. `category` groups events for filtering ("stage",
+/// "drop", "retrain", "expire", "api", "watchdog", "signal"); `detail` is a
+/// short human-readable line. Both truncate silently.
+struct FlightEvent {
+  std::uint64_t micros = 0;  // steady_micros() at record time.
+  char category[16] = {};
+  char detail[112] = {};
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(std::string_view category, std::string_view detail);
+
+  /// Oldest-first copy of the ring.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// {"events": [{micros, category, detail}], "recorded": N} for
+  /// GET /v1/flightrecorder.
+  json::Value to_json() const;
+
+  /// Total events ever recorded (ring overwrites don't decrement).
+  std::uint64_t recorded() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Writes the ring as text lines to a file descriptor using only
+  /// async-signal-safe calls (write(2), no allocation, no locking) — the
+  /// fatal-signal path. Best effort: concurrent writers may tear an entry.
+  void dump(int fd) const;
+
+  /// Process-wide recorder used by the crash handler and any component
+  /// without an explicit recorder wired through.
+  static FlightRecorder& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> events_;
+  std::size_t next_ = 0;  // Overwrite cursor once the ring is full.
+  std::uint64_t recorded_ = 0;
+};
+
+/// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump `recorder`
+/// (default: FlightRecorder::global()) to stderr, then re-raise with the
+/// default disposition so the exit status is unchanged. The handlers
+/// install once; a later call can still repoint the dumped recorder. The
+/// recorder must outlive the process's crashing paths.
+void install_crash_handler(const FlightRecorder* recorder = nullptr);
+
+}  // namespace exiot::obs

@@ -209,6 +209,30 @@ std::size_t MetricsRegistry::family_count() const {
   return families_.size();
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t below = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // +Inf bucket: no finite upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    if (buckets[i] == 0) return upper;
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::vector<HistogramSnapshot> MetricsRegistry::histogram_snapshots() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<HistogramSnapshot> out;
@@ -300,9 +324,13 @@ json::Value MetricsRegistry::to_json() const {
           const Histogram& hist = *child.histogram;
           metric["count"] = static_cast<std::int64_t>(hist.count());
           metric["sum"] = hist.sum();
+          HistogramSnapshot snap;
+          snap.bounds = hist.bounds();
+          snap.count = hist.count();
           json::Array buckets;
           std::uint64_t cumulative = 0;
           for (std::size_t i = 0; i <= hist.bounds().size(); ++i) {
+            snap.buckets.push_back(hist.bucket(i));
             cumulative += hist.bucket(i);
             json::Value bucket;
             bucket["le"] = i < hist.bounds().size()
@@ -312,6 +340,9 @@ json::Value MetricsRegistry::to_json() const {
             buckets.push_back(std::move(bucket));
           }
           metric["buckets"] = std::move(buckets);
+          metric["p50"] = snap.quantile(0.50);
+          metric["p95"] = snap.quantile(0.95);
+          metric["p99"] = snap.quantile(0.99);
           break;
         }
       }

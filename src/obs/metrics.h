@@ -107,6 +107,12 @@ struct HistogramSnapshot {
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Estimated q-quantile (q in [0, 1]) with linear interpolation inside
+  /// the holding bucket — the Prometheus histogram_quantile() estimate.
+  /// Observations in the +Inf bucket clamp to the largest finite bound;
+  /// an empty histogram yields 0. /v1/metrics.json exposes p50/p95/p99.
+  double quantile(double q) const;
 };
 
 /// Named metric families, each holding one child per distinct label set.

@@ -1,0 +1,209 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/span.h"
+
+namespace exiot::obs {
+
+const char* health_name(Health health) {
+  switch (health) {
+    case Health::kOk: return "ok";
+    case Health::kDegraded: return "degraded";
+    case Health::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
+void Watchdog::Worker::beat() {
+  beat_micros_.store(steady_micros(), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Watchdog::Worker::idle() {
+  idle_.store(true, std::memory_order_relaxed);
+}
+
+void Watchdog::Worker::busy() {
+  // Stamp first: the deadline clock restarts from the moment the blocking
+  // call returned, not from whenever the thread last beat before parking.
+  beat_micros_.store(steady_micros(), std::memory_order_relaxed);
+  idle_.store(false, std::memory_order_relaxed);
+}
+
+void Watchdog::Worker::retire() {
+  active_.store(false, std::memory_order_relaxed);
+}
+
+Watchdog::Watchdog(WatchdogConfig config, MetricsRegistry* metrics,
+                   FlightRecorder* flight)
+    : config_(config), flight_(flight) {
+  if (config_.warn_ratio <= 0.0 || config_.warn_ratio > 1.0) {
+    config_.warn_ratio = 0.5;
+  }
+  if (config_.poll.count() <= 0) {
+    config_.poll = std::clamp(config_.deadline / 4,
+                              std::chrono::milliseconds(1),
+                              std::chrono::milliseconds(250));
+  }
+  MetricsRegistry& reg = metrics != nullptr ? *metrics : scratch_registry();
+  workers_g_ = &reg.gauge("exiot_watchdog_workers",
+                          "Worker heartbeat slots registered");
+  stalled_g_ = &reg.gauge("exiot_watchdog_stalled_workers",
+                          "Busy workers silent past the deadline");
+  health_g_ = &reg.gauge("exiot_watchdog_health",
+                         "Pipeline health: 0 ok, 1 degraded, 2 stalled");
+  stall_events_c_ = &reg.counter("exiot_watchdog_stall_events_total",
+                                 "Worker stall transitions observed");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+Watchdog::Worker* Watchdog::register_worker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& worker : workers_) {
+    if (worker->name_ == name) {
+      // Revive the slot: threads respawn per window/hour under the same
+      // logical name.
+      worker->beat_micros_.store(steady_micros(),
+                                 std::memory_order_relaxed);
+      worker->idle_.store(false, std::memory_order_relaxed);
+      worker->stalled_.store(false, std::memory_order_relaxed);
+      worker->active_.store(true, std::memory_order_relaxed);
+      return worker.get();
+    }
+  }
+  workers_.push_back(std::make_unique<Worker>(name));
+  Worker* worker = workers_.back().get();
+  worker->beat_micros_.store(steady_micros(), std::memory_order_relaxed);
+  worker->active_.store(true, std::memory_order_relaxed);
+  workers_g_->set(static_cast<double>(workers_.size()));
+  return worker;
+}
+
+void Watchdog::start() {
+  if (!enabled() || started_) return;
+  started_ = true;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+std::uint64_t Watchdog::busy_age_micros(const Worker& worker,
+                                        std::uint64_t now) {
+  if (!worker.active_.load(std::memory_order_relaxed)) return 0;
+  if (worker.idle_.load(std::memory_order_relaxed)) return 0;
+  const std::uint64_t beat =
+      worker.beat_micros_.load(std::memory_order_relaxed);
+  return now > beat ? now - beat : 0;
+}
+
+Health Watchdog::health() const {
+  if (!enabled()) return Health::kOk;
+  const std::uint64_t now = steady_micros();
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(config_.deadline.count()) * 1000;
+  const auto warn_us = static_cast<std::uint64_t>(
+      static_cast<double>(deadline_us) * config_.warn_ratio);
+  Health worst = Health::kOk;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& worker : workers_) {
+    const std::uint64_t age = busy_age_micros(*worker, now);
+    if (age > deadline_us) return Health::kStalled;
+    if (age > warn_us) worst = Health::kDegraded;
+  }
+  return worst;
+}
+
+std::size_t Watchdog::stalled_workers() const {
+  if (!enabled()) return 0;
+  const std::uint64_t now = steady_micros();
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(config_.deadline.count()) * 1000;
+  std::size_t stalled = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& worker : workers_) {
+    if (busy_age_micros(*worker, now) > deadline_us) ++stalled;
+  }
+  return stalled;
+}
+
+json::Value Watchdog::to_json() const {
+  const std::uint64_t now = steady_micros();
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(config_.deadline.count()) * 1000;
+  json::Array workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& worker : workers_) {
+      const std::uint64_t age = busy_age_micros(*worker, now);
+      json::Object entry;
+      entry["name"] = worker->name_;
+      entry["active"] = worker->active_.load(std::memory_order_relaxed);
+      entry["idle"] = worker->idle_.load(std::memory_order_relaxed);
+      entry["epoch"] = static_cast<std::int64_t>(worker->epoch());
+      entry["age_micros"] = static_cast<std::int64_t>(age);
+      entry["stalled"] = enabled() && age > deadline_us;
+      workers.push_back(std::move(entry));
+    }
+  }
+  json::Object root;
+  root["health"] = health_name(health());
+  root["deadline_ms"] =
+      static_cast<std::int64_t>(config_.deadline.count());
+  root["stalled_workers"] = static_cast<std::int64_t>(stalled_workers());
+  root["workers"] = std::move(workers);
+  return json::Value(std::move(root));
+}
+
+void Watchdog::monitor_loop() {
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(config_.deadline.count()) * 1000;
+  std::unique_lock<std::mutex> stop_lock(stop_mutex_);
+  while (!stopping_) {
+    stop_cv_.wait_for(stop_lock, config_.poll);
+    if (stopping_) break;
+
+    const std::uint64_t now = steady_micros();
+    std::size_t stalled = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& worker : workers_) {
+        const bool is_stalled =
+            busy_age_micros(*worker, now) > deadline_us;
+        if (is_stalled) ++stalled;
+        // Edge-detect per worker so each hang logs once, not per tick.
+        const bool was_stalled =
+            worker->stalled_.exchange(is_stalled,
+                                      std::memory_order_relaxed);
+        if (is_stalled && !was_stalled) {
+          stall_events_c_->inc();
+          if (flight_ != nullptr) {
+            std::ostringstream detail;
+            detail << "worker " << worker->name_ << " silent > "
+                   << config_.deadline.count() << "ms";
+            flight_->record("watchdog", detail.str());
+          }
+        } else if (!is_stalled && was_stalled && flight_ != nullptr) {
+          flight_->record("watchdog",
+                          "worker " + worker->name_ + " recovered");
+        }
+      }
+      workers_g_->set(static_cast<double>(workers_.size()));
+    }
+    stalled_g_->set(static_cast<double>(stalled));
+    health_g_->set(static_cast<double>(health()));
+  }
+  stalled_g_->set(0.0);
+  health_g_->set(0.0);
+}
+
+}  // namespace exiot::obs

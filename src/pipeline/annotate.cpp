@@ -19,11 +19,14 @@ std::uint64_t elapsed_micros(std::chrono::steady_clock::time_point start) {
 
 AnnotateStage::AnnotateStage(AnnotateStageConfig config, Annotator annotator,
                              CommitFn commit, MarkEndedFn mark_ended,
-                             obs::MetricsRegistry* metrics)
+                             obs::MetricsRegistry* metrics,
+                             obs::Tracer* tracer, obs::Watchdog* watchdog)
     : config_(config),
       annotator_(std::move(annotator)),
       commit_(std::move(commit)),
       mark_ended_(std::move(mark_ended)),
+      tracer_(tracer),
+      watchdog_(watchdog),
       queue_(config.queue_capacity) {
   obs::MetricsRegistry& reg =
       metrics != nullptr ? *metrics : obs::scratch_registry();
@@ -66,10 +69,24 @@ AnnotateStage::AnnotateStage(AnnotateStageConfig config, Annotator annotator,
 AnnotateStage::~AnnotateStage() { shutdown(); }
 
 void AnnotateStage::submit(AnnotateJob job) {
+  const bool traced = tracer_ != nullptr && job.trace.sampled();
   if (workers_.empty() || stopped_) {
     // Serial reference path: annotate + commit inline, in call order.
+    // Spans still split annotate from commit; queue waits are zero by
+    // construction.
+    const std::uint64_t t0 = traced ? obs::steady_micros() : 0;
     AnnotateResult result = annotator_(job);
+    result.trace = job.trace;
+    const std::uint64_t t1 = traced ? obs::steady_micros() : 0;
     commit_(result);
+    if (traced) {
+      const std::uint64_t t2 = obs::steady_micros();
+      const std::uint32_t src = result.record.src.value();
+      tracer_->record(job.trace, obs::SpanStage::kAnnotate, t0, t1 - t0, 0,
+                      src);
+      tracer_->record(job.trace, obs::SpanStage::kCommit, t1, t2 - t1, 0,
+                      src);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     ++submitted_;
     ++committed_;
@@ -84,6 +101,7 @@ void AnnotateStage::submit(AnnotateJob job) {
     inflight_g_->set(static_cast<double>(submitted_ - committed_));
     reorder_depth_g_->set(static_cast<double>(window_.size()));
   }
+  if (traced) job.trace.handoff_micros = obs::steady_micros();
   (void)queue_.push(SeqJob{seq, std::move(job)});
 }
 
@@ -113,23 +131,45 @@ void AnnotateStage::submit_mark_ended(Ipv4 src, TimeMicros scan_end,
 }
 
 void AnnotateStage::worker_loop(std::size_t index) {
-  while (auto item = queue_.pop()) {
+  auto heartbeat =
+      obs::Watchdog::attach(watchdog_, "annotate:" + std::to_string(index));
+  while (true) {
+    heartbeat.idle();  // Blocked on an empty job queue is not a stall.
+    auto item = queue_.pop();
+    heartbeat.busy();
+    if (!item.has_value()) break;
+    const bool traced = tracer_ != nullptr && item->job.trace.sampled();
+    const std::uint64_t pop_micros = traced ? obs::steady_micros() : 0;
     const auto start = std::chrono::steady_clock::now();
     AnnotateResult result = annotator_(item->job);
     busy_c_[index]->inc(elapsed_micros(start));
+    result.trace = item->job.trace;
+    std::uint64_t ready_micros = 0;
+    if (traced) {
+      ready_micros = obs::steady_micros();
+      const std::uint64_t handoff = item->job.trace.handoff_micros;
+      tracer_->record(result.trace, obs::SpanStage::kAnnotate, pop_micros,
+                      ready_micros - pop_micros,
+                      pop_micros > handoff ? pop_micros - handoff : 0,
+                      result.record.src.value(), item->seq);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = window_.find(item->seq);
       it->second.ready = true;
       it->second.result = std::move(result);
+      it->second.ready_micros = ready_micros;
       ++ready_;
       if (it != window_.begin()) out_of_order_c_->inc();
     }
     commit_cv_.notify_one();
+    heartbeat.beat();
   }
+  heartbeat.retire();
 }
 
 void AnnotateStage::committer_loop() {
+  auto heartbeat = obs::Watchdog::attach(watchdog_, "annotate:committer");
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     while (!head_ready() && !(stop_ && window_.empty())) {
@@ -140,7 +180,9 @@ void AnnotateStage::committer_loop() {
       // a stall once workers park out-of-order results behind the head.
       const bool stalled = !window_.empty() && ready_ > 0;
       const auto start = std::chrono::steady_clock::now();
+      heartbeat.idle();  // Waiting on workers, by definition not stuck.
       commit_cv_.wait(lock);
+      heartbeat.busy();
       if (stalled) {
         const std::uint64_t waited = elapsed_micros(start);
         stall_micros_ += waited;
@@ -153,12 +195,29 @@ void AnnotateStage::committer_loop() {
     --ready_;
     reorder_depth_g_->set(static_cast<double>(window_.size()));
     lock.unlock();
+    const bool traced = tracer_ != nullptr &&
+                        op.kind == Op::Kind::kRecord &&
+                        op.result.trace.sampled();
+    const std::uint64_t commit_start = traced ? obs::steady_micros() : 0;
     apply(op);  // Feed publish / trainer / notifications: off the lock.
+    if (traced) {
+      // Queue wait here is the ordered-commit cost: reorder-window holdup
+      // plus committer backlog between result-ready and commit start.
+      const std::uint64_t now = obs::steady_micros();
+      tracer_->record(op.result.trace, obs::SpanStage::kCommit,
+                      commit_start, now - commit_start,
+                      commit_start > op.ready_micros
+                          ? commit_start - op.ready_micros
+                          : 0,
+                      op.result.record.src.value());
+    }
+    heartbeat.beat();
     lock.lock();
     ++committed_;
     inflight_g_->set(static_cast<double>(submitted_ - committed_));
     drain_cv_.notify_all();
   }
+  heartbeat.retire();
 }
 
 void AnnotateStage::apply(Op& op) {

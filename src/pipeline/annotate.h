@@ -41,6 +41,8 @@
 #include "flow/detector.h"
 #include "ml/features.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
 #include "pipeline/buffer.h"
 #include "pipeline/organizer.h"
 #include "pipeline/scan_module.h"
@@ -56,6 +58,8 @@ struct AnnotateJob {
   TimeMicros sample_ready_at = 0;
   bool ended = false;  // END_FLOW arrived before publication.
   TimeMicros end_ts = 0;
+  /// Record trace (sampled at detection); content-neutral metadata only.
+  obs::TraceContext trace;
 };
 
 /// Everything the commit step needs, produced worker-side.
@@ -67,6 +71,9 @@ struct AnnotateResult {
   TimeMicros published = 0;
   bool ended = false;
   TimeMicros end_ts = 0;
+  /// Propagated from the job by the stage (the annotator need not copy
+  /// it); lets the commit callback hand the context to feed publish.
+  obs::TraceContext trace;
 };
 
 struct AnnotateStageConfig {
@@ -90,7 +97,9 @@ class AnnotateStage {
 
   AnnotateStage(AnnotateStageConfig config, Annotator annotator,
                 CommitFn commit, MarkEndedFn mark_ended,
-                obs::MetricsRegistry* metrics = nullptr);
+                obs::MetricsRegistry* metrics = nullptr,
+                obs::Tracer* tracer = nullptr,
+                obs::Watchdog* watchdog = nullptr);
   ~AnnotateStage();
 
   AnnotateStage(const AnnotateStage&) = delete;
@@ -131,6 +140,10 @@ class AnnotateStage {
     Ipv4 src;               // kMarkEnded.
     TimeMicros scan_end = 0;
     TimeMicros at = 0;
+    /// steady_micros() when the result turned ready in the window; the
+    /// gap to commit start is the kCommit span's queue-wait (reorder +
+    /// committer backlog time).
+    std::uint64_t ready_micros = 0;
   };
   struct SeqJob {
     std::uint64_t seq = 0;
@@ -152,6 +165,8 @@ class AnnotateStage {
   Annotator annotator_;
   CommitFn commit_;
   MarkEndedFn mark_ended_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Watchdog* watchdog_ = nullptr;
 
   BoundedBuffer<SeqJob> queue_;
   std::vector<std::thread> workers_;

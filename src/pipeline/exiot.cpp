@@ -13,11 +13,19 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                              PipelineConfig config)
     : population_(population),
       config_(config),
+      tracer_(obs::TracerConfig{config.trace_sample,
+                                config.trace_ring_capacity},
+              &metrics_),
+      watchdog_(config.watchdog_deadline.count() > 0
+                    ? std::make_unique<obs::Watchdog>(
+                          obs::WatchdogConfig{config.watchdog_deadline},
+                          &metrics_, &flight_)
+                    : nullptr),
       producer_(population, config.telescope,
                 ProducerConfig{config.num_producer_threads,
                                config.producer_batch_size, minutes(1),
                                config.producer_queue_capacity},
-                &metrics_),
+                &metrics_, &tracer_, watchdog_.get()),
       ingest_(
           IngestConfig{config.num_detector_shards, config.buffer_capacity,
                        config.ingest_batch_size},
@@ -45,6 +53,9 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                         pending_.erase(it);
                         PendingRecord fresh;
                         fresh.summary = summary;
+                        fresh.trace = tracer_.maybe_trace(
+                            obs::Tracer::record_key(summary.src.value(),
+                                                    summary.detect_time));
                         fresh.probe = std::move(old.probe);
                         pending_.emplace(summary.src.value(),
                                          std::move(fresh));
@@ -56,6 +67,12 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                     auto& pending = pending_[summary.src.value()];
                     pending = PendingRecord{};
                     pending.summary = summary;
+                    // Same (src, detect_time) key the detector shard used:
+                    // the pending record joins the trace the kDetect span
+                    // rooted, without any field in FlowSummary.
+                    pending.trace = tracer_.maybe_trace(
+                        obs::Tracer::record_key(summary.src.value(),
+                                                summary.detect_time));
                     const TimeMicros at =
                         tunnel_.deliver(processing_time(summary.detect_time));
                     handle_probe_outcomes(
@@ -71,6 +88,8 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                     auto bundle = organizer_.organize(src, pkts);
                     if (!bundle.has_value()) {
                       pending.dropped = true;
+                      flight_.record("drop", "organizer rejected sample "
+                                             "from " + src.to_string());
                     } else {
                       pending.bundle = std::move(bundle);
                     }
@@ -107,14 +126,14 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                     inst_.reports->inc();
                     reports_.ingest(report);
                   }},
-          probe::table1_ports(), &metrics_),
+          probe::table1_ports(), &metrics_, &tracer_, watchdog_.get()),
       organizer_(config.organizer, &metrics_),
       prober_(population, config.prober),
       scan_module_(prober_, fingerprint::RuleDb::standard(), config.batcher,
                    &metrics_, config.unknown_banner_capacity),
       trainer_(config.trainer, &metrics_),
       enrich_(world, population),
-      feed_(&metrics_),
+      feed_(&metrics_, &tracer_),
       notifications_([this](const feed::EmailMessage& message) {
         outbox_.push_back(message);
       }),
@@ -127,7 +146,8 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
           [this](Ipv4 src, TimeMicros scan_end, TimeMicros at) {
             (void)feed_.mark_ended(src, scan_end, at);
           },
-          &metrics_) {
+          &metrics_, &tracer_, watchdog_.get()) {
+  if (watchdog_ != nullptr) watchdog_->start();
   const std::string detector_help =
       "Flow-detector events, scraped hourly from the CAIDA side.";
   inst_.packets = &metrics_.counter("exiot_detector_packets_processed_total",
@@ -198,6 +218,7 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
   job.sample_ready_at = pending.sample_ready_at;
   job.ended = pending.ended;
   job.end_ts = pending.end_ts;
+  job.trace = pending.trace;
   const std::uint32_t key = pending.summary.src.value();
   annotate_.submit(std::move(job));
   pending_.erase(key);
@@ -303,7 +324,7 @@ void ExIotPipeline::commit_annotated(AnnotateResult& result) {
   obs::VirtualTimer annotate_timer(*inst_.annotate_latency,
                                    result.annotate_start);
   annotate_timer.stop(published);
-  (void)feed_.publish(result.record, published);
+  (void)feed_.publish(result.record, published, &result.trace);
   if (result.ended) {
     // The record was born closed; retire its active-cache entry.
     (void)feed_.mark_ended(result.record.src, result.end_ts, published);
@@ -329,11 +350,19 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
     // Barrier: retraining reallocates the deployed-model registry the
     // annotate workers read, and expiry/scrapes read committer-side state.
     annotate_.drain();
+    flight_.record("stage",
+                   "hour " + std::to_string(hour) + " drained");
     if (trainer_.maybe_retrain(processing_end).has_value()) {
       EXIOT_LOG(LogLevel::kInfo, "pipeline",
                 "retrained model at " + format_time(processing_end));
+      flight_.record("retrain",
+                     "model retrained at " + format_time(processing_end));
     }
-    feed_.expire(processing_end);
+    const std::size_t expired = feed_.expire(processing_end);
+    if (expired > 0) {
+      flight_.record("expire", std::to_string(expired) +
+                                   " historical records lapsed");
+    }
 
     scrape_detector();
     inst_.hours->inc();

@@ -15,7 +15,9 @@
 // experiment (§V-B) measures.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -25,7 +27,10 @@
 #include "feed/notify.h"
 #include "fingerprint/tools.h"
 #include "flow/detector.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
 #include "pipeline/annotate.h"
 #include "pipeline/ingest.h"
 #include "pipeline/organizer.h"
@@ -79,6 +84,15 @@ struct PipelineConfig {
   /// Bound on the unknown-banner rule-authoring log.
   std::size_t unknown_banner_capacity =
       fingerprint::UnknownBannerLog::kDefaultCapacity;
+  /// Fraction of records / batches span-traced end to end (0 disables
+  /// tracing entirely; 1 traces everything). Sampling is deterministic in
+  /// the record identity, so any rate keeps the feed byte-identical.
+  double trace_sample = 0.0;
+  /// Spans each recording thread retains (overflow drops oldest).
+  std::size_t trace_ring_capacity = 4096;
+  /// Stall-watchdog deadline for worker heartbeats; 0 disables the
+  /// watchdog. A busy worker silent past this flips /v1/health.
+  std::chrono::milliseconds watchdog_deadline{0};
 };
 
 /// Legacy counter view, assembled on demand from the metrics registry —
@@ -133,6 +147,16 @@ class ExIotPipeline {
   const PacketOrganizer& organizer() const { return organizer_; }
   /// Aggregated telescope statistics from the per-second report messages.
   const ReportStore& reports() const { return reports_; }
+  /// Span tracer (enabled when config.trace_sample > 0); ApiServer exposes
+  /// it at /v1/traces.
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Flight recorder of recent structural events (/v1/flightrecorder).
+  obs::FlightRecorder& flight_recorder() { return flight_; }
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  /// Stall watchdog; null when config.watchdog_deadline is 0. The mutable
+  /// overload lets external worker pools (the TCP listener) register too.
+  const obs::Watchdog* watchdog() const { return watchdog_.get(); }
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
 
  private:
   /// A record being assembled: published once both the probe outcome and
@@ -145,6 +169,9 @@ class ExIotPipeline {
     bool dropped = false;            // Organizer rejected the sample.
     bool ended = false;              // END_FLOW arrived before publishing.
     TimeMicros end_ts = 0;
+    /// Record trace context, re-derived from (src, detect_time) — the same
+    /// sampling decision the detector shard made for its kDetect span.
+    obs::TraceContext trace;
   };
 
   /// Converts a traffic timestamp inside `hour` to the processing clock:
@@ -184,6 +211,12 @@ class ExIotPipeline {
   const inet::Population& population_;
   PipelineConfig config_;
   obs::MetricsRegistry metrics_;
+  /// Declared before the stages so their constructors can take pointers;
+  /// destroyed after them, so spans recorded during stage teardown land in
+  /// live rings.
+  obs::Tracer tracer_;
+  obs::FlightRecorder flight_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
   ParallelProducer producer_;
   ThreadedIngest ingest_;
   PacketOrganizer organizer_;

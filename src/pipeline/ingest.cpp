@@ -10,8 +10,13 @@ ThreadedIngest::ThreadedIngest(IngestConfig config,
                                flow::DetectorConfig detector_config,
                                flow::DetectorEvents sink,
                                std::vector<std::uint16_t> report_ports,
-                               obs::MetricsRegistry* metrics)
-    : config_(config), sink_(std::move(sink)) {
+                               obs::MetricsRegistry* metrics,
+                               obs::Tracer* tracer,
+                               obs::Watchdog* watchdog)
+    : config_(config),
+      sink_(std::move(sink)),
+      tracer_(tracer),
+      watchdog_(watchdog) {
   config_.num_shards = std::max(1, config_.num_shards);
   config_.buffer_capacity = std::max<std::size_t>(1, config_.buffer_capacity);
   config_.batch_size = std::max<std::size_t>(1, config_.batch_size);
@@ -36,13 +41,30 @@ ThreadedIngest::ThreadedIngest(IngestConfig config,
     auto shard = std::make_unique<Shard>();
     Shard* sp = shard.get();
     flow::DetectorEvents events;
-    events.on_scanner = [sp](const flow::FlowSummary& summary) {
+    events.on_scanner = [this, sp](const flow::FlowSummary& summary) {
       Event e;
       e.seq = sp->current_seq;
       e.kind = EventKind::kScanner;
       e.src = summary.src;
       e.summary = summary;
       sp->events.push_back(std::move(e));
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        // Root of the record trace: keyed by (src, detect_time), the same
+        // identity exiot.cpp re-derives downstream — no context needs to
+        // flow through the detector.
+        const obs::TraceContext ctx =
+            tracer_->maybe_trace(obs::Tracer::record_key(
+                summary.src.value(), summary.detect_time));
+        if (ctx.sampled()) {
+          const std::uint64_t now = obs::steady_micros();
+          const std::uint64_t pop = sp->batch_pop_micros;
+          tracer_->record(ctx, obs::SpanStage::kDetect,
+                          pop != 0 ? pop : now,
+                          pop != 0 && now > pop ? now - pop : 0,
+                          sp->batch_wait_micros, summary.src.value(),
+                          sp->current_seq);
+        }
+      }
     };
     events.on_sample = [sp](Ipv4 src, const std::vector<net::Packet>& pkts) {
       Event e;
@@ -101,38 +123,79 @@ std::size_t ThreadedIngest::run_threaded(const PacketSource& source) {
 
   std::vector<std::thread> consumers;
   consumers.reserve(n);
-  for (auto& shard : shards_) {
-    consumers.emplace_back([sp = shard.get()] {
-      while (auto batch = sp->buffer->pop()) {
-        for (SeqPacket& item : *batch) {
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool tracing_on = tracer_ != nullptr && tracer_->enabled();
+    consumers.emplace_back([this, s, sp = shards_[s].get(), tracing_on] {
+      auto heartbeat = obs::Watchdog::attach(
+          watchdog_, "ingest:" + std::to_string(s));
+      while (true) {
+        heartbeat.idle();  // Blocked on an empty buffer is not a stall.
+        auto batch = sp->buffer->pop();
+        heartbeat.busy();
+        if (!batch.has_value()) break;
+        if (tracing_on) {
+          // Stamp every batch, not just sampled ones: the kDetect spans
+          // rooted inside detector->process() need the pop time and the
+          // enqueue->dequeue gap of whatever batch they fire from.
+          sp->batch_pop_micros = obs::steady_micros();
+          const std::uint64_t handoff = batch->trace.handoff_micros;
+          sp->batch_wait_micros =
+              handoff != 0 && sp->batch_pop_micros > handoff
+                  ? sp->batch_pop_micros - handoff
+                  : 0;
+        }
+        for (SeqPacket& item : batch->items) {
           sp->current_seq = item.seq;
           sp->detector->process(item.pkt);
         }
+        if (batch->trace.sampled()) {
+          const std::uint64_t now = obs::steady_micros();
+          tracer_->record(batch->trace, obs::SpanStage::kIngest,
+                          sp->batch_pop_micros,
+                          now - sp->batch_pop_micros,
+                          sp->batch_wait_micros, 0, batch->seq);
+        }
+        heartbeat.beat();
       }
+      sp->batch_pop_micros = 0;
+      sp->batch_wait_micros = 0;
+      heartbeat.retire();
     });
   }
 
   // The calling thread is the producer: route each packet to its shard's
   // open batch, flushing full batches into the blocking buffer (a full
   // buffer back-pressures us here instead of dropping).
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  auto flush = [this, tracing](std::size_t s, Batch&& batch) {
+    Shard& shard = *shards_[s];
+    batch.seq = ++shard.batch_seq;
+    if (tracing) {
+      batch.trace = tracer_->maybe_trace(obs::Tracer::record_key(
+          static_cast<std::uint32_t>(s),
+          static_cast<std::int64_t>(batch.seq)));
+      // Stamped even when unsampled: detect spans rooted inside this
+      // batch still want its queue-wait attribution.
+      batch.trace.handoff_micros = obs::steady_micros();
+    }
+    (void)shard.buffer->push(std::move(batch));
+    batches_c_->inc();
+  };
   std::vector<Batch> open(n);
-  for (auto& batch : open) batch.reserve(config_.batch_size);
-  const std::size_t count = source([this, &open](const net::Packet& pkt) {
-    const std::size_t s = shard_of(pkt.src);
-    Batch& batch = open[s];
-    batch.push_back(SeqPacket{pkt, seq_++});
-    if (batch.size() >= config_.batch_size) {
-      (void)shards_[s]->buffer->push(std::move(batch));
-      batches_c_->inc();
-      batch = Batch();
-      batch.reserve(config_.batch_size);
-    }
-  });
+  for (auto& batch : open) batch.items.reserve(config_.batch_size);
+  const std::size_t count =
+      source([this, &open, &flush](const net::Packet& pkt) {
+        const std::size_t s = shard_of(pkt.src);
+        Batch& batch = open[s];
+        batch.items.push_back(SeqPacket{pkt, seq_++});
+        if (batch.items.size() >= config_.batch_size) {
+          flush(s, std::move(batch));
+          batch = Batch();
+          batch.items.reserve(config_.batch_size);
+        }
+      });
   for (std::size_t s = 0; s < n; ++s) {
-    if (!open[s].empty()) {
-      (void)shards_[s]->buffer->push(std::move(open[s]));
-      batches_c_->inc();
-    }
+    if (!open[s].items.empty()) flush(s, std::move(open[s]));
     shards_[s]->buffer->close();
   }
   for (auto& t : consumers) t.join();

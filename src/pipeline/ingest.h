@@ -33,6 +33,8 @@
 #include "flow/detector.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
 #include "pipeline/buffer.h"
 
 namespace exiot::pipeline {
@@ -62,7 +64,9 @@ class ThreadedIngest {
   ThreadedIngest(IngestConfig config, flow::DetectorConfig detector_config,
                  flow::DetectorEvents sink,
                  std::vector<std::uint16_t> report_ports = {},
-                 obs::MetricsRegistry* metrics = nullptr);
+                 obs::MetricsRegistry* metrics = nullptr,
+                 obs::Tracer* tracer = nullptr,
+                 obs::Watchdog* watchdog = nullptr);
   ~ThreadedIngest();
 
   ThreadedIngest(const ThreadedIngest&) = delete;
@@ -87,7 +91,15 @@ class ThreadedIngest {
     net::Packet pkt;
     std::uint64_t seq = 0;  // Global arrival sequence number.
   };
-  using Batch = std::vector<SeqPacket>;
+
+  /// One capture-buffer hand-off. The trace context (sampled per batch,
+  /// keyed by shard x batch ordinal) times the enqueue->dequeue gap the
+  /// batch spent waiting for its detector shard.
+  struct Batch {
+    std::vector<SeqPacket> items;
+    obs::TraceContext trace;
+    std::uint64_t seq = 0;  // Per-shard batch ordinal.
+  };
 
   /// Replay ranks: a packet triggers at most one scanner event, and at a
   /// barrier a source emits its (incomplete) sample before its END_FLOW.
@@ -111,6 +123,13 @@ class ThreadedIngest {
     std::vector<Event> events;
     std::vector<flow::SecondReport> reports;
     std::uint64_t current_seq = 0;
+    std::uint64_t batch_seq = 0;  // Producer-side batch ordinal.
+    /// Timing of the batch currently being processed, written by the
+    /// shard's consumer thread before each detector->process() run and
+    /// read by the detection callbacks on that same thread (kDetect span
+    /// roots). Zeroed at barriers (calling thread, consumers joined).
+    std::uint64_t batch_pop_micros = 0;
+    std::uint64_t batch_wait_micros = 0;
   };
 
   std::size_t shard_of(Ipv4 src) const;
@@ -121,6 +140,8 @@ class ThreadedIngest {
 
   IngestConfig config_;
   flow::DetectorEvents sink_;
+  obs::Tracer* tracer_;
+  obs::Watchdog* watchdog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t seq_ = 0;
   obs::Counter* packets_c_;

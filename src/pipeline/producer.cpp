@@ -6,8 +6,10 @@ namespace exiot::pipeline {
 
 ParallelProducer::ParallelProducer(const inet::Population& pop,
                                    Cidr aperture, ProducerConfig config,
-                                   obs::MetricsRegistry* metrics)
-    : config_(config) {
+                                   obs::MetricsRegistry* metrics,
+                                   obs::Tracer* tracer,
+                                   obs::Watchdog* watchdog)
+    : config_(config), tracer_(tracer), watchdog_(watchdog) {
   config_.num_producers = std::max(1, config_.num_producers);
   config_.batch_size = std::max<std::size_t>(1, config_.batch_size);
   config_.batch_span = std::max<TimeMicros>(1, config_.batch_span);
@@ -81,38 +83,67 @@ std::size_t ParallelProducer::run(
 
 void ParallelProducer::start_window(TimeMicros t0, TimeMicros t1) {
   workers_.reserve(partitions_.size());
-  for (auto& part : partitions_) {
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    Partition* part = partitions_[p].get();
     part->queue->reopen();
     workers_.emplace_back(
-        [this, p = part.get(), t0, t1] { produce(*p, t0, t1); });
+        [this, p, part, t0, t1] { produce(p, *part, t0, t1); });
   }
 }
 
-void ParallelProducer::produce(Partition& part, TimeMicros t0,
-                               TimeMicros t1) {
+void ParallelProducer::produce(std::size_t p, Partition& part,
+                               TimeMicros t0, TimeMicros t1) {
+  auto heartbeat = obs::Watchdog::attach(
+      watchdog_, "producer:" + std::to_string(p));
   const std::uint64_t avoided = part.streams.size() - part.live.size();
   part.dead_scans_avoided += avoided;
   dead_scans_c_->inc(avoided);
   const std::size_t pruned_before = part.pruned;
 
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   ProducerBatch batch;
-  batch.reserve(config_.batch_size);
+  batch.items.reserve(config_.batch_size);
   TimeMicros batch_start = 0;
-  auto flush = [this, &part, &batch]() {
-    batch_h_->observe(static_cast<double>(batch.size()));
-    if (!part.queue->push(std::move(batch))) return false;
+  std::uint64_t build_start = 0;
+  auto flush = [this, p, &part, &batch, &build_start, &heartbeat,
+                tracing]() {
+    batch_h_->observe(static_cast<double>(batch.items.size()));
+    batch.seq = ++part.batch_seq;
+    if (tracing) {
+      // Keyed by (partition, batch ordinal): batch boundaries depend only
+      // on the partition's own deterministic stream, so the sampled set is
+      // stable run to run.
+      batch.trace = tracer_->maybe_trace(obs::Tracer::record_key(
+          static_cast<std::uint32_t>(p), static_cast<std::int64_t>(
+              batch.seq)));
+      if (batch.trace.sampled()) {
+        const std::uint64_t now = obs::steady_micros();
+        batch.build_micros = now - build_start;
+        batch.trace.handoff_micros = now;
+      }
+    }
+    build_start = 0;
+    // A full queue back-pressures here: waiting on the merge is idle time,
+    // not a stall.
+    heartbeat.idle();
+    const bool pushed = part.queue->push(std::move(batch));
+    heartbeat.busy();
+    if (!pushed) return false;
     batches_c_->inc();
     batch = ProducerBatch();
-    batch.reserve(config_.batch_size);
+    batch.items.reserve(config_.batch_size);
     return true;
   };
   telescope::emit_window(
       part.streams, part.hosts.data(), part.live, t0, t1, part.pruned,
-      [this, &batch, &batch_start, &flush](const net::Packet& pkt,
-                                           std::uint32_t host) {
-        if (batch.empty()) batch_start = pkt.ts;
-        batch.push_back(SynthPacket{pkt, host});
-        if (batch.size() >= config_.batch_size ||
+      [this, &batch, &batch_start, &build_start, &flush, tracing](
+          const net::Packet& pkt, std::uint32_t host) {
+        if (batch.items.empty()) {
+          batch_start = pkt.ts;
+          if (tracing) build_start = obs::steady_micros();
+        }
+        batch.items.push_back(SynthPacket{pkt, host});
+        if (batch.items.size() >= config_.batch_size ||
             pkt.ts - batch_start >= config_.batch_span) {
           // A refused push means the queue was closed under us (merger
           // shutdown): abort the window.
@@ -120,9 +151,10 @@ void ParallelProducer::produce(Partition& part, TimeMicros t0,
         }
         return true;
       });
-  if (!batch.empty()) (void)flush();
+  if (!batch.items.empty()) (void)flush();
   pruned_c_->inc(part.pruned - pruned_before);
   part.queue->close();
+  heartbeat.retire();
 }
 
 bool ParallelProducer::refill(std::size_t p, Cursor& cursor) {
@@ -132,7 +164,16 @@ bool ParallelProducer::refill(std::size_t p, Cursor& cursor) {
       cursor.done = true;
       return false;
     }
-    if (batch->empty()) continue;
+    if (batch->items.empty()) continue;
+    if (batch->trace.sampled()) {
+      // The produce span closes when the merge picks the batch up: build
+      // time is processing, the enqueue->dequeue gap is queue wait.
+      const std::uint64_t now = obs::steady_micros();
+      const std::uint64_t handoff = batch->trace.handoff_micros;
+      tracer_->record(batch->trace, obs::SpanStage::kProduce,
+                      handoff - batch->build_micros, batch->build_micros,
+                      now > handoff ? now - handoff : 0, 0, batch->seq);
+    }
     cursor.batch = std::move(*batch);
     cursor.pos = 0;
     return true;

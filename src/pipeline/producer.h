@@ -34,6 +34,8 @@
 #include "inet/population.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
 #include "pipeline/buffer.h"
 #include "telescope/synthesizer.h"
 
@@ -60,13 +62,24 @@ struct SynthPacket {
   net::Packet pkt;
   std::uint32_t host = 0;
 };
-using ProducerBatch = std::vector<SynthPacket>;
+
+/// One producer thread's unit of hand-off to the K-way merge. The trace
+/// context (sampled per batch, keyed by partition x batch ordinal) lets the
+/// merge side attribute batch build time vs. queue-wait time.
+struct ProducerBatch {
+  std::vector<SynthPacket> items;
+  obs::TraceContext trace;
+  std::uint64_t build_micros = 0;  // Wall time spent filling the batch.
+  std::uint64_t seq = 0;           // Per-partition batch ordinal.
+};
 
 class ParallelProducer {
  public:
   ParallelProducer(const inet::Population& pop, Cidr aperture,
                    ProducerConfig config = {},
-                   obs::MetricsRegistry* metrics = nullptr);
+                   obs::MetricsRegistry* metrics = nullptr,
+                   obs::Tracer* tracer = nullptr,
+                   obs::Watchdog* watchdog = nullptr);
   ~ParallelProducer();
 
   ParallelProducer(const ParallelProducer&) = delete;
@@ -114,6 +127,7 @@ class ParallelProducer {
     std::unique_ptr<BoundedBuffer<ProducerBatch>> queue;  // K > 1 only.
     std::size_t pruned = 0;
     std::uint64_t dead_scans_avoided = 0;
+    std::uint64_t batch_seq = 0;  // Ordinal keying batch trace sampling.
   };
 
   template <typename Fn>
@@ -147,7 +161,7 @@ class ParallelProducer {
       for (std::size_t p = 0; p < cursors.size(); ++p) {
         Cursor& cur = cursors[p];
         if (cur.done) continue;
-        if (cur.pos >= cur.batch.size() && !refill(p, cur)) continue;
+        if (cur.pos >= cur.batch.items.size() && !refill(p, cur)) continue;
         if (best < 0 || heads_before(cur, cursors[static_cast<std::size_t>(
                                               best)])) {
           best = static_cast<int>(p);
@@ -155,7 +169,7 @@ class ParallelProducer {
       }
       if (best < 0) break;
       Cursor& winner = cursors[static_cast<std::size_t>(best)];
-      const SynthPacket& item = winner.batch[winner.pos++];
+      const SynthPacket& item = winner.batch.items[winner.pos++];
       if (!invoke_sink(fn, item.pkt)) {
         stopped = true;
         break;
@@ -188,8 +202,8 @@ class ParallelProducer {
   };
 
   static bool heads_before(const Cursor& a, const Cursor& b) {
-    const SynthPacket& x = a.batch[a.pos];
-    const SynthPacket& y = b.batch[b.pos];
+    const SynthPacket& x = a.batch.items[a.pos];
+    const SynthPacket& y = b.batch.items[b.pos];
     if (x.pkt.ts != y.pkt.ts) return x.pkt.ts < y.pkt.ts;
     return x.host < y.host;
   }
@@ -198,7 +212,8 @@ class ParallelProducer {
   /// window [t0, t1).
   void start_window(TimeMicros t0, TimeMicros t1);
   /// Worker body: local heap-merge over the partition, batched emission.
-  void produce(Partition& part, TimeMicros t0, TimeMicros t1);
+  void produce(std::size_t p, Partition& part, TimeMicros t0,
+               TimeMicros t1);
   /// Blocking refill of a drained cursor; false once the queue is closed
   /// and fully drained (marks the cursor done).
   bool refill(std::size_t p, Cursor& cursor);
@@ -206,6 +221,8 @@ class ParallelProducer {
   void join_workers();
 
   ProducerConfig config_;
+  obs::Tracer* tracer_;
+  obs::Watchdog* watchdog_;
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<std::thread> workers_;
   obs::Counter* packets_c_;

@@ -105,6 +105,9 @@ struct LatencyRow {
   std::string name;  // Family name plus rendered labels, if any.
   std::uint64_t count = 0;
   double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
 };
 
 std::vector<LatencyRow> latency_rows(const obs::MetricsRegistry& metrics,
@@ -119,6 +122,9 @@ std::vector<LatencyRow> latency_rows(const obs::MetricsRegistry& metrics,
     }
     row.count = snap.count;
     row.mean_seconds = snap.mean();
+    row.p50_seconds = snap.quantile(0.50);
+    row.p95_seconds = snap.quantile(0.95);
+    row.p99_seconds = snap.quantile(0.99);
     rows.push_back(std::move(row));
   }
   std::sort(rows.begin(), rows.end(),
@@ -245,7 +251,10 @@ std::string render_html(const feed::FeedManager& feed,
             << html_escape(row.name) << "</span>"
             << "<span class=\"bar\" style=\"width:" << width << "%\"></span>"
             << "<span class=\"count\">mean "
-            << html_escape(format_seconds(row.mean_seconds)) << " · n="
+            << html_escape(format_seconds(row.mean_seconds)) << " · p50 "
+            << html_escape(format_seconds(row.p50_seconds)) << " · p95 "
+            << html_escape(format_seconds(row.p95_seconds)) << " · p99 "
+            << html_escape(format_seconds(row.p99_seconds)) << " · n="
             << row.count << "</span></div>\n";
       }
       out << "</div>\n";
@@ -286,7 +295,10 @@ std::string render_text_snapshot(const feed::FeedManager& feed,
   if (metrics != nullptr) {
     for (const auto& row : latency_rows(*metrics, options.top_n)) {
       out << "  latency " << row.name << ": mean "
-          << format_seconds(row.mean_seconds) << " (n=" << row.count
+          << format_seconds(row.mean_seconds) << ", p50 "
+          << format_seconds(row.p50_seconds) << ", p95 "
+          << format_seconds(row.p95_seconds) << ", p99 "
+          << format_seconds(row.p99_seconds) << " (n=" << row.count
           << ")\n";
     }
   }

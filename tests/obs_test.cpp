@@ -1,11 +1,20 @@
 // Tests for the metrics subsystem: counter/gauge/histogram semantics,
-// label handling, concurrency, and the Prometheus / JSON expositions.
+// label handling, concurrency, and the Prometheus / JSON expositions —
+// plus the rest of the obs layer: span tracer (deterministic sampling,
+// per-thread rings, overflow accounting), flight recorder, stall watchdog,
+// and histogram quantile estimation.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstring>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/watchdog.h"
 
 namespace exiot::obs {
 namespace {
@@ -249,6 +258,261 @@ TEST(BucketHelpersTest, AllAscending) {
       EXPECT_LT(bounds[i - 1], bounds[i]);
     }
   }
+}
+
+// ----------------------------------------------------------- quantiles ----
+
+TEST(HistogramSnapshotTest, QuantileInterpolatesWithinBucket) {
+  HistogramSnapshot snap;
+  snap.bounds = {1.0, 2.0, 4.0};
+  snap.buckets = {2, 2, 4, 0};  // Non-cumulative; last is +Inf.
+  snap.count = 8;
+  // rank 4 lands exactly at the end of the (1, 2] bucket.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.50), 2.0);
+  // rank 7.6: 3.6 of the 4 observations into (2, 4].
+  EXPECT_DOUBLE_EQ(snap.quantile(0.95), 2.0 + 2.0 * 3.6 / 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4.0);
+}
+
+TEST(HistogramSnapshotTest, QuantileClampsInfBucketAndEmpty) {
+  HistogramSnapshot inf_heavy;
+  inf_heavy.bounds = {1.0, 4.0};
+  inf_heavy.buckets = {0, 0, 5};
+  inf_heavy.count = 5;
+  // Everything overflowed: the best available estimate is the largest
+  // finite bound.
+  EXPECT_DOUBLE_EQ(inf_heavy.quantile(0.5), 4.0);
+  HistogramSnapshot empty;
+  empty.bounds = {1.0};
+  empty.buckets = {0, 0};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+}
+
+TEST(ExpositionTest, JsonHistogramsCarryQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("exiot_test_latency_seconds", "t",
+                                    {0.1, 1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.05);
+  const json::Value snapshot = registry.to_json();
+  const json::Value& family = snapshot.find("families")->as_array().front();
+  const json::Value& metric = family.find("metrics")->as_array().front();
+  ASSERT_NE(metric.find("p50"), nullptr);
+  ASSERT_NE(metric.find("p95"), nullptr);
+  ASSERT_NE(metric.find("p99"), nullptr);
+  EXPECT_GT(metric.get_double("p50"), 0.0);
+  EXPECT_LE(metric.get_double("p50"), 0.1);
+}
+
+// -------------------------------------------------------------- tracer ----
+
+TEST(TracerTest, SamplingIsDeterministicAcrossInstances) {
+  Tracer a(TracerConfig{0.5, 64});
+  Tracer b(TracerConfig{0.5, 64});
+  int sampled = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const TraceContext ca = a.maybe_trace(key);
+    const TraceContext cb = b.maybe_trace(key);
+    EXPECT_EQ(ca.id, cb.id) << "key " << key;
+    if (ca.sampled()) ++sampled;
+  }
+  // Binomial(1000, 0.5): far outside this interval means broken mixing.
+  EXPECT_GT(sampled, 350);
+  EXPECT_LT(sampled, 650);
+}
+
+TEST(TracerTest, RateZeroAndOneAreExact) {
+  Tracer off(TracerConfig{0.0, 64});
+  Tracer all(TracerConfig{1.0, 64});
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(all.enabled());
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_FALSE(off.maybe_trace(key).sampled());
+    EXPECT_TRUE(all.maybe_trace(key).sampled());
+  }
+}
+
+TEST(TracerTest, RecordKeyDependsOnBothFields) {
+  EXPECT_NE(Tracer::record_key(1, 100), Tracer::record_key(2, 100));
+  EXPECT_NE(Tracer::record_key(1, 100), Tracer::record_key(1, 101));
+  EXPECT_EQ(Tracer::record_key(7, 42), Tracer::record_key(7, 42));
+}
+
+TEST(TracerTest, RingOverflowDropsOldestAndCounts) {
+  MetricsRegistry registry;
+  Tracer tracer(TracerConfig{1.0, 8}, &registry);
+  const TraceContext ctx = tracer.maybe_trace(99);
+  ASSERT_TRUE(ctx.sampled());
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+    tracer.record(ctx, SpanStage::kAnnotate, seq, 1, 0, 0, seq);
+  }
+  const std::vector<Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest-first, holding only the most recent 8 (seq 13..20).
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, 13 + i);
+  }
+  EXPECT_EQ(tracer.spans_recorded(), 20u);
+  EXPECT_EQ(tracer.spans_dropped(), 12u);
+  EXPECT_EQ(registry.counter_value("exiot_trace_spans_dropped_total"), 12u);
+  EXPECT_EQ(registry.counter_value("exiot_trace_spans_recorded_total"), 20u);
+}
+
+TEST(TracerTest, UnsampledRecordIsANoOp) {
+  MetricsRegistry registry;
+  Tracer tracer(TracerConfig{1.0, 8}, &registry);
+  tracer.record(TraceContext{}, SpanStage::kDetect, 1, 1, 1);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.spans_recorded(), 0u);
+}
+
+TEST(TracerTest, SnapshotMergesPerThreadRings) {
+  Tracer tracer(TracerConfig{1.0, 64});
+  const TraceContext ctx = tracer.maybe_trace(7);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer, &ctx, t] {
+      for (std::uint64_t i = 0; i < 5; ++i) {
+        tracer.record(ctx, SpanStage::kIngest, i, 1, 0, 0,
+                      static_cast<std::uint64_t>(t) * 100 + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.snapshot().size(), 20u);
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+}
+
+TEST(TracerTest, ToJsonGroupsByTraceAndHonorsLimit) {
+  Tracer tracer(TracerConfig{1.0, 64});
+  const TraceContext first = tracer.maybe_trace(1);
+  const TraceContext second = tracer.maybe_trace(2);
+  tracer.record(first, SpanStage::kDetect, 10, 1, 0, 42);
+  tracer.record(first, SpanStage::kPublish, 20, 1, 2, 42);
+  tracer.record(second, SpanStage::kDetect, 30, 1, 0, 43);
+  const json::Value all = tracer.to_json();
+  ASSERT_NE(all.find("traces"), nullptr);
+  EXPECT_EQ(all.find("traces")->as_array().size(), 2u);
+  const json::Value limited = tracer.to_json(1);
+  ASSERT_EQ(limited.find("traces")->as_array().size(), 1u);
+  // The most recently started trace (the `second` context) is kept.
+  EXPECT_EQ(limited.find("traces")->as_array()[0].get_int("src"), 43);
+}
+
+// ------------------------------------------------------ flight recorder ----
+
+TEST(FlightRecorderTest, RingKeepsMostRecentOldestFirst) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.record("stage", "event " + std::to_string(i));
+  }
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_STREQ(events[static_cast<std::size_t>(i)].detail,
+                 ("event " + std::to_string(i + 2)).c_str());
+  }
+  EXPECT_EQ(recorder.recorded(), 6u);
+  const json::Value body = recorder.to_json();
+  EXPECT_EQ(body.get_int("recorded"), 6);
+  EXPECT_EQ(body.find("events")->as_array().size(), 4u);
+}
+
+TEST(FlightRecorderTest, TruncatesLongFields) {
+  FlightRecorder recorder(2);
+  recorder.record(std::string(64, 'c'), std::string(400, 'd'));
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events[0].category), 15u);  // 16 with NUL.
+  EXPECT_EQ(std::strlen(events[0].detail), 111u);   // 112 with NUL.
+}
+
+// ------------------------------------------------------------- watchdog ----
+
+TEST(WatchdogTest, HealthEscalatesAndRecovers) {
+  MetricsRegistry registry;
+  FlightRecorder flight(32);
+  Watchdog dog(WatchdogConfig{std::chrono::milliseconds(200)}, &registry,
+               &flight);
+  EXPECT_EQ(dog.health(), Health::kOk);  // No workers yet.
+  Watchdog::Worker* worker = dog.register_worker("test:0");
+  worker->busy();
+  worker->beat();
+  EXPECT_EQ(dog.health(), Health::kOk);
+  // Past warn_ratio x deadline: at least degraded (stalled if the sleep
+  // overshot the full deadline on a loaded machine).
+  std::this_thread::sleep_for(std::chrono::milliseconds(130));
+  EXPECT_NE(dog.health(), Health::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(dog.health(), Health::kStalled);
+  EXPECT_EQ(dog.stalled_workers(), 1u);
+  worker->beat();  // Recovery is immediate: health is computed on demand.
+  EXPECT_EQ(dog.health(), Health::kOk);
+  EXPECT_EQ(dog.stalled_workers(), 0u);
+}
+
+TEST(WatchdogTest, IdleWorkersAreExemptAndRetireClears) {
+  Watchdog dog(WatchdogConfig{std::chrono::milliseconds(50)});
+  Watchdog::Worker* worker = dog.register_worker("test:idle");
+  worker->busy();
+  worker->idle();  // Blocked on an empty queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(dog.health(), Health::kOk);
+  worker->busy();
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(dog.health(), Health::kStalled);
+  worker->retire();
+  EXPECT_EQ(dog.health(), Health::kOk);
+}
+
+TEST(WatchdogTest, RegistrationReusesSlotsByName) {
+  Watchdog dog(WatchdogConfig{std::chrono::milliseconds(100)});
+  Watchdog::Worker* first = dog.register_worker("ingest:0");
+  first->busy();
+  first->beat();
+  first->retire();
+  // The next hour's thread revives the same logical slot.
+  Watchdog::Worker* second = dog.register_worker("ingest:0");
+  EXPECT_EQ(first, second);
+  const json::Value body = dog.to_json();
+  EXPECT_EQ(body.find("workers")->as_array().size(), 1u);
+  EXPECT_EQ(body.get_string("health"), "ok");
+  EXPECT_EQ(body.get_int("deadline_ms"), 100);
+}
+
+TEST(WatchdogTest, MonitorUpdatesGaugesAndFlightEvents) {
+  MetricsRegistry registry;
+  FlightRecorder flight(32);
+  Watchdog dog(WatchdogConfig{std::chrono::milliseconds(40)}, &registry,
+               &flight);
+  dog.start();
+  Watchdog::Worker* worker = dog.register_worker("hang:0");
+  worker->busy();
+  worker->beat();
+  // Monitor polls at deadline/4; give it a few ticks past the deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GE(registry.counter_value("exiot_watchdog_stall_events_total"), 1u);
+  EXPECT_EQ(registry.gauge_value("exiot_watchdog_stalled_workers"), 1.0);
+  EXPECT_EQ(registry.gauge_value("exiot_watchdog_health"),
+            static_cast<double>(static_cast<int>(Health::kStalled)));
+  bool saw_stall_event = false;
+  for (const FlightEvent& event : flight.snapshot()) {
+    if (std::string(event.category) == "watchdog") saw_stall_event = true;
+  }
+  EXPECT_TRUE(saw_stall_event);
+  dog.stop();
+}
+
+TEST(AttachTest, NullWatchdogYieldsNoOpHandle) {
+  Watchdog::Handle handle = Watchdog::attach(nullptr, "x");
+  handle.busy();
+  handle.beat();
+  handle.idle();
+  handle.retire();  // Must not crash.
+  Watchdog disabled(WatchdogConfig{std::chrono::milliseconds(0)});
+  EXPECT_FALSE(disabled.enabled());
+  Watchdog::Handle handle2 = Watchdog::attach(&disabled, "y");
+  handle2.beat();  // Disabled watchdog also yields a no-op handle.
 }
 
 }  // namespace

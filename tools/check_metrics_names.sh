@@ -6,6 +6,9 @@
 #   - counters end in _total
 #   - gauges and histograms end in neither _total; gauges also not _seconds
 #     (histograms may: time histograms end in _seconds, size ones don't)
+#   - span stage names (src/obs/span.cpp) are lowercase snake case
+#   - every "exiot_..." string literal anywhere in src/tools/examples names
+#     a registered metric (catches lookups of renamed/mistyped metrics)
 #
 # Usage: tools/check_metrics_names.sh [repo-root]   (exits non-zero on lint)
 set -eu
@@ -19,8 +22,8 @@ extract() {
     find src tools examples -name '*.cpp' -o -name '*.h' |
     while read -r file; do
         tr '\n' ' ' < "$file" |
-        grep -oE '\.(counter|gauge|histogram)\( *"[^"]+"' |
-        sed -E 's/^\.([a-z]+)\( *"([^"]*)"/\1 \2/' |
+        grep -oE '(\.|->)(counter|gauge|histogram)\( *"[^"]+"' |
+        sed -E 's/^(\.|->)([a-z]+)\( *"([^"]*)"/\2 \3/' |
         sed "s|\$| $file|"
     done
 }
@@ -58,11 +61,51 @@ while read -r kind name file; do
             status=1 ;;
     esac
 done < "$tmp"
+
+# Span stage names follow the metric convention so /v1/traces and the
+# exposition read uniformly.
+stages=$(grep -E 'case SpanStage::' src/obs/span.cpp |
+         grep -oE '"[^"]+"' | tr -d '"')
+if [ -z "$stages" ]; then
+    echo "lint: no span stage names found in src/obs/span.cpp"
+    status=1
+fi
+stage_count=0
+for stage in $stages; do
+    stage_count=$((stage_count + 1))
+    case "$stage" in
+        *[!a-z0-9_]*|_*|*_)
+            echo "lint: src/obs/span.cpp: span stage \"$stage\" must be" \
+                 "lowercase snake case"
+            status=1 ;;
+    esac
+done
+
+# Every exiot_-prefixed string literal must name a registered metric:
+# lookups (counter_value, dashboards, tests-by-endpoint) silently return
+# zero when the metric was renamed out from under them.
+registered=$(mktemp)
+awk '{print $2}' "$tmp" | sort -u > "$registered"
+refs=$(mktemp)
+find src tools examples -name '*.cpp' -o -name '*.h' |
+while read -r file; do
+    grep -oE '"exiot_[a-z0-9_]*[a-z0-9]"' "$file" 2>/dev/null |
+    tr -d '"' | sed "s|\$| $file|"
+done | sort -u > "$refs"
+ref_count=$(wc -l < "$refs")
+while read -r name file; do
+    if ! grep -qx "$name" "$registered"; then
+        echo "lint: $file: \"$name\" is not a registered metric name"
+        status=1
+    fi
+done < "$refs"
+
 checked=$(wc -l < "$tmp")
-rm -f "$tmp"
+rm -f "$tmp" "$registered" "$refs"
 
 if [ "$status" -ne 0 ]; then
     echo "metric naming lint failed"
     exit 1
 fi
-echo "metric names OK ($checked registrations checked)"
+echo "metric names OK ($checked registrations, $ref_count references," \
+     "$stage_count span stages checked)"

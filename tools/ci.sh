@@ -21,13 +21,28 @@ ctest --test-dir "$BUILD" --output-on-failure -j"$(nproc)"
 echo "== metrics name lint =="
 bash tools/check_metrics_names.sh
 
-echo "== ThreadSanitizer: pipeline / producer / annotate / fingerprint / flow / telescope / ml / api tests =="
+echo "== bench regression (non-TSan build) =="
+cmake --build "$BUILD" -j"$(nproc)" \
+  --target bench_ingest_throughput bench_annotate_throughput \
+           bench_api_concurrency
+BENCH_OUT=$(mktemp -d)
+for b in bench_ingest_throughput bench_annotate_throughput \
+         bench_api_concurrency; do
+  echo "-- bench: $b"
+  EXIOT_BENCH_DIR="$BENCH_OUT" "$BUILD/bench/$b" > /dev/null
+done
+sh tools/check_bench_regression.sh "$BENCH_OUT"
+rm -rf "$BENCH_OUT"
+
+echo "== ThreadSanitizer: pipeline / producer / annotate / tracing / fingerprint / flow / telescope / ml / api tests =="
 cmake -B "$TSAN_BUILD" -S . -DEXIOT_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j"$(nproc)" \
-  --target pipeline_test producer_test annotate_test fingerprint_test \
-           flow_test telescope_test ml_test api_test robustness_test
-for t in pipeline_test producer_test annotate_test fingerprint_test \
-         flow_test telescope_test ml_test api_test robustness_test; do
+  --target pipeline_test producer_test annotate_test tracing_test \
+           fingerprint_test flow_test telescope_test ml_test api_test \
+           robustness_test
+for t in pipeline_test producer_test annotate_test tracing_test \
+         fingerprint_test flow_test telescope_test ml_test api_test \
+         robustness_test; do
   echo "-- tsan: $t"
   "$TSAN_BUILD/tests/$t"
 done

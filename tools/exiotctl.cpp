@@ -9,6 +9,7 @@
 //   exiotctl simulate  [--scale S] [--days N] [--seed N]
 //                      [--producers N] [--shards N] [--buffer N]
 //                      [--annotate-workers N]
+//                      [--trace-sample R] [--watchdog-deadline MS]
 //                      [--jsonl FILE] [--csv FILE] [--dashboard FILE]
 //       Run the full pipeline and export the resulting feed. --producers
 //       synthesizes traffic on N producer threads, --shards runs the
@@ -16,7 +17,10 @@
 //       --annotate-workers annotates/classifies records on N workers with
 //       an ordered reorder commit (output is identical for any producers
 //       x shards x annotate-workers combination); --buffer sets the
-//       per-shard capture buffer capacity in batches.
+//       per-shard capture buffer capacity in batches. --trace-sample
+//       span-traces that fraction of records/batches end to end and
+//       --watchdog-deadline arms the stall watchdog (neither changes the
+//       feed bytes).
 //   exiotctl query     --jsonl FILE --q EXPR
 //       Evaluate a query-builder expression over an exported feed.
 //   exiotctl fingerprint --banner TEXT
@@ -24,17 +28,29 @@
 //   exiotctl metrics   [--scale S] [--days N] [--seed N]
 //                      [--producers N] [--shards N] [--buffer N]
 //                      [--annotate-workers N]
+//                      [--trace-sample R] [--watchdog-deadline MS]
 //                      [--format prom|json] [--out FILE]
 //       Run the pipeline and dump its metrics registry — Prometheus text
 //       exposition (what GET /v1/metrics serves) or the JSON snapshot.
+//   exiotctl trace     [--scale S] [--days N] [--seed N] [--producers N]
+//                      [--shards N] [--annotate-workers N]
+//                      [--trace-sample R] [--limit N] [--format table|json]
+//       Run the pipeline with span tracing on (default --trace-sample
+//       0.01) and print the sampled end-to-end traces: per-stage
+//       processing time vs queue-wait time for each sampled record/batch
+//       (what GET /v1/traces serves).
 //   exiotctl serve     [--scale S] [--days N] [--seed N] [--producers N]
 //                      [--shards N] [--annotate-workers N]
+//                      [--trace-sample R] [--watchdog-deadline MS]
 //                      [--port P] [--token T]
 //                      [--api-workers N] [--api-timeout MS]
 //       Run the pipeline, then serve the resulting feed over the REST API
 //       on 127.0.0.1:PORT until SIGINT/SIGTERM. --api-workers sizes the
 //       worker pool (concurrent consumers), --api-timeout sets the
-//       per-connection read/write deadlines in milliseconds.
+//       per-connection read/write deadlines in milliseconds. Tracing and
+//       the watchdog, when armed, are exposed at /v1/traces and /v1/health;
+//       /v1/flightrecorder always serves the recent-event ring, and a
+//       fatal signal dumps it to stderr.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -84,6 +100,19 @@ class Args {
 };
 
 Cidr aperture() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
+
+/// Threading + observability flags shared by simulate/metrics/trace/serve.
+void apply_pipeline_flags(const Args& args,
+                          pipeline::PipelineConfig& config) {
+  config.num_detector_shards = args.get_int("--shards", 1);
+  config.num_producer_threads = args.get_int("--producers", 1);
+  config.num_annotate_workers = args.get_int("--annotate-workers", 1);
+  config.buffer_capacity =
+      static_cast<std::size_t>(args.get_int("--buffer", 64));
+  config.trace_sample = args.get_double("--trace-sample", 0.0);
+  config.watchdog_deadline =
+      std::chrono::milliseconds(args.get_int("--watchdog-deadline", 0));
+}
 
 int cmd_capture(const Args& args) {
   const std::string dir = args.get("--dir");
@@ -174,11 +203,7 @@ int cmd_simulate(const Args& args) {
   auto population =
       inet::Population::generate(config.scaled(scale), world);
   pipeline::PipelineConfig pipe_config;
-  pipe_config.num_detector_shards = args.get_int("--shards", 1);
-  pipe_config.num_producer_threads = args.get_int("--producers", 1);
-  pipe_config.num_annotate_workers = args.get_int("--annotate-workers", 1);
-  pipe_config.buffer_capacity =
-      static_cast<std::size_t>(args.get_int("--buffer", 64));
+  apply_pipeline_flags(args, pipe_config);
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
   pipe.run_days(0, days);
   pipe.finish();
@@ -218,11 +243,7 @@ int cmd_metrics(const Args& args) {
   auto population =
       inet::Population::generate(config.scaled(scale), world);
   pipeline::PipelineConfig pipe_config;
-  pipe_config.num_detector_shards = args.get_int("--shards", 1);
-  pipe_config.num_producer_threads = args.get_int("--producers", 1);
-  pipe_config.num_annotate_workers = args.get_int("--annotate-workers", 1);
-  pipe_config.buffer_capacity =
-      static_cast<std::size_t>(args.get_int("--buffer", 64));
+  apply_pipeline_flags(args, pipe_config);
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
   pipe.run_days(0, days);
   pipe.finish();
@@ -236,6 +257,64 @@ int cmd_metrics(const Args& args) {
                 pipe.metrics().family_count(), path.c_str());
   } else {
     std::printf("%s", body.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const double scale = args.get_double("--scale", 0.2);
+  const int days = args.get_int("--days", 1);
+  const std::string format = args.get("--format", "table");
+  if (format != "table" && format != "json") {
+    std::fprintf(stderr, "trace: --format must be table or json\n");
+    return 2;
+  }
+  auto world = inet::WorldModel::standard(aperture());
+  inet::PopulationConfig config;
+  config.days = days;
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  auto population =
+      inet::Population::generate(config.scaled(scale), world);
+  pipeline::PipelineConfig pipe_config;
+  apply_pipeline_flags(args, pipe_config);
+  if (args.get("--trace-sample").empty()) pipe_config.trace_sample = 0.01;
+  pipeline::ExIotPipeline pipe(population, world, pipe_config);
+  pipe.run_days(0, days);
+  pipe.finish();
+
+  const std::size_t limit =
+      static_cast<std::size_t>(args.get_int("--limit", 20));
+  if (format == "json") {
+    std::printf("%s\n", pipe.tracer().to_json(limit).dump().c_str());
+    return 0;
+  }
+  const json::Value body = pipe.tracer().to_json(limit);
+  const json::Value* traces = body.find("traces");
+  std::printf("%zu traces shown (%llu spans recorded, %llu dropped), "
+              "sample rate %.4g\n",
+              traces != nullptr ? traces->as_array().size() : 0,
+              static_cast<unsigned long long>(pipe.tracer().spans_recorded()),
+              static_cast<unsigned long long>(pipe.tracer().spans_dropped()),
+              pipe.tracer().sample_rate());
+  if (traces == nullptr) return 0;
+  for (const json::Value& trace : traces->as_array()) {
+    const std::int64_t src = trace.get_int("src");
+    std::printf("trace %s", trace.get_string("trace_id").c_str());
+    if (src != 0) {
+      std::printf(" src %s",
+                  Ipv4(static_cast<std::uint32_t>(src)).to_string().c_str());
+    }
+    std::printf("\n  %-10s %13s %14s %14s\n", "stage", "start_us",
+                "processing_us", "queue_wait_us");
+    const json::Value* spans = trace.find("spans");
+    if (spans == nullptr) continue;
+    for (const json::Value& span : spans->as_array()) {
+      std::printf("  %-10s %13lld %14lld %14lld\n",
+                  span.get_string("stage").c_str(),
+                  static_cast<long long>(span.get_int("start_micros")),
+                  static_cast<long long>(span.get_int("processing_micros")),
+                  static_cast<long long>(span.get_int("queue_wait_micros")));
+    }
   }
   return 0;
 }
@@ -288,17 +367,21 @@ int cmd_serve(const Args& args) {
   auto population =
       inet::Population::generate(config.scaled(scale), world);
   pipeline::PipelineConfig pipe_config;
-  pipe_config.num_detector_shards = args.get_int("--shards", 1);
-  pipe_config.num_producer_threads = args.get_int("--producers", 1);
-  pipe_config.num_annotate_workers = args.get_int("--annotate-workers", 1);
+  apply_pipeline_flags(args, pipe_config);
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
   pipe.run_days(0, days);
   pipe.finish();
+
+  // A fatal signal while serving dumps the flight recorder to stderr.
+  obs::install_crash_handler(&pipe.flight_recorder());
 
   const std::string token = args.get("--token", "exiot");
   api::ApiServer server(pipe.feed());
   server.add_token(token);
   server.attach_metrics(&pipe.metrics());
+  server.attach_tracer(&pipe.tracer());
+  server.attach_flight_recorder(&pipe.flight_recorder());
+  if (pipe.watchdog() != nullptr) server.attach_watchdog(pipe.watchdog());
 
   api::TcpListenerOptions options;
   options.num_workers = args.get_int("--api-workers", 4);
@@ -307,6 +390,7 @@ int cmd_serve(const Args& args) {
   options.write_timeout = std::chrono::milliseconds(timeout_ms);
   api::TcpListener listener(server, options);
   listener.instrument(pipe.metrics());
+  if (pipe.watchdog() != nullptr) listener.set_watchdog(pipe.watchdog());
   auto port = listener.start(
       static_cast<std::uint16_t>(args.get_int("--port", 8080)));
   if (!port.ok()) {
@@ -365,7 +449,7 @@ int cmd_fingerprint(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: exiotctl <capture|replay|simulate|query|"
+                 "usage: exiotctl <capture|replay|simulate|trace|query|"
                  "fingerprint|metrics|serve> [flags]\n");
     return 2;
   }
@@ -374,6 +458,7 @@ int main(int argc, char** argv) {
   if (command == "capture") return cmd_capture(args);
   if (command == "replay") return cmd_replay(args);
   if (command == "simulate") return cmd_simulate(args);
+  if (command == "trace") return cmd_trace(args);
   if (command == "query") return cmd_query(args);
   if (command == "fingerprint") return cmd_fingerprint(args);
   if (command == "metrics") return cmd_metrics(args);
