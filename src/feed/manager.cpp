@@ -131,6 +131,33 @@ std::vector<Ipv4> FeedManager::sources_between(
   return out;
 }
 
+json::Value FeedManager::snapshot_state() const {
+  json::Value out;
+  out["latest"] = latest_.snapshot_state();
+  out["historical"] = historical_.snapshot_state();
+  out["active"] = active_.snapshot_state();
+  return out;
+}
+
+Status FeedManager::restore_state(const json::Value& state) {
+  if (latest_.size() != 0 || historical_.size() != 0 ||
+      active_.size() != 0) {
+    return make_error("feed_not_empty",
+                      "restore_state requires an empty FeedManager");
+  }
+  const json::Value* latest = state.find("latest");
+  const json::Value* historical = state.find("historical");
+  const json::Value* active = state.find("active");
+  if (latest == nullptr || historical == nullptr || active == nullptr) {
+    return make_error("feed_snapshot", "malformed FeedManager snapshot");
+  }
+  if (Status s = latest_.restore_state(*latest); !s.ok()) return s;
+  if (Status s = historical_.restore_state(*historical); !s.ok()) return s;
+  if (Status s = active_.restore_state(*active); !s.ok()) return s;
+  active_g_->set(static_cast<double>(active_count()));
+  return Ok{};
+}
+
 std::size_t FeedManager::active_count() const {
   std::size_t count = 0;
   for (const auto& key : active_.keys()) {

@@ -65,6 +65,15 @@ class FeedManager {
 
   const store::DocumentStore& latest_store() const { return latest_; }
 
+  /// Full-state serialization for durability snapshots: all three storage
+  /// tiers — {"latest":..., "historical":..., "active":...}.
+  json::Value snapshot_state() const;
+
+  /// Rebuilds the three tiers from snapshot_state() output. The manager
+  /// must be freshly constructed (all tiers empty); otherwise an error is
+  /// returned.
+  Status restore_state(const json::Value& state);
+
  private:
   static std::string active_key(Ipv4 src);
 

@@ -27,6 +27,13 @@
 // The driver must call `drain()` before any step that mutates state the
 // workers read (model retraining reallocates the deployed-model registry)
 // or that reads state the committer writes (feed expiry, stats snapshots).
+//
+// The ordered commit stream doubles as the pipeline's write-ahead log:
+// the commit callbacks run on the committer thread in exact submit order,
+// so the durability layer (pipeline/durability.h) appends each commit to
+// disk inside the callback, before its side effects — a total order that
+// holds for any workers x producers x shards combination, which is what
+// makes crash recovery byte-identical to an uninterrupted run.
 #pragma once
 
 #include <cstdint>

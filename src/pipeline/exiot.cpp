@@ -142,8 +142,21 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
           AnnotateStageConfig{config.num_annotate_workers,
                               config.annotate_queue_capacity},
           [this](const AnnotateJob& job) { return annotate_job(job); },
-          [this](AnnotateResult& result) { commit_annotated(result); },
+          // Commit callbacks run on the committer thread in submit order;
+          // the durability layer appends each commit to the WAL before its
+          // side effects (and suppresses commits a recovery already
+          // applied — the deterministic re-run after a restart).
+          [this](AnnotateResult& result) {
+            if (durability_ != nullptr && !durability_->log_publish(result)) {
+              return;
+            }
+            commit_annotated(result);
+          },
           [this](Ipv4 src, TimeMicros scan_end, TimeMicros at) {
+            if (durability_ != nullptr &&
+                !durability_->log_mark_ended(src, scan_end, at)) {
+              return;
+            }
             (void)feed_.mark_ended(src, scan_end, at);
           },
           &metrics_, &tracer_, watchdog_.get()) {
@@ -178,6 +191,45 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
       "Virtual time from probe/sample completion to publication "
       "(feature extraction, classification, enrichment, tools).",
       obs::virtual_latency_buckets());
+
+  if (!config_.data_dir.empty()) {
+    DurabilityConfig durability_config;
+    durability_config.data_dir = config_.data_dir;
+    durability_config.wal_segment_bytes = config_.wal_segment_bytes;
+    durability_config.wal_fsync = config_.wal_fsync;
+    durability_config.snapshot_interval_hours =
+        config_.snapshot_interval_hours;
+    durability_ = std::make_unique<Durability>(
+        durability_config, DurableState{feed_, trainer_, outbox_},
+        // Replay goes through the same commit code the live path runs.
+        ReplayHooks{
+            [this](AnnotateResult& result) { commit_annotated(result); },
+            [this](Ipv4 src, TimeMicros scan_end, TimeMicros at) {
+              (void)feed_.mark_ended(src, scan_end, at);
+            },
+            [this](std::int64_t /*hour*/, TimeMicros processing_end) {
+              apply_hour_end(processing_end);
+            }},
+        &metrics_);
+    auto recovered = durability_->recover();
+    if (!recovered.ok()) {
+      // Never risk a divergent log: run in-memory, leave the directory
+      // untouched for inspection, and surface the reason.
+      recovery_error_ = recovered.error().message;
+      EXIOT_LOG(LogLevel::kError, "pipeline",
+                "durability disabled, running in-memory: " +
+                    recovery_error_);
+      flight_.record("durability",
+                     "recovery failed: " + recovery_error_);
+      durability_.reset();
+    } else if (recovered.value().recovered_index > 0) {
+      flight_.record(
+          "durability",
+          "recovered " +
+              std::to_string(recovered.value().recovered_index) +
+              " commits from " + config_.data_dir.string());
+    }
+  }
 }
 
 TimeMicros ExIotPipeline::processing_time(TimeMicros traffic_ts) const {
@@ -352,22 +404,33 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
     annotate_.drain();
     flight_.record("stage",
                    "hour " + std::to_string(hour) + " drained");
-    if (trainer_.maybe_retrain(processing_end).has_value()) {
-      EXIOT_LOG(LogLevel::kInfo, "pipeline",
-                "retrained model at " + format_time(processing_end));
-      flight_.record("retrain",
-                     "model retrained at " + format_time(processing_end));
-    }
-    const std::size_t expired = feed_.expire(processing_end);
-    if (expired > 0) {
-      flight_.record("expire", std::to_string(expired) +
-                                   " historical records lapsed");
+    // The hour boundary is a WAL commit like any publish: the drain
+    // barrier above means no committer activity races the driver-side
+    // append, and recovery replays (or suppression skips) it in order.
+    if (durability_ == nullptr ||
+        durability_->log_hour_end(hour, processing_end)) {
+      apply_hour_end(processing_end);
     }
 
     scrape_detector();
     inst_.hours->inc();
     inst_.pending->set(static_cast<double>(pending_.size()));
     next_hour_ = hour + 1;
+    if (durability_ != nullptr) durability_->maybe_snapshot(hour);
+  }
+}
+
+void ExIotPipeline::apply_hour_end(TimeMicros processing_end) {
+  if (trainer_.maybe_retrain(processing_end).has_value()) {
+    EXIOT_LOG(LogLevel::kInfo, "pipeline",
+              "retrained model at " + format_time(processing_end));
+    flight_.record("retrain",
+                   "model retrained at " + format_time(processing_end));
+  }
+  const std::size_t expired = feed_.expire(processing_end);
+  if (expired > 0) {
+    flight_.record("expire", std::to_string(expired) +
+                                 " historical records lapsed");
   }
 }
 
@@ -431,6 +494,7 @@ void ExIotPipeline::finish() {
     }
   }
   annotate_.drain();
+  if (durability_ != nullptr) durability_->finish();
   scrape_detector();
   inst_.pending->set(static_cast<double>(pending_.size()));
 }

@@ -32,6 +32,7 @@
 #include "obs/span.h"
 #include "obs/watchdog.h"
 #include "pipeline/annotate.h"
+#include "pipeline/durability.h"
 #include "pipeline/ingest.h"
 #include "pipeline/organizer.h"
 #include "pipeline/producer.h"
@@ -93,6 +94,18 @@ struct PipelineConfig {
   /// Stall-watchdog deadline for worker heartbeats; 0 disables the
   /// watchdog. A busy worker silent past this flips /v1/health.
   std::chrono::milliseconds watchdog_deadline{0};
+  /// Durability: when non-empty, the ordered commit stream is written to a
+  /// segmented WAL in this directory, compacted into periodic snapshots,
+  /// and recovered (snapshot + WAL tail + deterministic re-run) at
+  /// construction — a crash loses nothing that was committed. Empty keeps
+  /// the pipeline purely in-memory. See pipeline/durability.h.
+  std::filesystem::path data_dir;
+  /// WAL segment size before rolling to a new file.
+  std::size_t wal_segment_bytes = 4u << 20;
+  /// When the WAL fsyncs: kNone / kOnRoll (default) / kEveryAppend.
+  store::WalFsync wal_fsync = store::WalFsync::kOnRoll;
+  /// Hours between compacted snapshots (0 = only the final one).
+  int snapshot_interval_hours = 24;
 };
 
 /// Legacy counter view, assembled on demand from the metrics registry —
@@ -157,6 +170,15 @@ class ExIotPipeline {
   /// overload lets external worker pools (the TCP listener) register too.
   const obs::Watchdog* watchdog() const { return watchdog_.get(); }
   obs::Watchdog* watchdog() { return watchdog_.get(); }
+  /// Durability layer; null when config.data_dir is empty or recovery
+  /// failed (see recovery_error()). The mutable overload lets tests arm
+  /// the commit probe.
+  const Durability* durability() const { return durability_.get(); }
+  Durability* durability() { return durability_.get(); }
+  /// Why durability was disabled at construction ("" = it wasn't). The
+  /// pipeline still runs in-memory so the feed stays available, but the
+  /// data directory is left untouched for inspection.
+  const std::string& recovery_error() const { return recovery_error_; }
 
  private:
   /// A record being assembled: published once both the probe outcome and
@@ -186,8 +208,13 @@ class ExIotPipeline {
   /// state frozen between drain() barriers (model registry, enrichment).
   AnnotateResult annotate_job(const AnnotateJob& job) const;
   /// Committer-side publication, strictly in submit order: trainer
-  /// example, feed publish, mark-ended, notification.
+  /// example, feed publish, mark-ended, notification. Shared verbatim with
+  /// WAL replay (Durability's apply_publish hook), so recovery cannot
+  /// drift from the live commit path.
   void commit_annotated(AnnotateResult& result);
+  /// Hour-boundary state mutation (retrain attempt + historical expiry);
+  /// a WAL commit like any other, shared with replay.
+  void apply_hour_end(TimeMicros processing_end);
   /// Folds detector-stat deltas into the registry (the detector runs on
   /// the CAIDA side of the tunnel and is scraped, not instrumented).
   void scrape_detector();
@@ -229,6 +256,12 @@ class ExIotPipeline {
   feed::NotificationEngine notifications_;
   ReconnectingTunnel tunnel_;
   ReportStore reports_;
+  /// Declared after the feed/trainer/outbox state it snapshots and before
+  /// annotate_, whose committer thread calls into it; constructed (and
+  /// recovery run) in the constructor body, after the commit hooks'
+  /// targets are fully wired.
+  std::unique_ptr<Durability> durability_;
+  std::string recovery_error_;
   /// Declared after the feed/trainer/notification sinks its callbacks
   /// touch, so its threads stop before any of them is destroyed.
   AnnotateStage annotate_;

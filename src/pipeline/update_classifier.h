@@ -72,6 +72,17 @@ class UpdateClassifier {
   std::size_t models_trained() const { return models_.size(); }
   const std::vector<DeployedModel>& registry() const { return models_; }
 
+  /// Full-state serialization for durability snapshots: the example
+  /// window, every deployed model (via ml/persist plus selection
+  /// metadata), and the last-train clock. Restoring yields a trainer
+  /// whose future retrains are bit-identical to the original's.
+  json::Value snapshot_state() const;
+
+  /// Rebuilds state from snapshot_state() output. The trainer must be
+  /// freshly constructed (no examples, no models); otherwise an error is
+  /// returned.
+  Status restore_state(const json::Value& state);
+
  private:
   struct Example {
     TimeMicros ts;

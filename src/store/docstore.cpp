@@ -95,7 +95,12 @@ std::vector<ObjectId> DocumentStore::find_by(const std::string& field,
   if (index_it == indexes_.end()) return {};
   auto bucket_it = index_it->second.find(value);
   if (bucket_it == index_it->second.end()) return {};
-  return bucket_it->second;
+  // update() re-appends an id to its bucket, so bucket order drifts from
+  // insertion order over time; sort so the result matches a full scan
+  // (and recovery from a snapshot, which rebuilds buckets in id order).
+  std::vector<ObjectId> out = bucket_it->second;
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<ObjectId> DocumentStore::find_range(const std::string& field,
@@ -142,6 +147,42 @@ std::size_t DocumentStore::expire(TimeMicros now) {
     }
   }
   return removed;
+}
+
+json::Value DocumentStore::snapshot_state() const {
+  ops_.scan->inc();
+  json::Array docs;
+  docs.reserve(docs_.size());
+  for (const auto& [id, doc] : docs_) docs.push_back(doc);
+  json::Value out;
+  out["next_sequence"] = static_cast<std::int64_t>(next_sequence_);
+  out["docs"] = std::move(docs);
+  return out;
+}
+
+Status DocumentStore::restore_state(const json::Value& state) {
+  if (!docs_.empty()) {
+    return make_error("doc_not_empty",
+                      "restore_state requires an empty DocumentStore");
+  }
+  const json::Value* docs = state.find("docs");
+  if (docs == nullptr || !docs->is_array() ||
+      state.get_int("next_sequence", -1) < 1) {
+    return make_error("doc_snapshot", "malformed DocumentStore snapshot");
+  }
+  ops_.write->inc();
+  for (const json::Value& doc : docs->as_array()) {
+    auto id = ObjectId::parse(doc.get_string("_id"));
+    if (!id.has_value()) {
+      return make_error("doc_snapshot",
+                        "document without a parsable _id in snapshot");
+    }
+    index_insert(*id, doc);
+    docs_.emplace(*id, doc);
+  }
+  next_sequence_ =
+      static_cast<std::uint64_t>(state.get_int("next_sequence"));
+  return Ok{};
 }
 
 void DocumentStore::for_each(

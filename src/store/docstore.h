@@ -54,7 +54,9 @@ class DocumentStore {
   /// Removes a document. Returns whether it existed.
   bool remove(const ObjectId& id);
 
-  /// Index lookup: ids of documents whose `field` stringifies to `value`.
+  /// Index lookup: ids of documents whose `field` stringifies to `value`,
+  /// in id (insertion) order — the order a full scan yields, regardless of
+  /// how many updates have churned the bucket.
   std::vector<ObjectId> find_by(const std::string& field,
                                 const std::string& value) const;
 
@@ -79,6 +81,18 @@ class DocumentStore {
   void for_each(
       const std::function<void(const ObjectId&, const json::Value&)>& fn)
       const;
+
+  /// Full-state serialization for durability snapshots:
+  /// {"next_sequence": N, "docs": [doc, ...]} with docs in id order. The
+  /// retention policy and declared indexes are configuration, not state —
+  /// they are re-declared by the owning component before restore.
+  json::Value snapshot_state() const;
+
+  /// Rebuilds documents and indexes from snapshot_state() output. The
+  /// store must be empty (recovery targets a freshly constructed store
+  /// with its indexes already declared); otherwise an error is returned
+  /// and nothing is modified.
+  Status restore_state(const json::Value& state);
 
  private:
   static std::string index_key(const json::Value& doc,

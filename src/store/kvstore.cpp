@@ -1,6 +1,7 @@
 #include "store/kvstore.h"
 
 #include <charconv>
+#include <limits>
 
 namespace exiot::store {
 
@@ -61,17 +62,81 @@ std::vector<std::pair<std::string, std::string>> KvStore::hgetall(
   return out;
 }
 
-std::int64_t KvStore::incr(const std::string& key) {
+Result<std::int64_t> KvStore::incr(const std::string& key) {
   ops_.write->inc();
+  if (hashes_.contains(key)) {
+    return make_error("kv_wrong_type",
+                      "incr on hash key '" + key + "'");
+  }
   std::int64_t value = 0;
   auto it = strings_.find(key);
   if (it != strings_.end()) {
-    (void)std::from_chars(it->second.data(),
-                          it->second.data() + it->second.size(), value);
+    const char* begin = it->second.data();
+    const char* end = begin + it->second.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    // The whole value must parse: "12abc" is not a counter, and treating
+    // it as 12 would silently corrupt whatever `set` stored there.
+    if (ec != std::errc{} || ptr != end || it->second.empty()) {
+      return make_error("kv_not_integer",
+                        "incr on non-integer value of key '" + key + "'");
+    }
+  }
+  if (value == std::numeric_limits<std::int64_t>::max()) {
+    return make_error("kv_overflow", "incr overflow on key '" + key + "'");
   }
   ++value;
   strings_[key] = std::to_string(value);
   return value;
+}
+
+json::Value KvStore::snapshot_state() const {
+  ops_.scan->inc();
+  json::Object strings;
+  for (const auto& [k, v] : strings_) strings[k] = v;
+  json::Object hashes;
+  for (const auto& [k, fields] : hashes_) {
+    json::Object obj;
+    for (const auto& [f, v] : fields) obj[f] = v;
+    hashes[k] = std::move(obj);
+  }
+  json::Value out;
+  out["strings"] = std::move(strings);
+  out["hashes"] = std::move(hashes);
+  return out;
+}
+
+Status KvStore::restore_state(const json::Value& state) {
+  if (size() != 0) {
+    return make_error("kv_not_empty",
+                      "restore_state requires an empty KvStore");
+  }
+  const json::Value* strings = state.find("strings");
+  const json::Value* hashes = state.find("hashes");
+  if (strings == nullptr || !strings->is_object() || hashes == nullptr ||
+      !hashes->is_object()) {
+    return make_error("kv_snapshot", "malformed KvStore snapshot");
+  }
+  ops_.write->inc();
+  for (const auto& [k, v] : strings->as_object()) {
+    if (!v.is_string()) {
+      return make_error("kv_snapshot", "non-string value for key " + k);
+    }
+    strings_[k] = v.as_string();
+  }
+  for (const auto& [k, fields] : hashes->as_object()) {
+    if (!fields.is_object()) {
+      return make_error("kv_snapshot", "non-object hash for key " + k);
+    }
+    auto& hash = hashes_[k];
+    for (const auto& [f, v] : fields.as_object()) {
+      if (!v.is_string()) {
+        return make_error("kv_snapshot",
+                          "non-string hash field " + k + "." + f);
+      }
+      hash[f] = v.as_string();
+    }
+  }
+  return Ok{};
 }
 
 std::vector<std::string> KvStore::keys() const {

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+#include "json/json.h"
 #include "obs/metrics.h"
 #include "store/opmetrics.h"
 
@@ -39,11 +41,25 @@ class KvStore {
   std::vector<std::pair<std::string, std::string>> hgetall(
       const std::string& key) const;
 
-  /// Atomic counter (INCR analogue); missing keys start at 0.
-  std::int64_t incr(const std::string& key);
+  /// Counter (INCR analogue); a missing key starts at 0, so the first
+  /// incr yields 1. Matches Redis semantics on bad input: if the key holds
+  /// a value that is not entirely a base-10 64-bit integer (set via `set`,
+  /// e.g. "12abc" or an ObjectId hex), or the key is a hash, or the
+  /// increment would overflow, the stored value is left untouched and an
+  /// error is returned — it is never silently reinterpreted or reset.
+  Result<std::int64_t> incr(const std::string& key);
 
   std::size_t size() const { return strings_.size() + hashes_.size(); }
   std::vector<std::string> keys() const;
+
+  /// Full-state serialization for durability snapshots:
+  /// {"strings": {...}, "hashes": {key: {field: value}}}.
+  json::Value snapshot_state() const;
+
+  /// Rebuilds state from snapshot_state() output. The store must be empty
+  /// (recovery targets a freshly constructed store); otherwise an error is
+  /// returned and nothing is modified.
+  Status restore_state(const json::Value& state);
 
  private:
   StoreOps ops_;

@@ -1,0 +1,167 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace exiot::store {
+namespace {
+
+constexpr int kSnapshotVersion = 1;
+
+/// fsyncs a path (file or directory); rename durability needs the parent
+/// directory synced too.
+Status fsync_path(const std::filesystem::path& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
+  if (fd < 0) {
+    return make_error("snapshot_io", "cannot open " + path.string() +
+                                         " for fsync: " +
+                                         std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return make_error("snapshot_io", "fsync " + path.string() +
+                                         " failed: " + std::strerror(errno));
+  }
+  return Ok{};
+}
+
+}  // namespace
+
+std::string snapshot_file_name(std::uint64_t wal_index) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.json",
+                static_cast<unsigned long long>(wal_index));
+  return buf;
+}
+
+SnapshotDirectory::SnapshotDirectory(std::filesystem::path dir)
+    : dir_(std::move(dir)) {}
+
+Status SnapshotDirectory::save(std::uint64_t wal_index,
+                               json::Value state) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return make_error("snapshot_io", "cannot create " + dir_.string() +
+                                         ": " + ec.message());
+  }
+  state["version"] = kSnapshotVersion;
+  state["wal_index"] = static_cast<std::int64_t>(wal_index);
+  const std::string body = state.dump();
+
+  const std::filesystem::path final_path =
+      dir_ / snapshot_file_name(wal_index);
+  const std::filesystem::path tmp_path =
+      dir_ / (snapshot_file_name(wal_index) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return make_error("snapshot_io",
+                        "cannot write " + tmp_path.string());
+    }
+    out << body;
+    out.flush();
+    if (!out) {
+      return make_error("snapshot_io",
+                        "short write to " + tmp_path.string());
+    }
+  }
+  if (Status synced = fsync_path(tmp_path, false); !synced.ok()) {
+    return synced;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return make_error("snapshot_io", "cannot rename " + tmp_path.string() +
+                                         ": " + ec.message());
+  }
+  return fsync_path(dir_, true);
+}
+
+std::vector<SnapshotFile> SnapshotDirectory::list() const {
+  std::vector<SnapshotFile> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 9 + 20 + 5 || name.rfind("snapshot-", 0) != 0 ||
+        name.substr(name.size() - 5) != ".json") {
+      continue;
+    }
+    const std::string digits = name.substr(9, 20);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back({std::strtoull(digits.c_str(), nullptr, 10),
+                   entry.path()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotFile& a, const SnapshotFile& b) {
+              return a.wal_index < b.wal_index;
+            });
+  return out;
+}
+
+Result<std::optional<LoadedSnapshot>> SnapshotDirectory::load_latest(
+    std::uint64_t limit) const {
+  std::vector<SnapshotFile> files = list();
+  // Newest qualifying first; fall back on parse failure so one corrupt
+  // snapshot costs replay time, not availability.
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    if (it->wal_index > limit) continue;
+    std::ifstream in(it->path, std::ios::binary);
+    if (!in) {
+      EXIOT_LOG(LogLevel::kWarn, "snapshot",
+                "cannot open " + it->path.string() + "; skipping");
+      continue;
+    }
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto parsed = json::parse(body);
+    if (!parsed.ok()) {
+      EXIOT_LOG(LogLevel::kWarn, "snapshot",
+                "corrupt snapshot " + it->path.filename().string() + " (" +
+                    parsed.error().message + "); falling back");
+      continue;
+    }
+    json::Value state = std::move(parsed).take();
+    if (state.get_int("version") != kSnapshotVersion) {
+      EXIOT_LOG(LogLevel::kWarn, "snapshot",
+                "unknown snapshot version in " +
+                    it->path.filename().string() + "; skipping");
+      continue;
+    }
+    const std::int64_t recorded = state.get_int("wal_index", -1);
+    if (recorded < 0 ||
+        static_cast<std::uint64_t>(recorded) != it->wal_index) {
+      EXIOT_LOG(LogLevel::kWarn, "snapshot",
+                "snapshot " + it->path.filename().string() +
+                    " wal_index does not match its name; skipping");
+      continue;
+    }
+    return std::optional<LoadedSnapshot>(
+        LoadedSnapshot{it->wal_index, std::move(state)});
+  }
+  return std::optional<LoadedSnapshot>(std::nullopt);
+}
+
+std::size_t SnapshotDirectory::prune(std::size_t keep) const {
+  std::vector<SnapshotFile> files = list();
+  if (files.size() <= keep) return 0;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i + keep < files.size(); ++i) {
+    std::error_code ec;
+    if (std::filesystem::remove(files[i].path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace exiot::store

@@ -104,6 +104,48 @@ TEST(DocStoreTest, RemoveCleansIndex) {
   EXPECT_TRUE(store.find_by("src_ip", "1.1.1.1").empty());
 }
 
+TEST(DocStoreTest, FindByReturnsIdOrderAfterUpdateChurn) {
+  // update() reindexes by remove+append, which churns the bucket's
+  // internal order; find_by must still hand ids back in id (insertion)
+  // order, the order a full scan yields.
+  DocumentStore store;
+  store.ensure_index("label");
+  ObjectId a = store.insert(record("1.1.1.1", "IoT"), 0);
+  ObjectId b = store.insert(record("2.2.2.2", "IoT"), 0);
+  ObjectId c = store.insert(record("3.3.3.3", "IoT"), 0);
+  // Bounce a and b through another bucket and back; the raw bucket would
+  // now read {c, a, b}.
+  for (ObjectId id : {a, b}) {
+    ASSERT_TRUE(store.update(
+        id, 1, [](json::Value& doc) { doc["label"] = "parked"; }));
+    ASSERT_TRUE(store.update(
+        id, 2, [](json::Value& doc) { doc["label"] = "IoT"; }));
+  }
+  auto hits = store.find_by("label", "IoT");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], a);
+  EXPECT_EQ(hits[1], b);
+  EXPECT_EQ(hits[2], c);
+  auto scanned = store.find_if([](const json::Value& doc) {
+    return doc.get_string("label") == "IoT";
+  });
+  EXPECT_EQ(hits, scanned);
+}
+
+TEST(DocStoreTest, FindByExcludesRemovedAmongLiveEntries) {
+  DocumentStore store;
+  store.ensure_index("src_ip");
+  ObjectId a = store.insert(record("1.1.1.1", "IoT"), 0);
+  ObjectId b = store.insert(record("1.1.1.1", "IoT"), 0);
+  ObjectId c = store.insert(record("1.1.1.1", "IoT"), 0);
+  EXPECT_TRUE(store.remove(b));
+  auto hits = store.find_by("src_ip", "1.1.1.1");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], a);
+  EXPECT_EQ(hits[1], c);
+  for (const ObjectId& id : hits) EXPECT_NE(store.get(id), nullptr);
+}
+
 json::Value published(const std::string& ip, std::int64_t published_at) {
   json::Value doc = record(ip, "IoT");
   doc["published_at"] = published_at;
@@ -271,10 +313,59 @@ TEST(KvStoreTest, HashOperations) {
 
 TEST(KvStoreTest, IncrCounts) {
   KvStore kv;
-  EXPECT_EQ(kv.incr("counter"), 1);
-  EXPECT_EQ(kv.incr("counter"), 2);
+  EXPECT_EQ(kv.incr("counter").value(), 1);
+  EXPECT_EQ(kv.incr("counter").value(), 2);
   kv.set("counter", "41");
-  EXPECT_EQ(kv.incr("counter"), 42);
+  EXPECT_EQ(kv.incr("counter").value(), 42);
+  EXPECT_EQ(kv.get("counter"), "42");
+}
+
+TEST(KvStoreTest, IncrNegativeAndExplicitZero) {
+  KvStore kv;
+  kv.set("k", "-3");
+  EXPECT_EQ(kv.incr("k").value(), -2);
+  kv.set("z", "0");
+  EXPECT_EQ(kv.incr("z").value(), 1);
+}
+
+TEST(KvStoreTest, IncrRejectsNonNumericValue) {
+  // Redis semantics: INCR on a non-integer value is an error, and the
+  // stored value must not be silently reset or reinterpreted.
+  KvStore kv;
+  kv.set("oid", "65a1b2c3");
+  auto bumped = kv.incr("oid");
+  ASSERT_FALSE(bumped.ok());
+  EXPECT_EQ(bumped.error().code, "kv_not_integer");
+  EXPECT_EQ(kv.get("oid"), "65a1b2c3");  // Untouched.
+}
+
+TEST(KvStoreTest, IncrRejectsPartiallyNumericValue) {
+  KvStore kv;
+  kv.set("k", "12abc");
+  EXPECT_FALSE(kv.incr("k").ok());
+  kv.set("k", " 7");
+  EXPECT_FALSE(kv.incr("k").ok());
+  kv.set("k", "");
+  EXPECT_FALSE(kv.incr("k").ok());
+  EXPECT_EQ(kv.get("k"), "");
+}
+
+TEST(KvStoreTest, IncrRejectsHashKey) {
+  KvStore kv;
+  kv.hset("device:1", "vendor", "MikroTik");
+  auto bumped = kv.incr("device:1");
+  ASSERT_FALSE(bumped.ok());
+  EXPECT_EQ(bumped.error().code, "kv_wrong_type");
+  EXPECT_EQ(kv.hget("device:1", "vendor"), "MikroTik");
+}
+
+TEST(KvStoreTest, IncrRejectsOverflow) {
+  KvStore kv;
+  kv.set("k", "9223372036854775807");  // INT64_MAX.
+  auto bumped = kv.incr("k");
+  ASSERT_FALSE(bumped.ok());
+  EXPECT_EQ(bumped.error().code, "kv_overflow");
+  EXPECT_EQ(kv.get("k"), "9223372036854775807");
 }
 
 TEST(KvStoreTest, KeysListsBothKinds) {
@@ -283,6 +374,64 @@ TEST(KvStoreTest, KeysListsBothKinds) {
   kv.hset("h1", "f", "v");
   auto keys = kv.keys();
   EXPECT_EQ(keys.size(), 2u);
+}
+
+// ----------------------------------------------------- Snapshot state ----
+
+TEST(KvStoreTest, SnapshotRestoreRoundTrip) {
+  KvStore kv;
+  kv.set("active:1.2.3.4", "oid123");
+  kv.set("counter", "7");
+  kv.hset("device:1", "vendor", "MikroTik");
+  kv.hset("device:1", "type", "Router");
+
+  KvStore restored;
+  ASSERT_TRUE(restored.restore_state(kv.snapshot_state()).ok());
+  EXPECT_EQ(restored.snapshot_state().dump(), kv.snapshot_state().dump());
+  EXPECT_EQ(restored.get("active:1.2.3.4"), "oid123");
+  EXPECT_EQ(restored.incr("counter").value(), 8);
+  EXPECT_EQ(restored.hget("device:1", "type"), "Router");
+}
+
+TEST(KvStoreTest, RestoreRejectsNonEmptyStore) {
+  KvStore kv;
+  kv.set("k", "v");
+  KvStore target;
+  target.set("existing", "x");
+  EXPECT_FALSE(target.restore_state(kv.snapshot_state()).ok());
+}
+
+TEST(DocStoreTest, SnapshotRestoreRoundTrip) {
+  DocumentStore store;
+  store.ensure_index("src_ip");
+  store.ensure_ordered_index("published_at");
+  ObjectId a = store.insert(published("1.1.1.1", 100), seconds(1));
+  ObjectId b = store.insert(published("2.2.2.2", 200), seconds(2));
+  (void)store.insert(published("1.1.1.1", 300), seconds(3));
+  ASSERT_TRUE(store.remove(b));
+
+  DocumentStore restored;
+  restored.ensure_index("src_ip");
+  restored.ensure_ordered_index("published_at");
+  ASSERT_TRUE(restored.restore_state(store.snapshot_state()).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.find_by("src_ip", "1.1.1.1"),
+            store.find_by("src_ip", "1.1.1.1"));
+  EXPECT_EQ(restored.find_range("published_at", 0, 1000),
+            store.find_range("published_at", 0, 1000));
+  EXPECT_EQ(restored.get(a)->dump(), store.get(a)->dump());
+  // ObjectId sequence continues where the original left off, so ids
+  // assigned after recovery match the uninterrupted run.
+  EXPECT_EQ(restored.insert(record("9.9.9.9", "IoT"), seconds(9)),
+            store.insert(record("9.9.9.9", "IoT"), seconds(9)));
+}
+
+TEST(DocStoreTest, RestoreRejectsNonEmptyStore) {
+  DocumentStore store;
+  (void)store.insert(record("1.1.1.1", "IoT"), 0);
+  DocumentStore target;
+  (void)target.insert(record("2.2.2.2", "IoT"), 0);
+  EXPECT_FALSE(target.restore_state(store.snapshot_state()).ok());
 }
 
 }  // namespace

@@ -48,7 +48,8 @@ def leaves(node, path=""):
     out = {}
     if isinstance(node, dict):
         label = ",".join(f"{k}={node[k]}" for k in
-                         ("workers", "producers", "shards", "sampling")
+                         ("workers", "producers", "shards", "sampling",
+                          "mode")
                          if k in node)
         for key, value in node.items():
             if key in THROUGHPUT_KEYS and isinstance(value, (int, float)):

@@ -10,6 +10,8 @@
 //                      [--producers N] [--shards N] [--buffer N]
 //                      [--annotate-workers N]
 //                      [--trace-sample R] [--watchdog-deadline MS]
+//                      [--data-dir DIR] [--wal-segment-bytes N]
+//                      [--snapshot-interval H] [--wal-fsync none|roll|always]
 //                      [--jsonl FILE] [--csv FILE] [--dashboard FILE]
 //       Run the full pipeline and export the resulting feed. --producers
 //       synthesizes traffic on N producer threads, --shards runs the
@@ -20,7 +22,14 @@
 //       per-shard capture buffer capacity in batches. --trace-sample
 //       span-traces that fraction of records/batches end to end and
 //       --watchdog-deadline arms the stall watchdog (neither changes the
-//       feed bytes).
+//       feed bytes). --data-dir makes the run crash-safe: every ordered
+//       commit is appended to a write-ahead log under DIR, compacted
+//       snapshots are taken every --snapshot-interval hours (default 24;
+//       0 = final snapshot only), and a restart with the same flags
+//       recovers from disk and resumes to a byte-identical feed.
+//       --wal-segment-bytes caps segment size before rolling to a new
+//       file; --wal-fsync picks the fsync policy (default roll: fsync on
+//       segment roll and shutdown).
 //   exiotctl query     --jsonl FILE --q EXPR
 //       Evaluate a query-builder expression over an exported feed.
 //   exiotctl fingerprint --banner TEXT
@@ -42,9 +51,13 @@
 //   exiotctl serve     [--scale S] [--days N] [--seed N] [--producers N]
 //                      [--shards N] [--annotate-workers N]
 //                      [--trace-sample R] [--watchdog-deadline MS]
+//                      [--data-dir DIR] [--wal-segment-bytes N]
+//                      [--snapshot-interval H] [--wal-fsync none|roll|always]
 //                      [--port P] [--token T]
 //                      [--api-workers N] [--api-timeout MS]
-//       Run the pipeline, then serve the resulting feed over the REST API
+//       Run the pipeline (crash-safe when --data-dir is set, recovering
+//       any state a previous run left there), then serve the resulting feed
+//       over the REST API
 //       on 127.0.0.1:PORT until SIGINT/SIGTERM. --api-workers sizes the
 //       worker pool (concurrent consumers), --api-timeout sets the
 //       per-connection read/write deadlines in milliseconds. Tracing and
@@ -52,9 +65,11 @@
 //       /v1/flightrecorder always serves the recent-event ring, and a
 //       fatal signal dumps it to stderr.
 #include <atomic>
+#include <charconv>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -74,7 +89,11 @@ namespace {
 
 using namespace exiot;
 
-/// Minimal --flag value argument scanner.
+/// Minimal --flag value argument scanner. Numeric accessors are strict: a
+/// value that is not entirely numeric, or that overflows the target type,
+/// is a usage error (exit 2) rather than a silent 0 the way atoi/atof
+/// would have it — `--port 80x80` or `--days 999999999999` should stop the
+/// run, not mangle it.
 class Args {
  public:
   Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
@@ -87,11 +106,45 @@ class Args {
   }
   double get_double(const std::string& flag, double fallback) const {
     const std::string value = get(flag);
-    return value.empty() ? fallback : std::atof(value.c_str());
+    if (value.empty()) return fallback;
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      std::fprintf(stderr, "exiotctl: %s expects a number, got \"%s\"\n",
+                   flag.c_str(), value.c_str());
+      std::exit(2);
+    }
+    return parsed;
   }
   int get_int(const std::string& flag, int fallback) const {
     const std::string value = get(flag);
-    return value.empty() ? fallback : std::atoi(value.c_str());
+    if (value.empty()) return fallback;
+    int parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec == std::errc::result_out_of_range) {
+      std::fprintf(stderr, "exiotctl: %s value out of range: \"%s\"\n",
+                   flag.c_str(), value.c_str());
+      std::exit(2);
+    }
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      std::fprintf(stderr, "exiotctl: %s expects an integer, got \"%s\"\n",
+                   flag.c_str(), value.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+  /// get_int plus a >= 1 check, for thread/shard/capacity counts where
+  /// zero or a negative would hang or crash the pipeline.
+  int get_positive_int(const std::string& flag, int fallback) const {
+    const int value = get_int(flag, fallback);
+    if (value < 1) {
+      std::fprintf(stderr, "exiotctl: %s must be >= 1, got %d\n",
+                   flag.c_str(), value);
+      std::exit(2);
+    }
+    return value;
   }
 
  private:
@@ -101,17 +154,58 @@ class Args {
 
 Cidr aperture() { return Cidr(Ipv4(44, 0, 0, 0), 8); }
 
-/// Threading + observability flags shared by simulate/metrics/trace/serve.
+/// Threading + observability + durability flags shared by
+/// simulate/metrics/trace/serve.
 void apply_pipeline_flags(const Args& args,
                           pipeline::PipelineConfig& config) {
-  config.num_detector_shards = args.get_int("--shards", 1);
-  config.num_producer_threads = args.get_int("--producers", 1);
-  config.num_annotate_workers = args.get_int("--annotate-workers", 1);
+  config.num_detector_shards = args.get_positive_int("--shards", 1);
+  config.num_producer_threads = args.get_positive_int("--producers", 1);
+  config.num_annotate_workers = args.get_positive_int("--annotate-workers", 1);
   config.buffer_capacity =
-      static_cast<std::size_t>(args.get_int("--buffer", 64));
+      static_cast<std::size_t>(args.get_positive_int("--buffer", 64));
   config.trace_sample = args.get_double("--trace-sample", 0.0);
   config.watchdog_deadline =
       std::chrono::milliseconds(args.get_int("--watchdog-deadline", 0));
+  config.data_dir = args.get("--data-dir");
+  config.wal_segment_bytes = static_cast<std::size_t>(
+      args.get_positive_int("--wal-segment-bytes",
+                            static_cast<int>(config.wal_segment_bytes)));
+  config.snapshot_interval_hours =
+      args.get_int("--snapshot-interval", config.snapshot_interval_hours);
+  const std::string fsync = args.get("--wal-fsync", "roll");
+  if (fsync == "none") {
+    config.wal_fsync = store::WalFsync::kNone;
+  } else if (fsync == "roll") {
+    config.wal_fsync = store::WalFsync::kOnRoll;
+  } else if (fsync == "always") {
+    config.wal_fsync = store::WalFsync::kEveryAppend;
+  } else {
+    std::fprintf(stderr,
+                 "exiotctl: --wal-fsync must be none, roll, or always\n");
+    std::exit(2);
+  }
+}
+
+/// Post-construction durability report: recovery failures downgrade the
+/// run to in-memory, which an operator asking for --data-dir should see.
+void report_recovery(const pipeline::ExIotPipeline& pipe) {
+  if (!pipe.recovery_error().empty()) {
+    std::fprintf(stderr,
+                 "warning: recovery failed (%s); running in-memory\n",
+                 pipe.recovery_error().c_str());
+    return;
+  }
+  const pipeline::Durability* durability = pipe.durability();
+  if (durability == nullptr) return;
+  const pipeline::RecoveryInfo& info = durability->recovery();
+  if (info.recovered_index > 0) {
+    std::printf("recovered %llu commits from disk (snapshot through %llu, "
+                "replayed %llu)%s\n",
+                static_cast<unsigned long long>(info.recovered_index),
+                static_cast<unsigned long long>(info.snapshot_wal_index),
+                static_cast<unsigned long long>(info.replayed_records),
+                info.truncated_tail ? "; torn WAL tail truncated" : "");
+  }
 }
 
 int cmd_capture(const Args& args) {
@@ -205,6 +299,7 @@ int cmd_simulate(const Args& args) {
   pipeline::PipelineConfig pipe_config;
   apply_pipeline_flags(args, pipe_config);
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
+  report_recovery(pipe);
   pipe.run_days(0, days);
   pipe.finish();
   std::printf("%s", ui::render_text_snapshot(pipe.feed(), {},
@@ -369,6 +464,7 @@ int cmd_serve(const Args& args) {
   pipeline::PipelineConfig pipe_config;
   apply_pipeline_flags(args, pipe_config);
   pipeline::ExIotPipeline pipe(population, world, pipe_config);
+  report_recovery(pipe);
   pipe.run_days(0, days);
   pipe.finish();
 
@@ -384,7 +480,7 @@ int cmd_serve(const Args& args) {
   if (pipe.watchdog() != nullptr) server.attach_watchdog(pipe.watchdog());
 
   api::TcpListenerOptions options;
-  options.num_workers = args.get_int("--api-workers", 4);
+  options.num_workers = args.get_positive_int("--api-workers", 4);
   const int timeout_ms = args.get_int("--api-timeout", 5000);
   options.read_timeout = std::chrono::milliseconds(timeout_ms);
   options.write_timeout = std::chrono::milliseconds(timeout_ms);
