@@ -1,0 +1,248 @@
+// Micro-throughput of the batched SoA hot-path stages against their
+// scalar equivalents, on one synthesized capture hour:
+//
+//   decode      — TraceDecoder::next() per packet vs next_batch() filling
+//     a PacketBatch (header overlay, no per-packet Result).
+//   backscatter — per-packet net::is_backscatter vs the batch-wide
+//     net::backscatter_mask flat-lane pass (auto-vectorized).
+//   forest      — RandomForest::predict_score per row vs the
+//     tree-outer/row-inner predict_scores_into batch walk. The batched
+//     scores are bit-identical (asserted here, not just in tests).
+//
+//   ./bench_hotpath            (EXIOT_SCALE=0.2 EXIOT_SEED=42)
+//
+// Results go to BENCH_hotpath.json; rows are keyed by "mode" so
+// tools/check_bench_regression.sh tracks scalar and batch independently
+// (the batch/scalar ratio itself is printed but not gated — it varies
+// with vector width across CI machines).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "inet/population.h"
+#include "ml/forest.h"
+#include "net/batch.h"
+#include "net/wire.h"
+#include "telescope/synthesizer.h"
+#include "trace/trace.h"
+
+using namespace exiot;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+/// The pipeline's default decode_batch_size.
+constexpr std::size_t kBatch = 1024;
+
+/// Keeps `value` observable so the compiler cannot elide the benched loop.
+template <typename T>
+void sink(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+/// Best-of-N wall-clock throughput of `fn() -> items processed`.
+template <typename Fn>
+double best_throughput(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t items = fn();
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const double rate = static_cast<double>(items) / elapsed;
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+struct Row {
+  const char* mode;
+  double rate;
+};
+
+void print_table(std::FILE* json, const char* name, const char* rate_key,
+                 const char* unit, const Row* rows, std::size_t n) {
+  std::printf("%s\n", name);
+  std::printf("%8s %16s %10s\n", "mode", unit, "ratio");
+  const double base = rows[0].rate;
+  if (json != nullptr) std::fprintf(json, "  \"%s\": [", name);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("%8s %16.0f %9.2fx\n", rows[i].mode, rows[i].rate,
+                rows[i].rate / base);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    {\"mode\": \"%s\", \"%s\": %.0f, "
+                   "\"ratio\": %.3f}",
+                   i == 0 ? "" : ",", rows[i].mode, rate_key, rows[i].rate,
+                   rows[i].rate / base);
+    }
+  }
+  if (json != nullptr) std::fprintf(json, "\n  ]");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = env_double("EXIOT_SCALE", 0.2);
+  const auto seed = static_cast<std::uint64_t>(env_double("EXIOT_SEED", 42));
+
+  const Cidr aperture(Ipv4(44, 0, 0, 0), 8);
+  auto world = inet::WorldModel::standard(aperture);
+  inet::PopulationConfig config;
+  config.seed = seed;
+  auto population = inet::Population::generate(config.scaled(scale), world);
+
+  std::vector<net::Packet> packets;
+  telescope::TrafficSynthesizer synth(population, aperture);
+  synth.emit(0, kMicrosPerHour,
+             [&packets](const net::Packet& pkt) { packets.push_back(pkt); });
+  std::printf("one capture hour: %zu packets (scale %.2f, seed %llu), "
+              "%u hardware threads, batch %zu\n\n",
+              packets.size(), scale,
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency(), kBatch);
+
+  std::FILE* json = benchx::open_bench_json("BENCH_hotpath.json");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"hotpath\",\n"
+                 "  \"scale\": %.3f,\n  \"seed\": %llu,\n"
+                 "  \"hour_packets\": %zu,\n  \"batch_size\": %zu,\n",
+                 scale, static_cast<unsigned long long>(seed),
+                 packets.size(), kBatch);
+  }
+
+  // --- Trace decode: scalar next() vs next_batch() header overlay. ---
+  const std::vector<std::uint8_t> bytes = trace::encode_packets(packets);
+  const double decode_scalar = best_throughput(3, [&bytes] {
+    trace::TraceDecoder decoder(bytes);
+    net::Packet pkt;
+    std::size_t n = 0;
+    while (decoder.next(pkt)) ++n;
+    return n;
+  });
+  const double decode_batch = best_throughput(3, [&bytes] {
+    trace::TraceDecoder decoder(bytes);
+    net::PacketBatch batch;
+    batch.reserve(kBatch);
+    std::size_t n = 0;
+    for (;;) {
+      batch.clear();
+      const std::size_t got = decoder.next_batch(batch, kBatch);
+      if (got == 0) break;
+      n += got;
+    }
+    return n;
+  });
+  const Row decode_rows[] = {{"scalar", decode_scalar},
+                             {"batch", decode_batch}};
+  print_table(json, "decode", "pps", "pps", decode_rows, 2);
+  if (json != nullptr) std::fprintf(json, ",\n");
+
+  // --- Backscatter filter: per-packet predicate vs flat-lane mask. ---
+  // The batches are materialized (and their lanes synced) up front: in the
+  // pipeline the producer/decoder hands the detector a filled batch, so
+  // the filter stage's cost is the mask pass itself, not the row fill —
+  // that cost is what the decode table and the ingest bench carry.
+  std::vector<net::PacketBatch> batches;
+  for (std::size_t i = 0; i < packets.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, packets.size() - i);
+    net::PacketBatch& batch = batches.emplace_back();
+    batch.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) batch.push_back(packets[i + j]);
+    sink(batch.ts());  // Sync lanes now; the filter pass is what we time.
+  }
+  const double filter_scalar = best_throughput(5, [&packets] {
+    std::size_t hits = 0;
+    for (const auto& pkt : packets) hits += net::is_backscatter(pkt);
+    sink(hits);
+    return packets.size();
+  });
+  const double filter_batch = best_throughput(5, [&packets, &batches] {
+    std::vector<std::uint8_t> mask(kBatch);
+    std::size_t hits = 0;
+    for (const net::PacketBatch& batch : batches) {
+      net::backscatter_mask(batch, mask.data());
+      for (std::size_t j = 0; j < batch.size(); ++j) hits += mask[j];
+    }
+    sink(hits);
+    return packets.size();
+  });
+  const Row filter_rows[] = {{"scalar", filter_scalar},
+                             {"batch", filter_batch}};
+  print_table(json, "backscatter", "pps", "pps", filter_rows, 2);
+  if (json != nullptr) std::fprintf(json, ",\n");
+  batches.clear();
+  batches.shrink_to_fit();  // ~13 MB; keep the forest heap compact.
+
+  // --- Forest inference: row-outer scalar walk vs tree-outer batch. ---
+  Rng rng(seed);
+  ml::Dataset data;
+  constexpr std::size_t kWidth = 12;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    ml::FeatureVector row(kWidth);
+    for (auto& v : row) v = rng.next_double();
+    const int label = row[0] + row[kWidth / 2] > 1.2 ? 1 : 0;
+    data.add(std::move(row), label);
+  }
+  ml::ForestParams forest_params;
+  forest_params.num_trees = 100;
+  forest_params.tree.max_depth = 12;
+  forest_params.train_threads = 1;
+  const ml::RandomForest forest =
+      ml::RandomForest::train(data, forest_params, seed);
+
+  std::vector<ml::FeatureVector> rows;
+  for (std::size_t i = 0; i < 8192; ++i) {
+    ml::FeatureVector row(kWidth);
+    for (auto& v : row) v = rng.next_double() * 1.5;
+    rows.push_back(std::move(row));
+  }
+  std::vector<double> scalar_scores(rows.size());
+  const double forest_scalar = best_throughput(3, [&] {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      scalar_scores[i] = forest.predict_score(rows[i]);
+    }
+    return rows.size();
+  });
+  std::vector<double> batch_scores(rows.size());
+  const double forest_batch = best_throughput(3, [&] {
+    forest.predict_scores_into(rows, batch_scores.data());
+    return rows.size();
+  });
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    mismatches += batch_scores[i] != scalar_scores[i];
+  }
+  if (mismatches != 0) {
+    std::printf("!! %zu batched forest scores differ from scalar "
+                "(bit-identity violation)\n",
+                mismatches);
+  }
+  const Row forest_rows[] = {{"scalar", forest_scalar},
+                             {"batch", forest_batch}};
+  print_table(json, "forest", "records_per_s", "records/s", forest_rows, 2);
+
+  if (json != nullptr) {
+    std::fprintf(json, "\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n",
+                benchx::bench_json_path("BENCH_hotpath.json").c_str());
+  }
+  std::printf("\nbatch decode and filter ratios reflect per-packet call "
+              "overhead removed by the SoA path; the forest tree-outer "
+              "level sweep removes the ~50%%-mispredicted child branch "
+              "and typically lands ~3x the row-outer scalar walk here "
+              "(more on wider out-of-order cores).\n");
+  return mismatches == 0 ? 0 : 1;
+}

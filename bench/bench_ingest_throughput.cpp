@@ -80,9 +80,12 @@ double run_live(const inet::Population& population, Cidr aperture,
                                   flow::DetectorEvents{},
                                   probe::table1_ports(), nullptr, tracer);
   const auto start = std::chrono::steady_clock::now();
-  const std::size_t count = ingest.run_hour(
-      [&producer](const pipeline::ThreadedIngest::PacketFn& fn) {
-        return producer.emit(0, kMicrosPerHour, fn);
+  // Live runs take the batched SoA path end to end (synthesis directly
+  // into batch rows, batch-wide backscatter filtering), the same route
+  // ExIotPipeline::run_hours drives in production.
+  const std::size_t count = ingest.run_hour_batched(
+      [&producer](const pipeline::ThreadedIngest::BatchFn& fn) {
+        return producer.emit_batches(0, kMicrosPerHour, 1024, fn);
       },
       kMicrosPerHour);
   ingest.finish();

@@ -96,6 +96,11 @@ double Rng::pareto(double xm, double alpha) {
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += w;
+  return weighted_index(weights, total);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights,
+                                double total) {
   if (total <= 0.0) throw std::invalid_argument("weighted_index: zero total");
   double target = next_double() * total;
   double acc = 0.0;
@@ -104,6 +109,19 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
     if (target < acc) return i;
   }
   return weights.size() - 1;
+}
+
+std::size_t Rng::weighted_index_prefix(std::span<const double> prefix) {
+  const double target = next_double() * prefix.back();
+  // Count prefix entries <= target: equals the first index whose running
+  // sum exceeds the target — the same index (and the same single draw)
+  // weighted_index returns, including its last-bucket fallback.
+  std::size_t idx = 0;
+  const std::size_t last = prefix.size() - 1;
+  for (std::size_t i = 0; i < last; ++i) {
+    idx += static_cast<std::size_t>(target >= prefix[i]);
+  }
+  return idx;
 }
 
 }  // namespace exiot

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace exiot {
@@ -36,6 +37,16 @@ class Rng {
   double pareto(double xm, double alpha);
   /// Samples an index from unnormalized non-negative weights.
   std::size_t weighted_index(const std::vector<double>& weights);
+  /// Same draw with the weight total precomputed by the caller (hot paths
+  /// sample from a fixed weight vector per packet).
+  std::size_t weighted_index(const std::vector<double>& weights,
+                             double total);
+  /// Same draw again, from precomputed inclusive prefix sums
+  /// (prefix[i] = w[0] + ... + w[i], accumulated in index order so the
+  /// doubles match weighted_index's running sum bit for bit). Branch-free
+  /// scan — the data-dependent early exit of weighted_index mispredicts
+  /// ~50% on the per-packet port draw. `prefix` must be non-empty.
+  std::size_t weighted_index_prefix(std::span<const double> prefix);
 
   /// Fisher-Yates shuffle.
   template <typename T>

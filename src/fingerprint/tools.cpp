@@ -40,14 +40,23 @@ bool matches_unicorn(const std::vector<net::Packet>& sample) {
 }
 
 ToolMatch fingerprint_tool(const std::vector<net::Packet>& sample) {
+  // One flat pass, all signatures counted as masked adds (no per-packet
+  // branches): samples are 200 packets and every record takes this path,
+  // so the counting loop is hot in the annotate stage.
   int tcp = 0, mirai = 0, zmap = 0, masscan = 0, nmap = 0;
   for (const auto& pkt : sample) {
-    if (pkt.proto != net::IpProto::kTcp) continue;
-    ++tcp;
-    if (matches_mirai(pkt)) ++mirai;
-    if (matches_zmap(pkt)) ++zmap;
-    if (matches_masscan(pkt)) ++masscan;
-    if (matches_nmap(pkt)) ++nmap;
+    const int is_tcp = pkt.proto == net::IpProto::kTcp;
+    const std::uint16_t w = pkt.window;
+    const int ladder =
+        (w == 1024) | (w == 2048) | (w == 3072) | (w == 4096);
+    const int mss1460 = pkt.opts.mss == 1460;  // false when unset.
+    tcp += is_tcp;
+    mirai += is_tcp & (pkt.seq == pkt.dst.value());
+    zmap += is_tcp & (pkt.ip_id == 54321);
+    masscan +=
+        is_tcp & (pkt.ip_id ==
+                  ((pkt.dst.value() ^ pkt.dst_port ^ pkt.seq) & 0xFFFF));
+    nmap += is_tcp & ladder & mss1460;
   }
   if (tcp == 0) return {"unknown", 0.0};
   const double denom = tcp;

@@ -8,12 +8,34 @@ FlowDetector::FlowDetector(DetectorConfig config, DetectorEvents events,
                            std::vector<std::uint16_t> report_ports)
     : config_(config),
       events_(std::move(events)),
-      report_ports_(std::move(report_ports)) {}
+      report_ports_(std::move(report_ports)) {
+  if (!report_ports_.empty()) {
+    report_port_index_.assign(65536, -1);
+    for (std::uint16_t p : report_ports_) {
+      if (report_port_index_[p] >= 0) continue;  // Duplicate port.
+      report_port_index_[p] =
+          static_cast<std::int32_t>(port_counts_.size());
+      port_counts_.push_back(0);
+    }
+  }
+}
+
+void FlowDetector::materialize_per_port() {
+  for (std::uint16_t p : report_ports_) {
+    const std::uint64_t n =
+        port_counts_[static_cast<std::size_t>(report_port_index_[p])];
+    if (n != 0) current_report_.per_port[p] = n;
+  }
+  std::fill(port_counts_.begin(), port_counts_.end(), 0);
+}
 
 void FlowDetector::roll_second(TimeMicros ts) {
   const TimeMicros second = ts - ts % kMicrosPerSecond;
   if (report_open_ && second == current_report_.second_start) return;
-  if (report_open_ && events_.on_report) events_.on_report(current_report_);
+  if (report_open_) {
+    materialize_per_port();
+    if (events_.on_report) events_.on_report(current_report_);
+  }
   current_report_ = SecondReport{};
   current_report_.second_start = second;
   report_open_ = true;
@@ -37,13 +59,16 @@ void FlowDetector::process(const net::Packet& pkt) {
 
   // Per-port counts feed the Table-1 port ranking; backscatter replies
   // landing on a report port are filtered above so they cannot inflate it.
-  if (!report_ports_.empty() &&
-      std::find(report_ports_.begin(), report_ports_.end(), pkt.dst_port) !=
-          report_ports_.end()) {
-    ++current_report_.per_port[pkt.dst_port];
+  if (!report_port_index_.empty()) {
+    const std::int32_t pidx = report_port_index_[pkt.dst_port];
+    if (pidx >= 0) ++port_counts_[static_cast<std::size_t>(pidx)];
   }
 
-  SourceState& s = table_[pkt.src.value()];
+  update_source(pkt);
+}
+
+void FlowDetector::update_source(const net::Packet& pkt) {
+  SourceState& s = table_.find_or_insert(pkt.src.value());
   if (s.packets == 0) {
     s.first_seen = pkt.ts;
   } else if (!s.is_scanner && pkt.ts - s.last_seen > config_.max_gap) {
@@ -89,6 +114,41 @@ void FlowDetector::process(const net::Packet& pkt) {
   }
 }
 
+void FlowDetector::process_batch(const net::PacketBatch& batch,
+                                 const std::uint64_t* lane_seqs,
+                                 std::uint64_t* seq_cursor) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  // One flat pass over the SoA lanes decides backscatter for the whole
+  // batch before any per-row work; the compiler vectorizes it.
+  backscatter_scratch_.resize(n);
+  net::backscatter_mask(batch, backscatter_scratch_.data());
+
+  const TimeMicros* ts = batch.ts();
+  const std::uint8_t* proto = batch.proto();
+  const std::uint16_t* dport = batch.dst_port();
+  const bool have_ports = !report_port_index_.empty();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seq_cursor) *seq_cursor = lane_seqs[i];
+    roll_second(ts[i]);
+    ++stats_.packets_processed;
+    ++current_report_.total;
+    current_report_.tcp += proto[i] == 6;
+    current_report_.udp += proto[i] == 17;
+    current_report_.icmp += proto[i] == 1;
+    if (backscatter_scratch_[i]) {
+      ++stats_.backscatter_filtered;
+      ++current_report_.backscatter_filtered;
+      continue;
+    }
+    if (have_ports) {
+      const std::int32_t pidx = report_port_index_[dport[i]];
+      if (pidx >= 0) ++port_counts_[static_cast<std::size_t>(pidx)];
+    }
+    update_source(batch[i]);
+  }
+}
+
 void FlowDetector::end_flow(Ipv4 src, SourceState& s) {
   ++stats_.flows_ended;
   if (events_.on_flow_end) {
@@ -99,7 +159,10 @@ void FlowDetector::end_flow(Ipv4 src, SourceState& s) {
 }
 
 void FlowDetector::flush_report() {
-  if (report_open_ && events_.on_report) events_.on_report(current_report_);
+  if (report_open_) {
+    materialize_per_port();
+    if (events_.on_report) events_.on_report(current_report_);
+  }
   current_report_ = SecondReport{};
   report_open_ = false;
 }
@@ -126,21 +189,21 @@ void FlowDetector::end_of_hour(TimeMicros now) {
   // the hour must not wait for the next hour's first packet to arrive.
   flush_report();
   std::vector<std::pair<std::uint32_t, SourceState>> expired;
-  for (auto it = table_.begin(); it != table_.end();) {
-    if (now - it->second.last_seen > config_.flow_expiry) {
-      expired.emplace_back(it->first, std::move(it->second));
-      it = table_.erase(it);
-    } else {
-      ++it;
+  table_.for_each([&](std::uint32_t addr, SourceState& s) {
+    if (now - s.last_seen > config_.flow_expiry) {
+      expired.emplace_back(addr, std::move(s));
     }
-  }
+  });
+  for (const auto& [addr, s] : expired) table_.erase(addr);
   expire(std::move(expired));
 }
 
 void FlowDetector::finish() {
   std::vector<std::pair<std::uint32_t, SourceState>> all;
   all.reserve(table_.size());
-  for (auto& [addr, s] : table_) all.emplace_back(addr, std::move(s));
+  table_.for_each([&](std::uint32_t addr, SourceState& s) {
+    all.emplace_back(addr, std::move(s));
+  });
   table_.clear();
   expire(std::move(all));
   flush_report();

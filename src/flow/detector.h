@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "flow/source_table.h"
+#include "net/batch.h"
 #include "net/packet.h"
 
 namespace exiot::flow {
@@ -85,6 +87,17 @@ class FlowDetector {
   /// timestamp order (the capture is time-sorted).
   void process(const net::Packet& pkt);
 
+  /// Batched variant: replays exactly the decision sequence of calling
+  /// process() on every row of `batch` in order, but evaluates the
+  /// backscatter filter batch-wide over the SoA lanes (one flat
+  /// auto-vectorizable pass) before the per-row flow-table walk. If
+  /// `seq_cursor` is non-null, `*seq_cursor = lane_seqs[i]` is stored
+  /// before row i is processed, so event callbacks that read a shard's
+  /// current-sequence cell observe the same values as the scalar path.
+  void process_batch(const net::PacketBatch& batch,
+                     const std::uint64_t* lane_seqs,
+                     std::uint64_t* seq_cursor);
+
   /// The paper runs the expiry sweep between hours: flushes the open
   /// per-second report (the last second of the hour must not lag into the
   /// next hour), then ends every detected flow idle for more than
@@ -113,6 +126,9 @@ class FlowDetector {
   };
 
   void roll_second(TimeMicros ts);
+  /// Flow-table update shared by process() and process_batch(): everything
+  /// after the backscatter filter and per-port accounting.
+  void update_source(const net::Packet& pkt);
   /// Ships the open per-second report (if any) and resets it.
   void flush_report();
   /// Emits sample/END_FLOW events for the given sources in ascending
@@ -120,10 +136,25 @@ class FlowDetector {
   void expire(std::vector<std::pair<std::uint32_t, SourceState>> expired);
   void end_flow(Ipv4 src, SourceState& state);
 
+  /// Copies the flat per-port counters into the open report's map (the
+  /// published SecondReport keeps its map shape) and zeroes them.
+  void materialize_per_port();
+
   DetectorConfig config_;
   DetectorEvents events_;
   std::vector<std::uint16_t> report_ports_;
-  std::unordered_map<std::uint32_t, SourceState> table_;
+  /// report_port_index_[p] is the counter index of report port p, or -1 —
+  /// O(1) membership on the per-packet path (the linear scan showed up in
+  /// profiles), and the flat counter replaces a per-packet map increment:
+  /// port_counts_ accumulates during the second and is materialized into
+  /// SecondReport::per_port only when the report ships.
+  std::vector<std::int32_t> report_port_index_;
+  std::vector<std::uint64_t> port_counts_;
+  std::vector<std::uint8_t> backscatter_scratch_;
+  /// Open-addressing table keyed by source address: the per-packet
+  /// find-or-insert is the detect stage's hottest load, and the flat
+  /// layout avoids unordered_map's node chase.
+  SourceTable<SourceState> table_;
   DetectorStats stats_;
   SecondReport current_report_;
   bool report_open_ = false;

@@ -1,0 +1,139 @@
+// Open-addressing hash table keyed by IPv4 source address, replacing
+// std::unordered_map on the detector's per-packet path. The chained map
+// cost one pointer chase (node allocation) plus a modulo per lookup; this
+// table keeps keys and slot states in two flat arrays, so the hot
+// find-or-insert is a multiply-shift hash, one key-array probe (almost
+// always a hit on the first slot at the working load factor), and a direct
+// index into the value array.
+//
+// Deletions use tombstones; the table rehashes when full + tombstone slots
+// pass 3/4 of capacity, which also garbage-collects the tombstones.
+// Iteration order is the slot order — callers that need deterministic
+// event order (the detector's expiry sweep) sort what they collect, as
+// they already did for the unordered_map.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace exiot::flow {
+
+template <typename V>
+class SourceTable {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the value for `key`, default-constructing it on first use
+  /// (the unordered_map operator[] contract the detector relies on).
+  V& find_or_insert(std::uint32_t key) {
+    if (used_ * 4 >= capacity() * 3) grow();
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    std::size_t first_tomb = kNone;
+    while (true) {
+      const std::uint8_t st = state_[i];
+      if (st == kFull) {
+        if (keys_[i] == key) return values_[i];
+      } else if (st == kTomb) {
+        if (first_tomb == kNone) first_tomb = i;
+      } else {  // kEmpty: key is absent; claim a slot.
+        if (first_tomb != kNone) {
+          i = first_tomb;  // Reuse the tombstone (used_ already counts it).
+        } else {
+          ++used_;
+        }
+        state_[i] = kFull;
+        keys_[i] = key;
+        ++size_;
+        return values_[i];
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Removes `key` if present; the value slot is reset to a fresh V so its
+  /// heap storage (sample buffers) is released immediately.
+  bool erase(std::uint32_t key) {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    while (state_[i] != kEmpty) {
+      if (state_[i] == kFull && keys_[i] == key) {
+        state_[i] = kTomb;
+        values_[i] = V{};
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  /// Visits every (key, value) pair in slot order. The callback must not
+  /// insert or erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] == kFull) fn(keys_[i], values_[i]);
+    }
+  }
+
+  void clear() {
+    state_.assign(state_.size(), kEmpty);
+    for (auto& v : values_) v = V{};
+    size_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTomb = 2;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kInitialCapacity = 1024;
+
+  static std::size_t hash(std::uint32_t key) {
+    // Multiply-shift (Fibonacci hashing): telescope source addresses are
+    // structured, the golden-ratio multiply spreads them across slots.
+    return static_cast<std::size_t>(
+        (key * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  std::size_t capacity() const { return state_.size(); }
+
+  void grow() {
+    const std::size_t new_cap =
+        capacity() == 0 ? kInitialCapacity
+                        : (size_ * 4 >= capacity() * 3 ? capacity() * 2
+                                                       : capacity());
+    // Rehashing with unchanged capacity still pays off: it sweeps out the
+    // tombstones that triggered the growth check.
+    std::vector<std::uint32_t> old_keys = std::move(keys_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_cap, 0);
+    state_.assign(new_cap, kEmpty);
+    values_.clear();
+    values_.resize(new_cap);
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t j = hash(old_keys[i]) & mask;
+      while (state_[j] == kFull) j = (j + 1) & mask;
+      state_[j] = kFull;
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+    }
+    used_ = size_;
+  }
+
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint8_t> state_;
+  std::vector<V> values_;
+  std::size_t size_ = 0;
+  std::size_t used_ = 0;  // Full + tombstone slots (probe-chain length cap).
+};
+
+}  // namespace exiot::flow

@@ -350,8 +350,18 @@ PacketSynthesizer::PacketSynthesizer(const ScanBehavior& behavior, Ipv4 src,
       src_(src),
       telescope_(telescope),
       rng_(seed) {
-  port_weights_.reserve(behavior.ports.size());
-  for (const auto& pw : behavior.ports) port_weights_.push_back(pw.weight);
+  port_count_ = behavior.ports.size();
+  if (port_count_ <= kMaxInlinePorts) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < port_count_; ++i) {
+      acc += behavior.ports[i].weight;
+      port_prefix_[i] = acc;
+    }
+  } else {
+    port_weights_.reserve(behavior.ports.size());
+    for (const auto& pw : behavior.ports) port_weights_.push_back(pw.weight);
+    for (double w : port_weights_) port_weight_total_ += w;
+  }
   path_hops_ = static_cast<int>(rng_.uniform_int(6, 28));
   ip_id_counter_ = static_cast<std::uint16_t>(rng_.next_u64());
   per_run_seq_ = static_cast<std::uint32_t>(rng_.next_u64());
@@ -362,6 +372,18 @@ PacketSynthesizer::PacketSynthesizer(const ScanBehavior& behavior, Ipv4 src,
 
 net::Packet PacketSynthesizer::make_probe(TimeMicros ts) {
   net::Packet p;
+  make_probe_into(ts, p);
+  return p;
+}
+
+void PacketSynthesizer::make_probe_into(TimeMicros ts, net::Packet& out) {
+  // Full reset: hot callers reuse the slot across hosts, so every field
+  // must be written or defaulted. Assigning from a pre-built zero packet
+  // compiles to one 64-byte copy instead of the member-by-member stores a
+  // freshly value-initialized temporary costs.
+  static const net::Packet kZero{};
+  out = kZero;
+  net::Packet& p = out;
   p.ts = ts;
   p.src = src_;
   p.proto = behavior_.proto;
@@ -381,7 +403,11 @@ net::Packet PacketSynthesizer::make_probe(TimeMicros ts) {
       std::max(1, static_cast<int>(stack.ttl_base) - path_hops_));
   p.tos = stack.tos;
 
-  p.dst_port = behavior_.ports[rng_.weighted_index(port_weights_)].port;
+  const std::size_t port_idx =
+      port_count_ <= kMaxInlinePorts
+          ? rng_.weighted_index_prefix({port_prefix_.data(), port_count_})
+          : rng_.weighted_index(port_weights_, port_weight_total_);
+  p.dst_port = behavior_.ports[port_idx].port;
   p.src_port = behavior_.fixed_src_port
                    ? src_port_base_
                    : static_cast<std::uint16_t>(src_port_base_ +
@@ -438,7 +464,6 @@ net::Packet PacketSynthesizer::make_probe(TimeMicros ts) {
       p.ip_id = 0;
       break;
   }
-  return p;
 }
 
 }  // namespace exiot::inet

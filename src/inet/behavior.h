@@ -8,6 +8,7 @@
 // ip.id = dst ^ port ^ seq, Nmap's fixed window ladder).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -118,15 +119,28 @@ class PacketSynthesizer {
   /// Builds the next probe packet at time `ts`.
   net::Packet make_probe(TimeMicros ts);
 
+  /// In-place variant for the hot emit path: resets and fills `out`
+  /// (identical field values and RNG draw sequence to make_probe) without
+  /// materializing a temporary Packet.
+  void make_probe_into(TimeMicros ts, net::Packet& out);
+
   /// The per-host path length (hops) decrementing TTL; fixed per host.
   int path_hops() const { return path_hops_; }
 
  private:
+  /// Port draws use inclusive prefix sums held inline (no heap indirection
+  /// on the per-packet path); rosters larger than the inline capacity fall
+  /// back to the plain weight vector. Every roster behavior has <= 9 ports.
+  static constexpr std::size_t kMaxInlinePorts = 16;
+
   const ScanBehavior& behavior_;
   Ipv4 src_;
   Cidr telescope_;
   Rng rng_;
-  std::vector<double> port_weights_;
+  std::array<double, kMaxInlinePorts> port_prefix_{};
+  std::size_t port_count_ = 0;
+  std::vector<double> port_weights_;  // Fallback only (> inline capacity).
+  double port_weight_total_ = 0.0;
   int path_hops_;
   std::uint16_t ip_id_counter_;
   std::uint32_t per_run_seq_;

@@ -162,6 +162,104 @@ double DecisionTree::predict_score(const FeatureVector& row) const {
   return nodes_[static_cast<std::size_t>(node)].score;
 }
 
+void DecisionTree::accumulate_scores(const std::vector<FeatureVector>& rows,
+                                     double* acc) const {
+  const std::size_t n = rows.size();
+  const Node* nodes = nodes_.data();
+  if (nodes[0].feature < 0) {  // Single-leaf tree: no walk at all.
+    const double s = nodes[0].score;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += s;
+    return;
+  }
+  // Breadth-first level sweep: every row advances one tree level per pass
+  // over the whole batch, with rows that already reached their leaf
+  // self-looping there. Two properties make this the fast shape:
+  //
+  //   - branch-free steps: which child a row takes is data-dependent and
+  //     ~50% mispredicted on real trees, and one stall per level per row
+  //     erases the whole batching win (a ternary select compiles to
+  //     comisd+jcc). The child index is computed arithmetically from the
+  //     comparison result instead;
+  //   - independent steps: within a sweep no row depends on any other, so
+  //     the out-of-order window keeps many node/feature loads in flight —
+  //     unlike a depth-first walk, whose next load address depends on the
+  //     previous compare. A fixed 8-row lock-step block was tried first
+  //     and spilled its lane state to the stack; the full-batch sweep
+  //     keeps the per-row state in a streaming array instead.
+  //
+  // Children are appended after their parent during build (next > cur on
+  // interior nodes), so "no row moved" — detected arithmetically, not per
+  // row — means every row sits on a leaf and the sweep loop terminates.
+  // Small batches: the packed-layout rebuild below costs O(nodes), which
+  // would dominate a handful of walks.
+  if (n < 64) {
+    for (std::size_t i = 0; i < n; ++i) acc[i] += predict_score(rows[i]);
+    return;
+  }
+
+  // Re-pack the tree so leaves self-loop structurally (left = right = own
+  // index, feature 0): the per-level step then has no leaf test at all —
+  // a landed row keeps re-selecting its own node. Which child a row takes
+  // is data-dependent and ~50% mispredicted on real trees, so the step
+  // must be branch-free (a ternary select compiles to comisd+jcc, and one
+  // stall per level per row erases the batching win); the child index is
+  // computed arithmetically from the comparison result instead.
+  struct Packed {
+    double threshold;
+    int feature;
+    int left;
+    int right;
+  };
+  std::vector<Packed> packed(nodes_.size());
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const Node& nd = nodes[k];
+    const int self = static_cast<int>(k);
+    const bool leaf = nd.feature < 0;
+    packed[k] = Packed{nd.threshold, leaf ? 0 : nd.feature,
+                       leaf ? self : nd.left, leaf ? self : nd.right};
+  }
+
+  // Rows advance one level per sweep over an L1-sized tile, so within a
+  // sweep no step depends on any other and the out-of-order window keeps
+  // many node/feature loads in flight — unlike a depth-first walk, whose
+  // next load address waits on the previous compare. Children are
+  // appended after their parent during build (next > cur on interior
+  // nodes) and landed rows self-loop, so "no row moved" — accumulated
+  // arithmetically, not tested per row — terminates the sweep loop.
+  constexpr std::size_t kTile = 256;
+  int cur[kTile];
+  const double* feat[kTile];
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t m = std::min(kTile, n - i0);
+    for (std::size_t j = 0; j < m; ++j) {
+      cur[j] = 0;
+      feat[j] = rows[i0 + j].data();
+    }
+    bool moved = true;
+    while (moved) {
+      int any = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const Packed& nd = packed[static_cast<std::size_t>(cur[j])];
+        const int go_right = static_cast<int>(
+            feat[j][static_cast<std::size_t>(nd.feature)] > nd.threshold);
+        const int next = nd.left + (nd.right - nd.left) * go_right;
+        any += next != cur[j];
+        cur[j] = next;
+      }
+      moved = any != 0;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      acc[i0 + j] += nodes[static_cast<std::size_t>(cur[j])].score;
+    }
+  }
+}
+
+void DecisionTree::predict_scores_into(const std::vector<FeatureVector>& rows,
+                                       double* out) const {
+  std::fill(out, out + rows.size(), 0.0);
+  accumulate_scores(rows, out);
+}
+
 void DecisionTree::accumulate_split_features(std::vector<int>& counts) const {
   for (const Node& n : nodes_) {
     if (n.feature >= 0 &&
@@ -242,6 +340,22 @@ double RandomForest::predict_score(const FeatureVector& row) const {
   double sum = 0.0;
   for (const auto& tree : trees_) sum += tree.predict_score(row);
   return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForest::predict_scores_into(const std::vector<FeatureVector>& rows,
+                                       double* out) const {
+  const std::size_t n = rows.size();
+  if (trees_.empty()) {
+    std::fill(out, out + n, 0.5);
+    return;
+  }
+  // Tree-outer: each tree's node array is walked once for every row.
+  // Accumulating per row in tree order keeps the floating-point addition
+  // order of predict_score, so the result is bit-identical.
+  std::fill(out, out + n, 0.0);
+  for (const auto& tree : trees_) tree.accumulate_scores(rows, out);
+  const double count = static_cast<double>(trees_.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] /= count;
 }
 
 RandomForest RandomForest::from_trees(std::vector<DecisionTree> trees) {

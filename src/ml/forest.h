@@ -33,6 +33,20 @@ class DecisionTree : public Classifier {
 
   double predict_score(const FeatureVector& row) const override;
 
+  /// Batched walk: scores all rows in one pass over this tree. Rows
+  /// advance one level per sweep over an L1-sized tile against a packed
+  /// node copy whose leaves self-loop, so the per-level step is
+  /// branch-free (the data-dependent child select is ~50% mispredicted
+  /// in a scalar walk) and every step in a sweep is independent.
+  void predict_scores_into(const std::vector<FeatureVector>& rows,
+                           double* out) const override;
+
+  /// Adds this tree's score for every row into `acc` (the forest's batch
+  /// accumulator). acc[i] += score(rows[i]), bit-identical to the scalar
+  /// walk.
+  void accumulate_scores(const std::vector<FeatureVector>& rows,
+                         double* acc) const;
+
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int depth() const { return depth_; }
 
@@ -87,6 +101,14 @@ class RandomForest : public Classifier {
                             std::uint64_t seed);
 
   double predict_score(const FeatureVector& row) const override;
+
+  /// Batched inference, restructured tree-outer/row-inner: each tree's
+  /// contiguous node array is walked once for all rows, accumulating into
+  /// a per-row sum in tree order — the same floating-point operation
+  /// order as predict_score, so scores are bit-identical to the scalar
+  /// row-outer loop.
+  void predict_scores_into(const std::vector<FeatureVector>& rows,
+                           double* out) const override;
 
   const std::vector<DecisionTree>& trees() const { return trees_; }
 

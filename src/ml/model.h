@@ -21,11 +21,21 @@ class Classifier {
     return predict_score(row) >= 0.5 ? 1 : 0;
   }
 
+  /// Scores a batch of rows into `out` (caller provides rows.size()
+  /// doubles). The default loops predict_score; models with a cheaper
+  /// batch evaluation (RandomForest's tree-outer walk) override it.
+  /// Overrides must produce bit-identical scores to predict_score.
+  virtual void predict_scores_into(const std::vector<FeatureVector>& rows,
+                                   double* out) const {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out[i] = predict_score(rows[i]);
+    }
+  }
+
   std::vector<double> predict_scores(
       const std::vector<FeatureVector>& rows) const {
-    std::vector<double> out;
-    out.reserve(rows.size());
-    for (const auto& row : rows) out.push_back(predict_score(row));
+    std::vector<double> out(rows.size());
+    predict_scores_into(rows, out.data());
     return out;
   }
 };

@@ -1,0 +1,106 @@
+#include "net/batch.h"
+
+namespace exiot::net {
+
+void PacketBatch::reserve(std::size_t n) {
+  pkts_.reserve(n);
+  ts_.reserve(n);
+  src_.reserve(n);
+  dst_.reserve(n);
+  seq_.reserve(n);
+  src_port_.reserve(n);
+  dst_port_.reserve(n);
+  total_length_.reserve(n);
+  proto_.reserve(n);
+  flags_.reserve(n);
+  icmp_type_.reserve(n);
+}
+
+void PacketBatch::clear() {
+  pkts_.clear();
+  synced_ = 0;
+  ts_.clear();
+  src_.clear();
+  dst_.clear();
+  seq_.clear();
+  src_port_.clear();
+  dst_port_.clear();
+  total_length_.clear();
+  proto_.clear();
+  flags_.clear();
+  icmp_type_.clear();
+}
+
+void PacketBatch::sync_lanes() const {
+  const std::size_t n = pkts_.size();
+  if (synced_ == n) return;
+  ts_.resize(n);
+  src_.resize(n);
+  dst_.resize(n);
+  seq_.resize(n);
+  src_port_.resize(n);
+  dst_port_.resize(n);
+  total_length_.resize(n);
+  proto_.resize(n);
+  flags_.resize(n);
+  icmp_type_.resize(n);
+  for (std::size_t i = synced_; i < n; ++i) {
+    const Packet& p = pkts_[i];
+    ts_[i] = p.ts;
+    src_[i] = p.src.value();
+    dst_[i] = p.dst.value();
+    seq_[i] = p.seq;
+    src_port_[i] = p.src_port;
+    dst_port_[i] = p.dst_port;
+    total_length_[i] = p.total_length;
+    proto_[i] = static_cast<std::uint8_t>(p.proto);
+    flags_[i] = p.flags;
+    icmp_type_[i] = p.icmp_type_v;
+  }
+  synced_ = n;
+}
+
+void backscatter_mask(const PacketBatch& batch, std::uint8_t* out) {
+  const std::size_t n = batch.size();
+  const std::uint8_t* proto = batch.proto();
+  const std::uint8_t* flags = batch.flags();
+  const std::uint8_t* icmp = batch.icmp_type();
+  const std::uint16_t* sport = batch.src_port();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same predicate as net::is_backscatter, evaluated without branches:
+    // TCP (SYN&&ACK) || RST || (ACK&&!SYN); ICMP echo-reply / unreachable /
+    // time-exceeded; UDP replies from well-known service source ports.
+    const std::uint8_t f = flags[i];
+    const std::uint8_t syn = (f >> 1) & 1;
+    const std::uint8_t rst = (f >> 2) & 1;
+    const std::uint8_t ack = (f >> 4) & 1;
+    const std::uint8_t tcp_bs =
+        static_cast<std::uint8_t>((syn & ack) | rst |
+                                  (ack & static_cast<std::uint8_t>(1 - syn)));
+    const std::uint8_t icmp_bs = static_cast<std::uint8_t>(
+        (icmp[i] == 0) | (icmp[i] == 3) | (icmp[i] == 11));
+    const std::uint16_t sp = sport[i];
+    const std::uint8_t udp_bs =
+        static_cast<std::uint8_t>((sp == 53) | (sp == 123) | (sp == 161));
+    const std::uint8_t is_tcp = proto[i] == 6;
+    const std::uint8_t is_udp = proto[i] == 17;
+    const std::uint8_t is_icmp = proto[i] == 1;
+    out[i] = static_cast<std::uint8_t>((is_tcp & tcp_bs) |
+                                       (is_udp & udp_bs) |
+                                       (is_icmp & icmp_bs));
+  }
+}
+
+std::size_t count_mirai_lanes(const PacketBatch& batch) {
+  const std::size_t n = batch.size();
+  const std::uint8_t* proto = batch.proto();
+  const std::uint32_t* seq = batch.seq();
+  const std::uint32_t* dst = batch.dst();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>((proto[i] == 6) & (seq[i] == dst[i]));
+  }
+  return count;
+}
+
+}  // namespace exiot::net

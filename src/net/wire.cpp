@@ -1,21 +1,9 @@
 #include "net/wire.h"
 
+#include <cstring>
+
 namespace exiot::net {
 namespace {
-
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
-  out.push_back(v);
-}
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
 
 std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
   return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
@@ -25,34 +13,74 @@ std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
          (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
 }
 
-/// Encodes TCP options into 32-bit-aligned option bytes. Order is fixed
-/// (MSS, SACK-permitted, TIMESTAMP, WSCALE, explicit NOPs, SACK marker) so
-/// serialization is deterministic.
-std::vector<std::uint8_t> encode_tcp_options(const TcpOptions& o) {
-  std::vector<std::uint8_t> opt;
+void store_u16(std::uint8_t* b, std::uint16_t v) {
+  b[0] = static_cast<std::uint8_t>(v >> 8);
+  b[1] = static_cast<std::uint8_t>(v);
+}
+void store_u32(std::uint8_t* b, std::uint32_t v) {
+  b[0] = static_cast<std::uint8_t>(v >> 24);
+  b[1] = static_cast<std::uint8_t>(v >> 16);
+  b[2] = static_cast<std::uint8_t>(v >> 8);
+  b[3] = static_cast<std::uint8_t>(v);
+}
+
+/// Unfolded RFC 1071 sum over a byte range (big-endian 16-bit words, odd
+/// tail padded). One's-complement addition is commutative, so partial
+/// sums over header pieces can be combined in any order.
+std::uint32_t ones_sum(const std::uint8_t* b, std::size_t n) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    sum += static_cast<std::uint32_t>((b[i] << 8) | b[i + 1]);
+  }
+  if (i < n) sum += static_cast<std::uint32_t>(b[i] << 8);
+  return sum;
+}
+
+std::uint16_t fold_sum(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+/// Encodes TCP options into `opt` (caller provides >= 24 bytes; the
+/// canonical layout never exceeds that). Order is fixed (MSS,
+/// SACK-permitted, TIMESTAMP, WSCALE, explicit NOPs, SACK marker) so
+/// serialization is deterministic. Returns the padded length.
+std::size_t encode_tcp_options_into(const TcpOptions& o, std::uint8_t* opt) {
+  std::size_t n = 0;
   if (o.mss) {
-    opt.insert(opt.end(), {2, 4, static_cast<std::uint8_t>(*o.mss >> 8),
-                           static_cast<std::uint8_t>(*o.mss)});
+    opt[n++] = 2;
+    opt[n++] = 4;
+    opt[n++] = static_cast<std::uint8_t>(*o.mss >> 8);
+    opt[n++] = static_cast<std::uint8_t>(*o.mss);
   }
-  if (o.sack_permitted) opt.insert(opt.end(), {4, 2});
+  if (o.sack_permitted) {
+    opt[n++] = 4;
+    opt[n++] = 2;
+  }
   if (o.timestamp) {
-    opt.insert(opt.end(), {8, 10});
-    opt.push_back(static_cast<std::uint8_t>(o.ts_val >> 24));
-    opt.push_back(static_cast<std::uint8_t>(o.ts_val >> 16));
-    opt.push_back(static_cast<std::uint8_t>(o.ts_val >> 8));
-    opt.push_back(static_cast<std::uint8_t>(o.ts_val));
+    opt[n++] = 8;
+    opt[n++] = 10;
+    store_u32(opt + n, o.ts_val);
+    n += 4;
     // Echo reply field (zero on probes).
-    opt.insert(opt.end(), {0, 0, 0, 0});
+    store_u32(opt + n, 0);
+    n += 4;
   }
-  if (o.wscale) opt.insert(opt.end(), {3, 3, *o.wscale});
-  if (o.nop) opt.push_back(1);
+  if (o.wscale) {
+    opt[n++] = 3;
+    opt[n++] = 3;
+    opt[n++] = *o.wscale;
+  }
+  if (o.nop) opt[n++] = 1;
   if (o.sack) {
     // A zero-length SACK block marker (kind 5, len 2) — telescope probes
     // carry the flag, not meaningful blocks.
-    opt.insert(opt.end(), {5, 2});
+    opt[n++] = 5;
+    opt[n++] = 2;
   }
-  while (opt.size() % 4 != 0) opt.push_back(0);  // End-of-options padding.
-  return opt;
+  while (n % 4 != 0) opt[n++] = 0;  // End-of-options padding.
+  return n;
 }
 
 Result<TcpOptions> decode_tcp_options(std::span<const std::uint8_t> bytes) {
@@ -97,104 +125,155 @@ Result<TcpOptions> decode_tcp_options(std::span<const std::uint8_t> bytes) {
 }  // namespace
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
-  std::uint32_t sum = 0;
-  std::size_t i = 0;
-  for (; i + 1 < bytes.size(); i += 2) {
-    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
-  }
-  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i] << 8);
-  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
-  return static_cast<std::uint16_t>(~sum);
+  return fold_sum(ones_sum(bytes.data(), bytes.size()));
 }
 
 std::size_t serialize_to(const Packet& pkt, std::vector<std::uint8_t>& out) {
-  const std::size_t start = out.size();
+  // Whole wire image built in one stack buffer: 20 IP + 20 TCP + <= 24
+  // option bytes. No heap allocation on this path — the trace encoder and
+  // the capture writer call it once per packet at telescope rates.
+  std::uint8_t buf[64];
+  std::uint8_t* ip = buf;
+  std::uint8_t* l4 = buf + 20;
+  std::size_t l4_len = 0;
 
-  std::vector<std::uint8_t> l4;
   switch (pkt.proto) {
     case IpProto::kTcp: {
-      auto opts = encode_tcp_options(pkt.opts);
-      const std::uint8_t offset =
-          static_cast<std::uint8_t>(5 + opts.size() / 4);
-      put_u16(l4, pkt.src_port);
-      put_u16(l4, pkt.dst_port);
-      put_u32(l4, pkt.seq);
-      put_u32(l4, pkt.ack);
-      put_u8(l4, static_cast<std::uint8_t>((offset << 4) |
-                                           (pkt.reserved & 0x0F)));
-      put_u8(l4, pkt.flags);
-      put_u16(l4, pkt.window);
-      put_u16(l4, 0);  // Checksum placeholder (needs pseudo-header).
-      put_u16(l4, pkt.urgent);
-      l4.insert(l4.end(), opts.begin(), opts.end());
+      const std::size_t opt_len = encode_tcp_options_into(pkt.opts, l4 + 20);
+      l4_len = 20 + opt_len;
+      const std::uint8_t offset = static_cast<std::uint8_t>(5 + opt_len / 4);
+      store_u16(l4, pkt.src_port);
+      store_u16(l4 + 2, pkt.dst_port);
+      store_u32(l4 + 4, pkt.seq);
+      store_u32(l4 + 8, pkt.ack);
+      l4[12] = static_cast<std::uint8_t>((offset << 4) |
+                                         (pkt.reserved & 0x0F));
+      l4[13] = pkt.flags;
+      store_u16(l4 + 14, pkt.window);
+      store_u16(l4 + 16, 0);  // Checksum placeholder (needs pseudo-header).
+      store_u16(l4 + 18, pkt.urgent);
       break;
     }
     case IpProto::kUdp: {
-      put_u16(l4, pkt.src_port);
-      put_u16(l4, pkt.dst_port);
-      put_u16(l4, static_cast<std::uint16_t>(
-                      pkt.total_length > 20 ? pkt.total_length - 20 : 8));
-      put_u16(l4, 0);
+      l4_len = 8;
+      store_u16(l4, pkt.src_port);
+      store_u16(l4 + 2, pkt.dst_port);
+      store_u16(l4 + 4, static_cast<std::uint16_t>(
+                            pkt.total_length > 20 ? pkt.total_length - 20
+                                                  : 8));
+      store_u16(l4 + 6, 0);
       break;
     }
     case IpProto::kIcmp: {
-      put_u8(l4, pkt.icmp_type_v);
-      put_u8(l4, pkt.icmp_code);
-      put_u16(l4, 0);  // Checksum placeholder.
-      put_u32(l4, 0);  // Rest-of-header.
-      std::uint16_t csum = internet_checksum(l4);
-      l4[2] = static_cast<std::uint8_t>(csum >> 8);
-      l4[3] = static_cast<std::uint8_t>(csum);
+      l4_len = 8;
+      l4[0] = pkt.icmp_type_v;
+      l4[1] = pkt.icmp_code;
+      store_u16(l4 + 2, 0);  // Checksum placeholder.
+      store_u32(l4 + 4, 0);  // Rest-of-header.
+      store_u16(l4 + 2, fold_sum(ones_sum(l4, l4_len)));
       break;
     }
   }
 
-  const std::uint16_t wire_total =
-      static_cast<std::uint16_t>(20 + l4.size());
+  const std::uint16_t wire_total = static_cast<std::uint16_t>(20 + l4_len);
   // The advertised total_length may exceed the wire image (payload elided);
   // keep the larger of the two so decode restores the original field.
   const std::uint16_t advertised =
       pkt.total_length > wire_total ? pkt.total_length : wire_total;
 
-  std::vector<std::uint8_t> ip;
-  put_u8(ip, 0x45);  // Version 4, IHL 5.
-  put_u8(ip, pkt.tos);
-  put_u16(ip, advertised);
-  put_u16(ip, pkt.ip_id);
-  put_u16(ip, 0x4000);  // Don't Fragment, offset 0.
-  put_u8(ip, pkt.ttl);
-  put_u8(ip, static_cast<std::uint8_t>(pkt.proto));
-  put_u16(ip, 0);  // Header checksum placeholder.
-  put_u32(ip, pkt.src.value());
-  put_u32(ip, pkt.dst.value());
-  std::uint16_t csum = internet_checksum(ip);
-  ip[10] = static_cast<std::uint8_t>(csum >> 8);
-  ip[11] = static_cast<std::uint8_t>(csum);
+  ip[0] = 0x45;  // Version 4, IHL 5.
+  ip[1] = pkt.tos;
+  store_u16(ip + 2, advertised);
+  store_u16(ip + 4, pkt.ip_id);
+  store_u16(ip + 6, 0x4000);  // Don't Fragment, offset 0.
+  ip[8] = pkt.ttl;
+  ip[9] = static_cast<std::uint8_t>(pkt.proto);
+  store_u16(ip + 10, 0);  // Header checksum placeholder.
+  store_u32(ip + 12, pkt.src.value());
+  store_u32(ip + 16, pkt.dst.value());
+  store_u16(ip + 10, fold_sum(ones_sum(ip, 20)));
 
-  // TCP checksum over pseudo-header + segment.
+  // TCP/UDP checksum over pseudo-header + segment, summed piecewise (the
+  // one's-complement sum is order-independent, so no pseudo buffer).
   if (pkt.proto == IpProto::kTcp || pkt.proto == IpProto::kUdp) {
-    std::vector<std::uint8_t> pseudo;
-    put_u32(pseudo, pkt.src.value());
-    put_u32(pseudo, pkt.dst.value());
-    put_u8(pseudo, 0);
-    put_u8(pseudo, static_cast<std::uint8_t>(pkt.proto));
-    put_u16(pseudo, static_cast<std::uint16_t>(l4.size()));
-    pseudo.insert(pseudo.end(), l4.begin(), l4.end());
-    std::uint16_t l4sum = internet_checksum(pseudo);
+    std::uint32_t sum = ones_sum(l4, l4_len);
+    sum += (pkt.src.value() >> 16) + (pkt.src.value() & 0xFFFF);
+    sum += (pkt.dst.value() >> 16) + (pkt.dst.value() & 0xFFFF);
+    sum += static_cast<std::uint32_t>(pkt.proto);
+    sum += static_cast<std::uint32_t>(l4_len);
     const std::size_t csum_off = pkt.proto == IpProto::kTcp ? 16 : 6;
-    l4[csum_off] = static_cast<std::uint8_t>(l4sum >> 8);
-    l4[csum_off + 1] = static_cast<std::uint8_t>(l4sum);
+    store_u16(l4 + csum_off, fold_sum(sum));
   }
 
-  out.insert(out.end(), ip.begin(), ip.end());
-  out.insert(out.end(), l4.begin(), l4.end());
-  return out.size() - start;
+  out.insert(out.end(), buf, buf + 20 + l4_len);
+  return 20 + l4_len;
 }
 
 std::vector<std::uint8_t> serialize(const Packet& pkt) {
   std::vector<std::uint8_t> out;
   serialize_to(pkt, out);
   return out;
+}
+
+bool parse_canonical(std::span<const std::uint8_t> bytes, TimeMicros ts,
+                     Packet& out) {
+  // Fixed-layout overlay for the canonical image every encoder in this
+  // codebase emits: IPv4 with IHL 5, then TCP/UDP/ICMP at byte 20. Field
+  // extraction is straight-line; the only loops are the 20-byte checksum
+  // (fixed trip count, vectorizable) and option decoding. Anything
+  // non-canonical — wrong version, IHL != 5, unknown protocol, bad
+  // lengths, checksum or option trouble — returns false and the caller
+  // retries with `parse`, which reproduces the exact error.
+  if (bytes.size() < 28) return false;
+  if (bytes[0] != 0x45) return false;
+  if (fold_sum(ones_sum(bytes.data(), 20)) != 0) return false;
+
+  out = Packet{};
+  out.ts = ts;
+  out.tos = bytes[1];
+  out.total_length = get_u16(bytes, 2);
+  out.ip_id = get_u16(bytes, 4);
+  out.ttl = bytes[8];
+  out.src = Ipv4(get_u32(bytes, 12));
+  out.dst = Ipv4(get_u32(bytes, 16));
+
+  const std::uint8_t proto = bytes[9];
+  auto l4 = bytes.subspan(20);
+  if (proto == 6) {
+    out.proto = IpProto::kTcp;
+    if (l4.size() < 20) return false;
+    out.src_port = get_u16(l4, 0);
+    out.dst_port = get_u16(l4, 2);
+    out.seq = get_u32(l4, 4);
+    out.ack = get_u32(l4, 8);
+    out.data_offset = l4[12] >> 4;
+    out.reserved = l4[12] & 0x0F;
+    out.flags = l4[13];
+    out.window = get_u16(l4, 14);
+    out.urgent = get_u16(l4, 18);
+    const std::size_t hdr_len = std::size_t{out.data_offset} * 4;
+    if (hdr_len < 20 || l4.size() < hdr_len) return false;
+    if (hdr_len > 20) {
+      auto opts = decode_tcp_options(l4.subspan(20, hdr_len - 20));
+      if (!opts.ok()) return false;
+      out.opts = std::move(opts).take();
+    }
+    return true;
+  }
+  if (proto == 17) {
+    out.proto = IpProto::kUdp;
+    // l4.size() >= 8 guaranteed by the 28-byte gate above.
+    out.src_port = get_u16(l4, 0);
+    out.dst_port = get_u16(l4, 2);
+    return true;
+  }
+  if (proto == 1) {
+    out.proto = IpProto::kIcmp;
+    out.icmp_type_v = l4[0];
+    out.icmp_code = l4[1];
+    return true;
+  }
+  return false;
 }
 
 Result<Packet> parse(std::span<const std::uint8_t> bytes, TimeMicros ts) {

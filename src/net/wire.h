@@ -27,6 +27,14 @@ std::size_t serialize_to(const Packet& pkt, std::vector<std::uint8_t>& out);
 /// and the IPv4 checksum.
 Result<Packet> parse(std::span<const std::uint8_t> bytes, TimeMicros ts = 0);
 
+/// Hot-path decode of the canonical wire image (IPv4 IHL=5 + TCP/UDP/ICMP,
+/// the only layout the encoders here emit): fixed header overlay, no
+/// per-packet Result. Fills `out` with exactly what `parse` would yield
+/// and returns true; returns false for anything non-canonical or invalid,
+/// in which case the caller falls back to `parse` for the error detail.
+bool parse_canonical(std::span<const std::uint8_t> bytes, TimeMicros ts,
+                     Packet& out);
+
 /// RFC 1071 Internet checksum over a byte range.
 std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
 

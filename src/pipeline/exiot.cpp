@@ -12,7 +12,11 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                              const inet::WorldModel& world,
                              PipelineConfig config)
     : population_(population),
-      config_(config),
+      config_([&config] {
+        PipelineConfig c = config;
+        c.decode_batch_size = std::max<std::size_t>(1, c.decode_batch_size);
+        return c;
+      }()),
       tracer_(obs::TracerConfig{config.trace_sample,
                                 config.trace_ring_capacity},
               &metrics_),
@@ -389,9 +393,13 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
   for (std::int64_t hour = first_hour; hour < last_hour; ++hour) {
     const TimeMicros start = hour * kMicrosPerHour;
     const TimeMicros end = start + kMicrosPerHour;
-    ingest_.run_hour(
-        [this, start, end](const ThreadedIngest::PacketFn& fn) {
-          return producer_.emit(start, end, fn);
+    // The hour moves through capture->detect in SoA batches: the producer
+    // synthesizes straight into PacketBatch rows and the ingest stage
+    // filters each batch with one backscatter sweep (see net/batch.h).
+    ingest_.run_hour_batched(
+        [this, start, end](const ThreadedIngest::BatchFn& fn) {
+          return producer_.emit_batches(start, end,
+                                        config_.decode_batch_size, fn);
         },
         end);
 

@@ -117,85 +117,152 @@ std::size_t ThreadedIngest::run_single(const PacketSource& source) {
   });
 }
 
+void ThreadedIngest::consume_shard(std::size_t s, bool tracing_on) {
+  Shard* sp = shards_[s].get();
+  auto heartbeat = obs::Watchdog::attach(
+      watchdog_, "ingest:" + std::to_string(s));
+  while (true) {
+    heartbeat.idle();  // Blocked on an empty buffer is not a stall.
+    auto batch = sp->buffer->pop();
+    heartbeat.busy();
+    if (!batch.has_value()) break;
+    if (tracing_on) {
+      // Stamp every batch, not just sampled ones: the kDetect spans
+      // rooted inside detector->process() need the pop time and the
+      // enqueue->dequeue gap of whatever batch they fire from.
+      sp->batch_pop_micros = obs::steady_micros();
+      const std::uint64_t handoff = batch->trace.handoff_micros;
+      sp->batch_wait_micros =
+          handoff != 0 && sp->batch_pop_micros > handoff
+              ? sp->batch_pop_micros - handoff
+              : 0;
+    }
+    if (!batch->pkts.empty()) {
+      sp->detector->process_batch(batch->pkts, batch->seqs.data(),
+                                  &sp->current_seq);
+    }
+    for (SeqPacket& item : batch->items) {
+      sp->current_seq = item.seq;
+      sp->detector->process(item.pkt);
+    }
+    if (batch->trace.sampled()) {
+      const std::uint64_t now = obs::steady_micros();
+      tracer_->record(batch->trace, obs::SpanStage::kIngest,
+                      sp->batch_pop_micros,
+                      now - sp->batch_pop_micros,
+                      sp->batch_wait_micros, 0, batch->seq);
+    }
+    heartbeat.beat();
+  }
+  sp->batch_pop_micros = 0;
+  sp->batch_wait_micros = 0;
+  heartbeat.retire();
+}
+
+void ThreadedIngest::push_to_shard(std::size_t s, Batch&& batch,
+                                   bool tracing) {
+  Shard& shard = *shards_[s];
+  batch.seq = ++shard.batch_seq;
+  if (tracing) {
+    batch.trace = tracer_->maybe_trace(obs::Tracer::record_key(
+        static_cast<std::uint32_t>(s),
+        static_cast<std::int64_t>(batch.seq)));
+    // Stamped even when unsampled: detect spans rooted inside this
+    // batch still want its queue-wait attribution.
+    batch.trace.handoff_micros = obs::steady_micros();
+  }
+  (void)shard.buffer->push(std::move(batch));
+  batches_c_->inc();
+}
+
 std::size_t ThreadedIngest::run_threaded(const PacketSource& source) {
   const std::size_t n = shards_.size();
   for (auto& shard : shards_) shard->buffer->reopen();
 
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   std::vector<std::thread> consumers;
   consumers.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
-    const bool tracing_on = tracer_ != nullptr && tracer_->enabled();
-    consumers.emplace_back([this, s, sp = shards_[s].get(), tracing_on] {
-      auto heartbeat = obs::Watchdog::attach(
-          watchdog_, "ingest:" + std::to_string(s));
-      while (true) {
-        heartbeat.idle();  // Blocked on an empty buffer is not a stall.
-        auto batch = sp->buffer->pop();
-        heartbeat.busy();
-        if (!batch.has_value()) break;
-        if (tracing_on) {
-          // Stamp every batch, not just sampled ones: the kDetect spans
-          // rooted inside detector->process() need the pop time and the
-          // enqueue->dequeue gap of whatever batch they fire from.
-          sp->batch_pop_micros = obs::steady_micros();
-          const std::uint64_t handoff = batch->trace.handoff_micros;
-          sp->batch_wait_micros =
-              handoff != 0 && sp->batch_pop_micros > handoff
-                  ? sp->batch_pop_micros - handoff
-                  : 0;
-        }
-        for (SeqPacket& item : batch->items) {
-          sp->current_seq = item.seq;
-          sp->detector->process(item.pkt);
-        }
-        if (batch->trace.sampled()) {
-          const std::uint64_t now = obs::steady_micros();
-          tracer_->record(batch->trace, obs::SpanStage::kIngest,
-                          sp->batch_pop_micros,
-                          now - sp->batch_pop_micros,
-                          sp->batch_wait_micros, 0, batch->seq);
-        }
-        heartbeat.beat();
-      }
-      sp->batch_pop_micros = 0;
-      sp->batch_wait_micros = 0;
-      heartbeat.retire();
-    });
+    consumers.emplace_back([this, s, tracing] { consume_shard(s, tracing); });
   }
 
   // The calling thread is the producer: route each packet to its shard's
   // open batch, flushing full batches into the blocking buffer (a full
   // buffer back-pressures us here instead of dropping).
-  const bool tracing = tracer_ != nullptr && tracer_->enabled();
-  auto flush = [this, tracing](std::size_t s, Batch&& batch) {
-    Shard& shard = *shards_[s];
-    batch.seq = ++shard.batch_seq;
-    if (tracing) {
-      batch.trace = tracer_->maybe_trace(obs::Tracer::record_key(
-          static_cast<std::uint32_t>(s),
-          static_cast<std::int64_t>(batch.seq)));
-      // Stamped even when unsampled: detect spans rooted inside this
-      // batch still want its queue-wait attribution.
-      batch.trace.handoff_micros = obs::steady_micros();
-    }
-    (void)shard.buffer->push(std::move(batch));
-    batches_c_->inc();
-  };
   std::vector<Batch> open(n);
   for (auto& batch : open) batch.items.reserve(config_.batch_size);
   const std::size_t count =
-      source([this, &open, &flush](const net::Packet& pkt) {
+      source([this, &open, tracing](const net::Packet& pkt) {
         const std::size_t s = shard_of(pkt.src);
         Batch& batch = open[s];
         batch.items.push_back(SeqPacket{pkt, seq_++});
         if (batch.items.size() >= config_.batch_size) {
-          flush(s, std::move(batch));
+          push_to_shard(s, std::move(batch), tracing);
           batch = Batch();
           batch.items.reserve(config_.batch_size);
         }
       });
   for (std::size_t s = 0; s < n; ++s) {
-    if (!open[s].items.empty()) flush(s, std::move(open[s]));
+    if (!open[s].items.empty()) {
+      push_to_shard(s, std::move(open[s]), tracing);
+    }
+    shards_[s]->buffer->close();
+  }
+  for (auto& t : consumers) t.join();
+  return count;
+}
+
+std::size_t ThreadedIngest::run_single_batched(const BatchSource& source) {
+  Shard& shard = *shards_[0];
+  return source([this, &shard](const net::PacketBatch& batch) {
+    const std::size_t n = batch.size();
+    lane_seqs_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) lane_seqs_[i] = seq_++;
+    shard.detector->process_batch(batch, lane_seqs_.data(),
+                                  &shard.current_seq);
+  });
+}
+
+std::size_t ThreadedIngest::run_threaded_batched(const BatchSource& source) {
+  const std::size_t n = shards_.size();
+  for (auto& shard : shards_) shard->buffer->reopen();
+
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  std::vector<std::thread> consumers;
+  consumers.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    consumers.emplace_back([this, s, tracing] { consume_shard(s, tracing); });
+  }
+
+  // Producer: scatter each source batch's rows into per-shard open SoA
+  // batches (rows keep their global arrival sequence in the parallel
+  // `seqs` lane), flushing full ones into the blocking buffers.
+  std::vector<Batch> open(n);
+  for (auto& batch : open) {
+    batch.pkts.reserve(config_.batch_size);
+    batch.seqs.reserve(config_.batch_size);
+  }
+  const std::size_t count =
+      source([this, &open, tracing](const net::PacketBatch& in) {
+        const std::size_t m = in.size();
+        const std::uint32_t* src = in.src();
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::size_t s = shard_of(Ipv4(src[i]));
+          Batch& batch = open[s];
+          batch.pkts.push_back(in[i]);
+          batch.seqs.push_back(seq_++);
+          if (batch.pkts.size() >= config_.batch_size) {
+            push_to_shard(s, std::move(batch), tracing);
+            batch = Batch();
+            batch.pkts.reserve(config_.batch_size);
+            batch.seqs.reserve(config_.batch_size);
+          }
+        }
+      });
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!open[s].pkts.empty()) {
+      push_to_shard(s, std::move(open[s]), tracing);
+    }
     shards_[s]->buffer->close();
   }
   for (auto& t : consumers) t.join();
@@ -209,6 +276,20 @@ std::size_t ThreadedIngest::run_hour(const PacketSource& source,
   packets_c_->inc(count);
   // Hour barrier: the shards are quiescent now. Expiry events sort after
   // every packet of the hour (they all share seq_ == packets so far).
+  for (auto& shard : shards_) {
+    shard->current_seq = seq_;
+    shard->detector->end_of_hour(hour_end);
+  }
+  drain();
+  return count;
+}
+
+std::size_t ThreadedIngest::run_hour_batched(const BatchSource& source,
+                                             TimeMicros hour_end) {
+  const std::size_t count = config_.num_shards == 1
+                                ? run_single_batched(source)
+                                : run_threaded_batched(source);
+  packets_c_->inc(count);
   for (auto& shard : shards_) {
     shard->current_seq = seq_;
     shard->detector->end_of_hour(hour_end);

@@ -59,6 +59,13 @@ class ThreadedIngest {
   /// order, returning the number of packets emitted.
   using PacketSource = std::function<std::size_t(const PacketFn&)>;
 
+  using BatchFn = std::function<void(const net::PacketBatch&)>;
+  /// A batched packet source: invokes the callback once per SoA batch
+  /// (rows in non-decreasing timestamp order across calls), returning the
+  /// total number of packets emitted. The callback borrows the batch only
+  /// for the duration of the call.
+  using BatchSource = std::function<std::size_t(const BatchFn&)>;
+
   /// `sink` receives the merged detector events; its callbacks run on the
   /// thread calling run_hour()/finish(), never concurrently.
   ThreadedIngest(IngestConfig config, flow::DetectorConfig detector_config,
@@ -76,6 +83,12 @@ class ThreadedIngest {
   /// expiry sweep at `hour_end`, and replays all detector events into the
   /// sink before returning. Returns the number of packets processed.
   std::size_t run_hour(const PacketSource& source, TimeMicros hour_end);
+
+  /// Batched run_hour: same contract and byte-identical outputs, but the
+  /// hour moves through the stage in SoA batches — one std::function call
+  /// and one backscatter sweep per batch instead of per packet.
+  std::size_t run_hour_batched(const BatchSource& source,
+                               TimeMicros hour_end);
 
   /// End of deployment: flushes every shard (END_FLOW for all detected
   /// flows, final partial reports) and replays the events into the sink.
@@ -96,7 +109,9 @@ class ThreadedIngest {
   /// keyed by shard x batch ordinal) times the enqueue->dequeue gap the
   /// batch spent waiting for its detector shard.
   struct Batch {
-    std::vector<SeqPacket> items;
+    std::vector<SeqPacket> items;  // Scalar path.
+    net::PacketBatch pkts;         // Batched path (items stays empty).
+    std::vector<std::uint64_t> seqs;  // Parallel to pkts rows.
     obs::TraceContext trace;
     std::uint64_t seq = 0;  // Per-shard batch ordinal.
   };
@@ -135,6 +150,12 @@ class ThreadedIngest {
   std::size_t shard_of(Ipv4 src) const;
   std::size_t run_single(const PacketSource& source);
   std::size_t run_threaded(const PacketSource& source);
+  std::size_t run_single_batched(const BatchSource& source);
+  std::size_t run_threaded_batched(const BatchSource& source);
+  /// Consumer-side loop shared by run_threaded / run_threaded_batched.
+  void consume_shard(std::size_t s, bool tracing_on);
+  /// Stamps trace context / batch ordinal and pushes into a shard buffer.
+  void push_to_shard(std::size_t s, Batch&& batch, bool tracing);
   /// Merges and replays all shards' queued events/reports into the sink.
   void drain();
 
@@ -144,6 +165,7 @@ class ThreadedIngest {
   obs::Watchdog* watchdog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t seq_ = 0;
+  std::vector<std::uint64_t> lane_seqs_;  // run_single_batched scratch.
   obs::Counter* packets_c_;
   obs::Counter* batches_c_;
   obs::Counter* events_c_;

@@ -63,13 +63,15 @@ void HostStream::advance() {
 
 void HostStream::fill_packet(TimeMicros ts, net::Packet& out) {
   if (synth_.has_value()) {
-    out = synth_->make_probe(ts);
+    synth_->make_probe_into(ts, out);
     return;
   }
 
   // Full reset: the output slot is reused across streams, so every field
-  // must be written (or defaulted) here.
-  out = net::Packet{};
+  // must be written (or defaulted) here. Same one-copy reset idiom as
+  // PacketSynthesizer::make_probe_into.
+  static const net::Packet kZero{};
+  out = kZero;
   net::Packet& p = out;
   p.ts = ts;
   p.src = host_.addr;

@@ -51,13 +51,19 @@ TraceEncoder::TraceEncoder() {
 void TraceEncoder::add(const net::Packet& pkt) {
   put_varint(buffer_, zigzag(pkt.ts - last_ts_));
   last_ts_ = pkt.ts;
-  std::vector<std::uint8_t> wire = net::serialize(pkt);
-  put_varint(buffer_, wire.size());
-  buffer_.insert(buffer_.end(), wire.begin(), wire.end());
+  scratch_.clear();
+  const std::size_t wire_len = net::serialize_to(pkt, scratch_);
+  put_varint(buffer_, wire_len);
+  buffer_.insert(buffer_.end(), scratch_.begin(), scratch_.end());
   ++count_;
 }
 
 std::vector<std::uint8_t> TraceEncoder::finish() {
+  // End-of-stream marker: a zero delta and a zero length. No real record
+  // can have length 0 (the minimum wire image is 28 bytes), so decoders
+  // can tell a complete stream from a torn tail.
+  put_varint(buffer_, 0);
+  put_varint(buffer_, 0);
   std::vector<std::uint8_t> out = std::move(buffer_);
   buffer_.assign(std::begin(kMagic), std::end(kMagic));
   last_ts_ = 0;
@@ -73,25 +79,49 @@ TraceDecoder::TraceDecoder(std::vector<std::uint8_t> bytes)
   if (!valid_) last_error_ = "bad trace magic";
 }
 
-bool TraceDecoder::next(net::Packet& out) {
-  if (!valid_ || pos_ >= bytes_.size()) return false;
+int TraceDecoder::next_record(TimeMicros* ts,
+                              std::span<const std::uint8_t>* body) {
+  if (!valid_ || finished_) return 0;
+  if (pos_ >= bytes_.size()) {
+    // The stream just stops — even exactly on a record boundary this is a
+    // torn tail (the writer died before sealing), same as the WAL.
+    last_error_ = "truncated trace tail: missing end-of-stream marker";
+    valid_ = false;
+    return -1;
+  }
   std::uint64_t delta_zz = 0;
   std::uint64_t len = 0;
   if (!get_varint(bytes_, pos_, delta_zz) ||
       !get_varint(bytes_, pos_, len)) {
     last_error_ = "truncated record header";
     valid_ = false;
-    return false;
+    return -1;
+  }
+  if (len == 0) {
+    finished_ = true;
+    if (pos_ < bytes_.size()) {
+      last_error_ = "trailing bytes after end-of-stream marker";
+      valid_ = false;
+      return -1;
+    }
+    return 0;
   }
   if (pos_ + len > bytes_.size()) {
     last_error_ = "truncated packet body";
     valid_ = false;
-    return false;
+    return -1;
   }
-  TimeMicros ts = last_ts_ + unzigzag(delta_zz);
-  auto parsed = net::parse(
-      std::span<const std::uint8_t>(bytes_.data() + pos_, len), ts);
+  *ts = last_ts_ + unzigzag(delta_zz);
+  *body = std::span<const std::uint8_t>(bytes_.data() + pos_, len);
   pos_ += len;
+  return 1;
+}
+
+bool TraceDecoder::next(net::Packet& out) {
+  TimeMicros ts = 0;
+  std::span<const std::uint8_t> body;
+  if (next_record(&ts, &body) <= 0) return false;
+  auto parsed = net::parse(body, ts);
   if (!parsed.ok()) {
     last_error_ = parsed.error().message;
     valid_ = false;
@@ -100,6 +130,35 @@ bool TraceDecoder::next(net::Packet& out) {
   last_ts_ = ts;
   out = std::move(parsed).take();
   return true;
+}
+
+std::size_t TraceDecoder::next_batch(net::PacketBatch& batch,
+                                     std::size_t max) {
+  std::size_t n = 0;
+  TimeMicros ts = 0;
+  std::span<const std::uint8_t> body;
+  while (n < max) {
+    if (next_record(&ts, &body) <= 0) break;
+    net::Packet& slot = batch.append_slot();
+    if (net::parse_canonical(body, ts, slot)) {
+      batch.commit_back();
+    } else {
+      // Non-canonical or invalid record: the scalar parse either accepts
+      // it (unusual but well-formed image) or produces the exact error
+      // text `next` would.
+      batch.abandon_back();
+      auto parsed = net::parse(body, ts);
+      if (!parsed.ok()) {
+        last_error_ = parsed.error().message;
+        valid_ = false;
+        break;
+      }
+      batch.push_back(std::move(parsed).take());
+    }
+    last_ts_ = ts;
+    ++n;
+  }
+  return n;
 }
 
 HourlyTraceWriter::HourlyTraceWriter(std::filesystem::path dir)

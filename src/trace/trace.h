@@ -2,6 +2,14 @@
 // libtrace + CAIDA's hourly compressed captures play in the paper. Records
 // are framed with varint-delta timestamps (a light, dependency-free
 // compression that exploits the near-monotone arrival clock).
+//
+// Stream framing: 4-byte magic, then per-record [zigzag-varint ts delta]
+// [varint wire length][wire bytes], terminated by an end-of-stream marker
+// (varint 0, varint 0 — a record length of 0 is impossible, the minimum
+// wire image is 28 bytes). The marker gives truncation the same semantics
+// the WAL's torn-tail handling has: a stream that simply stops — even
+// exactly on a record boundary — is a hard decode error, not a silent
+// short read; only a stream closing with the marker is complete.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "net/batch.h"
 #include "net/packet.h"
 
 namespace exiot::trace {
@@ -20,17 +29,20 @@ class TraceEncoder {
  public:
   TraceEncoder();
 
-  /// Appends one packet (wire-serialized) to the stream.
+  /// Appends one packet (wire-serialized into a reused scratch buffer; no
+  /// per-packet allocation) to the stream.
   void add(const net::Packet& pkt);
 
   const std::vector<std::uint8_t>& bytes() const { return buffer_; }
   std::size_t packet_count() const { return count_; }
 
-  /// Releases the encoded stream and resets the encoder.
+  /// Appends the end-of-stream marker, releases the encoded stream, and
+  /// resets the encoder.
   std::vector<std::uint8_t> finish();
 
  private:
   std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> scratch_;
   TimeMicros last_ts_ = 0;
   std::size_t count_ = 0;
 };
@@ -44,16 +56,33 @@ class TraceDecoder {
   bool valid() const { return valid_; }
 
   /// Decodes the next packet into `out`. Returns false at end of stream.
-  /// Decode errors surface through `last_error()` and also end the stream.
+  /// Decode errors — including a stream that ends without the
+  /// end-of-stream marker (torn tail) — surface through `last_error()`
+  /// and also end the stream.
   bool next(net::Packet& out);
+
+  /// Batched decode: appends up to `max` packets to `batch` and returns
+  /// the number appended (0 at end of stream or on error; errors surface
+  /// through last_error()). The happy path overlays the canonical fixed
+  /// header layout with no per-packet Result; non-canonical or corrupt
+  /// records fall back to the scalar parse so the error text — and the
+  /// accept/reject decision — match `next` exactly.
+  std::size_t next_batch(net::PacketBatch& batch, std::size_t max);
 
   const std::string& last_error() const { return last_error_; }
 
  private:
+  /// Reads one record header + body span. Returns:
+  ///  1 — record available (*ts/*body set),
+  ///  0 — clean end of stream (marker seen, no trailing bytes),
+  /// -1 — error (last_error_ set, stream invalidated).
+  int next_record(TimeMicros* ts, std::span<const std::uint8_t>* body);
+
   std::vector<std::uint8_t> bytes_;
   std::size_t pos_ = 0;
   TimeMicros last_ts_ = 0;
   bool valid_ = false;
+  bool finished_ = false;  // End-of-stream marker consumed.
   std::string last_error_;
 };
 
@@ -87,7 +116,7 @@ class HourlyTraceWriter {
 };
 
 /// Reads one hour file and invokes `fn` per packet. Returns the packet
-/// count, or an error if the file is missing/corrupt.
+/// count, or an error if the file is missing/corrupt/torn.
 Result<std::size_t> read_trace_file(
     const std::filesystem::path& file,
     const std::function<void(const net::Packet&)>& fn);

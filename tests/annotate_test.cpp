@@ -163,7 +163,8 @@ struct RunOutput {
 
 /// Full pipeline run over the small deterministic population; returns
 /// every externally visible artifact for byte comparison.
-RunOutput run_pipeline(int annotate_workers, int producers, int shards) {
+RunOutput run_pipeline(int annotate_workers, int producers, int shards,
+                       int batch_size = 512) {
   inet::PopulationConfig config;
   config.iot_per_day = 30;
   config.generic_per_day = 20;
@@ -180,6 +181,7 @@ RunOutput run_pipeline(int annotate_workers, int producers, int shards) {
   pipe_config.buffer_capacity = 8;
   pipe_config.ingest_batch_size = 64;
   pipe_config.num_annotate_workers = annotate_workers;
+  pipe_config.decode_batch_size = static_cast<std::size_t>(batch_size);
   pipe_config.annotate_queue_capacity = 8;  // Small: back-pressure on submit.
   ExIotPipeline pipe(population, world, pipe_config);
   pipe.run_days(0, 1);
@@ -213,16 +215,18 @@ TEST(AnnotateDeterminismTest, OutputInvariantAcrossWorkerMatrix) {
   const RunOutput baseline = run_pipeline(1, 1, 1);
   EXPECT_GT(baseline.stats.records_published, 0u);
   EXPECT_FALSE(baseline.outbox.empty());
-  // Workers x producers x shards: every externally visible artifact —
-  // feed export, outbox, and API bodies — must be byte-identical to the
-  // fully serial run.
-  for (const auto& [workers, producers, shards] :
-       {std::tuple{1, 2, 2}, std::tuple{2, 2, 2}, std::tuple{4, 2, 2},
-        std::tuple{8, 2, 2}}) {
-    const RunOutput run = run_pipeline(workers, producers, shards);
+  // Workers x producers x shards x decode batch size: every externally
+  // visible artifact — feed export, outbox, and API bodies — must be
+  // byte-identical to the fully serial run. The batch dimension pins the
+  // SoA hot path: batching is an execution detail, never a semantic one.
+  for (const auto& [workers, producers, shards, batch] :
+       {std::tuple{1, 2, 2, 512}, std::tuple{2, 2, 2, 512},
+        std::tuple{4, 2, 2, 64}, std::tuple{8, 2, 2, 1024},
+        std::tuple{1, 1, 1, 1}, std::tuple{2, 2, 2, 1}}) {
+    const RunOutput run = run_pipeline(workers, producers, shards, batch);
     EXPECT_EQ(baseline.feed, run.feed)
         << "workers=" << workers << " producers=" << producers
-        << " shards=" << shards;
+        << " shards=" << shards << " batch=" << batch;
     EXPECT_EQ(baseline.outbox, run.outbox) << "workers=" << workers;
     EXPECT_EQ(baseline.records_api, run.records_api)
         << "workers=" << workers;

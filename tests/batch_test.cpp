@@ -1,0 +1,588 @@
+// Equivalence fuzz suite for the batched SoA hot path: every batched
+// routine must reproduce its scalar counterpart exactly — same packets,
+// same error strings, same events, bit-identical scores — across batch
+// sizes {1, 7, 64, 1024}. The batched code is an optimization, never a
+// semantic fork; these tests pin that contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "flow/detector.h"
+#include "ml/forest.h"
+#include "net/batch.h"
+#include "net/wire.h"
+#include "telescope/synthesizer.h"
+#include "trace/trace.h"
+
+namespace exiot {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 7, 64, 1024};
+
+// Random packet covering every lane the batch filters read: all three
+// protocols, backscatter and probe flag combinations, Mirai seq==dst hits,
+// reply-port UDP sources, the ICMP reply types.
+net::Packet random_packet(Rng& rng, TimeMicros ts) {
+  net::Packet p;
+  p.ts = ts;
+  p.src = Ipv4(static_cast<std::uint32_t>(rng.next_u64()));
+  p.dst = Ipv4(static_cast<std::uint32_t>(rng.next_u64()));
+  p.ttl = static_cast<std::uint8_t>(1 + rng.next_below(255));
+  p.tos = static_cast<std::uint8_t>(rng.next_below(256));
+  p.ip_id = static_cast<std::uint16_t>(rng.next_u64());
+  p.total_length = static_cast<std::uint16_t>(64 + rng.next_below(1000));
+  switch (rng.next_below(3)) {
+    case 0: {
+      p.proto = net::IpProto::kTcp;
+      p.src_port = static_cast<std::uint16_t>(rng.next_u64());
+      p.dst_port = static_cast<std::uint16_t>(rng.next_u64());
+      // Half the TCP packets carry the Mirai telltale.
+      p.seq = rng.bernoulli(0.5) ? p.dst.value()
+                                 : static_cast<std::uint32_t>(rng.next_u64());
+      p.ack = static_cast<std::uint32_t>(rng.next_u64());
+      static constexpr std::uint8_t kFlagMenu[] = {
+          net::tcp_flags::kSyn,
+          net::tcp_flags::kSyn | net::tcp_flags::kAck,
+          net::tcp_flags::kRst,
+          net::tcp_flags::kRst | net::tcp_flags::kAck,
+          net::tcp_flags::kAck,
+          net::tcp_flags::kFin | net::tcp_flags::kPsh,
+          0,
+      };
+      p.flags = kFlagMenu[rng.next_below(std::size(kFlagMenu))];
+      p.window = static_cast<std::uint16_t>(rng.next_u64());
+      if (rng.bernoulli(0.4)) p.opts.mss = 1460;
+      if (rng.bernoulli(0.3)) p.opts.wscale = 7;
+      if (rng.bernoulli(0.3)) {
+        p.opts.timestamp = true;
+        p.opts.ts_val = static_cast<std::uint32_t>(rng.next_u64());
+      }
+      if (rng.bernoulli(0.3)) p.opts.nop = true;
+      // Keep the header self-consistent so the wire image round-trips
+      // exactly: data_offset covers the padded option bytes.
+      std::size_t opt_len = 0;
+      if (p.opts.mss) opt_len += 4;
+      if (p.opts.sack_permitted) opt_len += 2;
+      if (p.opts.timestamp) opt_len += 10;
+      if (p.opts.wscale) opt_len += 3;
+      if (p.opts.nop) opt_len += 1;
+      if (p.opts.sack) opt_len += 2;
+      opt_len = (opt_len + 3) / 4 * 4;
+      p.data_offset = static_cast<std::uint8_t>(5 + opt_len / 4);
+      break;
+    }
+    case 1: {
+      p.proto = net::IpProto::kUdp;
+      static constexpr std::uint16_t kSrcMenu[] = {53, 123, 161, 40000, 5};
+      p.src_port = kSrcMenu[rng.next_below(std::size(kSrcMenu))];
+      p.dst_port = static_cast<std::uint16_t>(rng.next_u64());
+      break;
+    }
+    default: {
+      p.proto = net::IpProto::kIcmp;
+      static constexpr std::uint8_t kTypeMenu[] = {0, 3, 8, 11, 13};
+      p.icmp_type_v = kTypeMenu[rng.next_below(std::size(kTypeMenu))];
+      p.icmp_code = static_cast<std::uint8_t>(rng.next_below(16));
+      break;
+    }
+  }
+  return p;
+}
+
+std::vector<net::Packet> random_packets(Rng& rng, std::size_t n) {
+  std::vector<net::Packet> pkts;
+  pkts.reserve(n);
+  TimeMicros ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += rng.next_below(2000);
+    pkts.push_back(random_packet(rng, ts));
+  }
+  return pkts;
+}
+
+TEST(BatchLanes, LanesMirrorTheBackingRows) {
+  Rng rng(2101);
+  net::PacketBatch batch;
+  const auto pkts = random_packets(rng, 777);
+  for (const auto& p : pkts) batch.push_back(p);
+  ASSERT_EQ(batch.size(), pkts.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], pkts[i]);
+    EXPECT_EQ(batch.ts()[i], pkts[i].ts);
+    EXPECT_EQ(batch.src()[i], pkts[i].src.value());
+    EXPECT_EQ(batch.dst()[i], pkts[i].dst.value());
+    EXPECT_EQ(batch.seq()[i], pkts[i].seq);
+    EXPECT_EQ(batch.src_port()[i], pkts[i].src_port);
+    EXPECT_EQ(batch.dst_port()[i], pkts[i].dst_port);
+    EXPECT_EQ(batch.total_length()[i], pkts[i].total_length);
+    EXPECT_EQ(batch.proto()[i], static_cast<std::uint8_t>(pkts[i].proto));
+    EXPECT_EQ(batch.flags()[i], pkts[i].flags);
+    EXPECT_EQ(batch.icmp_type()[i], pkts[i].icmp_type_v);
+  }
+}
+
+TEST(BatchLanes, BackscatterMaskMatchesScalarPredicate) {
+  Rng rng(2103);
+  net::PacketBatch batch;
+  for (const auto& p : random_packets(rng, 4096)) batch.push_back(p);
+  std::vector<std::uint8_t> mask(batch.size());
+  net::backscatter_mask(batch, mask.data());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(mask[i] != 0, net::is_backscatter(batch[i]))
+        << "lane " << i << ": " << batch[i].summary();
+  }
+}
+
+TEST(BatchLanes, MiraiLaneCountMatchesScalarPredicate) {
+  Rng rng(2105);
+  net::PacketBatch batch;
+  for (const auto& p : random_packets(rng, 4096)) batch.push_back(p);
+  std::size_t scalar = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const net::Packet& p = batch[i];
+    scalar += p.proto == net::IpProto::kTcp && p.seq == p.dst.value();
+  }
+  EXPECT_EQ(net::count_mirai_lanes(batch), scalar);
+  EXPECT_GT(scalar, 0u);  // The generator must actually exercise the hit.
+}
+
+TEST(WireBatch, CanonicalParseAcceptsEveryEncoderImage) {
+  // Everything our encoder emits is canonical (IHL 5, known protocol,
+  // valid checksum): the fast path must take all of it, with fields
+  // identical to the scalar parse.
+  Rng rng(2107);
+  for (const auto& p : random_packets(rng, 2000)) {
+    const auto bytes = net::serialize(p);
+    net::Packet fast;
+    ASSERT_TRUE(net::parse_canonical(bytes, p.ts, fast)) << p.summary();
+    auto slow = net::parse(bytes, p.ts);
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast, slow.value());
+    EXPECT_EQ(fast, p);
+  }
+}
+
+TEST(WireBatch, CanonicalParseAgreesWithParseOnMutatedImages) {
+  // Bit-flip fuzz: whenever the fast path accepts an image, the scalar
+  // parse must accept it too and decode the same fields (the converse is
+  // allowed — non-canonical accepts fall back to `parse` in the decoder).
+  Rng rng(2109);
+  net::Packet seed_pkt = net::make_syn(5, Ipv4(1, 2, 3, 4), Ipv4(44, 5, 6, 7),
+                                       40000, 23, 0xDEADBEEF);
+  seed_pkt.opts.mss = 1460;
+  seed_pkt.opts.timestamp = true;
+  const auto clean = net::serialize(seed_pkt);
+  std::size_t accepted = 0;
+  for (int round = 0; round < 4000; ++round) {
+    auto bytes = clean;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.next_below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    net::Packet fast;
+    if (!net::parse_canonical(bytes, 5, fast)) continue;
+    ++accepted;
+    auto slow = net::parse(bytes, 5);
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast, slow.value());
+  }
+  EXPECT_GT(accepted, 0u);  // Flips outside the checksummed IP header.
+}
+
+// Decodes a full stream with the scalar next() loop.
+struct ScalarDecode {
+  std::vector<net::Packet> pkts;
+  std::string error;
+};
+
+ScalarDecode decode_scalar(std::vector<std::uint8_t> bytes) {
+  ScalarDecode out;
+  trace::TraceDecoder dec(std::move(bytes));
+  net::Packet p;
+  while (dec.next(p)) out.pkts.push_back(p);
+  out.error = dec.last_error();
+  return out;
+}
+
+ScalarDecode decode_batched(std::vector<std::uint8_t> bytes,
+                            std::size_t batch_size) {
+  ScalarDecode out;
+  trace::TraceDecoder dec(std::move(bytes));
+  net::PacketBatch batch;
+  while (true) {
+    batch.clear();
+    const std::size_t n = dec.next_batch(batch, batch_size);
+    if (n == 0) break;
+    EXPECT_EQ(n, batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out.pkts.push_back(batch[i]);
+    }
+  }
+  out.error = dec.last_error();
+  return out;
+}
+
+TEST(TraceBatch, NextBatchMatchesScalarOnCleanStreams) {
+  Rng rng(2111);
+  const auto pkts = random_packets(rng, 3000);
+  const auto bytes = trace::encode_packets(pkts);
+  const ScalarDecode scalar = decode_scalar(bytes);
+  ASSERT_EQ(scalar.pkts, pkts);
+  ASSERT_TRUE(scalar.error.empty()) << scalar.error;
+  for (const std::size_t bs : kBatchSizes) {
+    const ScalarDecode batched = decode_batched(bytes, bs);
+    EXPECT_EQ(batched.pkts, scalar.pkts) << "batch size " << bs;
+    EXPECT_EQ(batched.error, scalar.error) << "batch size " << bs;
+  }
+}
+
+TEST(TraceBatch, NextBatchMatchesScalarOnCorruptStreams) {
+  Rng rng(2113);
+  const auto pkts = random_packets(rng, 80);
+  const auto clean = trace::encode_packets(pkts);
+  for (int round = 0; round < 400; ++round) {
+    auto bytes = clean;
+    const std::size_t edits = 1 + rng.next_below(6);
+    for (std::size_t e = 0; e < edits; ++e) {
+      bytes[rng.next_below(bytes.size())] =
+          static_cast<std::uint8_t>(rng.next_u64());
+    }
+    const ScalarDecode scalar = decode_scalar(bytes);
+    const std::size_t bs = kBatchSizes[static_cast<std::size_t>(round) %
+                                       std::size(kBatchSizes)];
+    const ScalarDecode batched = decode_batched(bytes, bs);
+    EXPECT_EQ(batched.pkts, scalar.pkts) << "round " << round;
+    EXPECT_EQ(batched.error, scalar.error) << "round " << round;
+  }
+}
+
+TEST(TraceBatch, NextBatchMatchesScalarOnTruncatedStreams) {
+  Rng rng(2115);
+  const auto pkts = random_packets(rng, 40);
+  const auto clean = trace::encode_packets(pkts);
+  for (std::size_t cut = 0; cut < clean.size(); ++cut) {
+    std::vector<std::uint8_t> bytes(clean.begin(),
+                                    clean.begin() +
+                                        static_cast<std::ptrdiff_t>(cut));
+    const ScalarDecode scalar = decode_scalar(bytes);
+    const std::size_t bs = kBatchSizes[cut % std::size(kBatchSizes)];
+    const ScalarDecode batched = decode_batched(bytes, bs);
+    EXPECT_EQ(batched.pkts, scalar.pkts) << "cut at " << cut;
+    EXPECT_EQ(batched.error, scalar.error) << "cut at " << cut;
+    // A truncated stream is never a clean end: the marker is missing.
+    EXPECT_FALSE(scalar.error.empty()) << "cut at " << cut;
+  }
+}
+
+TEST(TraceTornTail, StreamEndingOnRecordBoundaryIsHardError) {
+  // Mirrors the WAL's torn-tail semantics: a stream cut exactly between
+  // records — every byte of every record intact, only the end-of-stream
+  // marker gone — must be a decode error, not a silent short read.
+  Rng rng(2117);
+  const auto pkts = random_packets(rng, 10);
+  auto bytes = trace::encode_packets(pkts);
+  bytes.resize(bytes.size() - 2);  // Strip the {0x00, 0x00} marker.
+  const ScalarDecode scalar = decode_scalar(bytes);
+  EXPECT_EQ(scalar.pkts, pkts);  // All records still decode...
+  EXPECT_NE(scalar.error.find("end-of-stream marker"), std::string::npos)
+      << scalar.error;  // ...but the stream as a whole is torn.
+  auto decoded = trace::decode_packets(bytes);
+  EXPECT_FALSE(decoded.ok());
+  for (const std::size_t bs : kBatchSizes) {
+    const ScalarDecode batched = decode_batched(bytes, bs);
+    EXPECT_EQ(batched.pkts, scalar.pkts);
+    EXPECT_EQ(batched.error, scalar.error);
+  }
+}
+
+TEST(TraceTornTail, TrailingBytesAfterMarkerAreAnError) {
+  Rng rng(2119);
+  const auto pkts = random_packets(rng, 5);
+  auto bytes = trace::encode_packets(pkts);
+  bytes.push_back(0x17);
+  const ScalarDecode scalar = decode_scalar(bytes);
+  EXPECT_EQ(scalar.pkts, pkts);
+  EXPECT_NE(scalar.error.find("trailing bytes"), std::string::npos)
+      << scalar.error;
+  const ScalarDecode batched = decode_batched(bytes, 64);
+  EXPECT_EQ(batched.pkts, scalar.pkts);
+  EXPECT_EQ(batched.error, scalar.error);
+}
+
+TEST(TraceTornTail, MagicOnlyStreamIsTorn) {
+  // Four magic bytes and nothing else: before the marker rework this was
+  // indistinguishable from an empty stream; now only magic + marker is.
+  auto complete = trace::encode_packets({});
+  ASSERT_EQ(complete.size(), 6u);  // 4 magic + 2 marker.
+  std::vector<std::uint8_t> torn(complete.begin(), complete.begin() + 4);
+  const ScalarDecode scalar = decode_scalar(torn);
+  EXPECT_TRUE(scalar.pkts.empty());
+  EXPECT_FALSE(scalar.error.empty());
+  const ScalarDecode ok = decode_scalar(complete);
+  EXPECT_TRUE(ok.pkts.empty());
+  EXPECT_TRUE(ok.error.empty()) << ok.error;
+}
+
+// --- Flow detector: batched path must replay the scalar decision
+// sequence, events included. ---
+
+// Serializes every detector event into a log line so two runs can be
+// compared as plain string vectors.
+flow::DetectorEvents recording_events(std::vector<std::string>& log,
+                                      const std::uint64_t* cursor) {
+  flow::DetectorEvents ev;
+  ev.on_scanner = [&log, cursor](const flow::FlowSummary& s) {
+    log.push_back("scanner src=" + std::to_string(s.src.value()) +
+                  " first=" + std::to_string(s.first_seen) +
+                  " detect=" + std::to_string(s.detect_time) +
+                  " pkts=" + std::to_string(s.total_packets) +
+                  " seq=" + std::to_string(*cursor));
+  };
+  ev.on_sample = [&log, cursor](Ipv4 src,
+                                const std::vector<net::Packet>& sample) {
+    std::string line = "sample src=" + std::to_string(src.value()) +
+                       " n=" + std::to_string(sample.size()) +
+                       " seq=" + std::to_string(*cursor);
+    for (const auto& p : sample) line += " " + std::to_string(p.ts);
+    log.push_back(std::move(line));
+  };
+  ev.on_flow_end = [&log](const flow::FlowSummary& s) {
+    log.push_back("end src=" + std::to_string(s.src.value()) +
+                  " last=" + std::to_string(s.last_seen) +
+                  " pkts=" + std::to_string(s.total_packets));
+  };
+  ev.on_report = [&log](const flow::SecondReport& r) {
+    std::string line = "report t=" + std::to_string(r.second_start) +
+                       " total=" + std::to_string(r.total) +
+                       " tcp=" + std::to_string(r.tcp) +
+                       " udp=" + std::to_string(r.udp) +
+                       " icmp=" + std::to_string(r.icmp) +
+                       " bs=" + std::to_string(r.backscatter_filtered) +
+                       " new=" + std::to_string(r.new_scanners);
+    std::vector<std::pair<std::uint16_t, std::uint64_t>> ports(
+        r.per_port.begin(), r.per_port.end());
+    std::sort(ports.begin(), ports.end());
+    for (const auto& [port, count] : ports) {
+      line += " p" + std::to_string(port) + "=" + std::to_string(count);
+    }
+    log.push_back(std::move(line));
+  };
+  return ev;
+}
+
+// A stream that drives sources across the scan thresholds: scanners
+// probing once a second for minutes, noise sources, and backscatter.
+std::vector<net::Packet> detector_stream(Rng& rng) {
+  std::vector<net::Packet> pkts;
+  for (int s = 0; s < 240; ++s) {
+    const TimeMicros ts = static_cast<TimeMicros>(s) * kMicrosPerSecond;
+    // Three persistent scanners (cross the 100-packet / 1-minute bar).
+    for (int h = 0; h < 3; ++h) {
+      net::Packet p = net::make_syn(
+          ts + static_cast<TimeMicros>(h), Ipv4(10, 0, 0, 10 + h),
+          Ipv4(44, 0, static_cast<std::uint8_t>(s), 1), 4000,
+          h == 0 ? 23 : 2323, 7 + static_cast<std::uint32_t>(h));
+      pkts.push_back(p);
+    }
+    // Random clutter: other sources, protocols, backscatter.
+    const std::size_t clutter = rng.next_below(4);
+    for (std::size_t c = 0; c < clutter; ++c) {
+      pkts.push_back(
+          random_packet(rng, ts + 1000 + static_cast<TimeMicros>(c)));
+    }
+  }
+  return pkts;
+}
+
+TEST(FlowBatch, ProcessBatchMatchesScalar) {
+  Rng rng(2121);
+  const auto pkts = detector_stream(rng);
+  const std::vector<std::uint16_t> report_ports = {23, 2323, 80};
+
+  flow::DetectorConfig config;
+  config.sample_count = 20;  // Complete samples inside the stream.
+
+  // Scalar reference: one process() call per packet, with the sequence
+  // cursor advanced exactly as the ingest shard does.
+  std::vector<std::string> scalar_log;
+  std::uint64_t scalar_cursor = 0;
+  flow::FlowDetector scalar(config, recording_events(scalar_log,
+                                                     &scalar_cursor),
+                            report_ports);
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    scalar_cursor = 1000 + i;
+    scalar.process(pkts[i]);
+  }
+  scalar.end_of_hour(pkts.back().ts + kMicrosPerHour + 1);
+  scalar.finish();
+  ASSERT_GT(scalar.stats().scanners_detected, 0u);
+  ASSERT_GT(scalar.stats().backscatter_filtered, 0u);
+  ASSERT_GT(scalar.stats().samples_completed, 0u);
+
+  for (const std::size_t bs : kBatchSizes) {
+    std::vector<std::string> batch_log;
+    std::uint64_t batch_cursor = 0;
+    flow::FlowDetector batched(config, recording_events(batch_log,
+                                                        &batch_cursor),
+                               report_ports);
+    net::PacketBatch batch;
+    std::vector<std::uint64_t> lane_seqs;
+    for (std::size_t i = 0; i < pkts.size(); i += bs) {
+      batch.clear();
+      lane_seqs.clear();
+      const std::size_t end = std::min(pkts.size(), i + bs);
+      for (std::size_t j = i; j < end; ++j) {
+        batch.push_back(pkts[j]);
+        lane_seqs.push_back(1000 + j);
+      }
+      batched.process_batch(batch, lane_seqs.data(), &batch_cursor);
+    }
+    batched.end_of_hour(pkts.back().ts + kMicrosPerHour + 1);
+    batched.finish();
+
+    EXPECT_EQ(batch_log, scalar_log) << "batch size " << bs;
+    EXPECT_EQ(batched.stats().packets_processed,
+              scalar.stats().packets_processed);
+    EXPECT_EQ(batched.stats().backscatter_filtered,
+              scalar.stats().backscatter_filtered);
+    EXPECT_EQ(batched.stats().scanners_detected,
+              scalar.stats().scanners_detected);
+    EXPECT_EQ(batched.stats().samples_completed,
+              scalar.stats().samples_completed);
+    EXPECT_EQ(batched.stats().flows_ended, scalar.stats().flows_ended);
+    EXPECT_EQ(batched.stats().pending_resets,
+              scalar.stats().pending_resets);
+  }
+}
+
+// --- Forest inference: batched scores must be bit-identical. ---
+
+ml::Dataset synthetic_dataset(Rng& rng, std::size_t n, std::size_t width) {
+  ml::Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::FeatureVector row(width);
+    for (auto& v : row) v = rng.next_double();
+    const int label = row[0] + row[width / 2] > 1.0 ? 1 : 0;
+    data.add(std::move(row), label);
+  }
+  return data;
+}
+
+TEST(ForestBatch, BatchedForestScoresBitIdentical) {
+  Rng rng(2123);
+  const ml::Dataset data = synthetic_dataset(rng, 400, 8);
+  ml::ForestParams params;
+  params.num_trees = 20;
+  params.tree.max_depth = 8;
+  params.train_threads = 1;
+  const ml::RandomForest forest = ml::RandomForest::train(data, params, 99);
+
+  for (const std::size_t bs : kBatchSizes) {
+    std::vector<ml::FeatureVector> rows;
+    for (std::size_t i = 0; i < bs; ++i) {
+      ml::FeatureVector row(8);
+      for (auto& v : row) v = rng.next_double() * 2.0;
+      rows.push_back(std::move(row));
+    }
+    const std::vector<double> batched = forest.predict_scores(rows);
+    ASSERT_EQ(batched.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      // EXPECT_EQ, not NEAR: the tree-outer accumulation keeps the exact
+      // floating-point operation order of the scalar walk.
+      EXPECT_EQ(batched[i], forest.predict_score(rows[i]))
+          << "batch size " << bs << " row " << i;
+    }
+  }
+}
+
+TEST(ForestBatch, BatchedTreeScoresBitIdentical) {
+  Rng rng(2125);
+  const ml::Dataset data = synthetic_dataset(rng, 300, 6);
+  ml::TreeParams params;
+  params.max_depth = 10;
+  Rng tree_rng(7);
+  const ml::DecisionTree tree = ml::DecisionTree::train(data, params,
+                                                        tree_rng);
+  ASSERT_GT(tree.node_count(), 1);
+
+  std::vector<ml::FeatureVector> rows;
+  for (std::size_t i = 0; i < 1027; ++i) {  // Odd size: exercises the tail.
+    ml::FeatureVector row(6);
+    for (auto& v : row) v = rng.next_double() * 2.0;
+    rows.push_back(std::move(row));
+  }
+  const std::vector<double> batched = tree.predict_scores(rows);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batched[i], tree.predict_score(rows[i])) << "row " << i;
+  }
+}
+
+// The batched synthesizer swaps the scalar merge's binary heap for a
+// tournament tree; this pins that both structures emit the byte-identical
+// packet sequence, at every batch size, across window boundaries.
+TEST(SynthBatch, EmitBatchesMatchesScalarEmit) {
+  const Cidr scope(Ipv4(44, 0, 0, 0), 8);
+  inet::PopulationConfig config;
+  config.days = 1;
+  config.iot_per_day = 30;
+  config.generic_per_day = 80;
+  config.benign_per_day = 3;
+  config.misconfig_per_day = 15;
+  config.victims_per_day = 5;
+  const inet::WorldModel world = inet::WorldModel::standard(scope);
+  const inet::Population pop = inet::Population::generate(config, world);
+
+  telescope::TrafficSynthesizer scalar(pop, scope);
+  std::vector<std::vector<std::uint8_t>> want;
+  for (TimeMicros hour = 0; hour < 2; ++hour) {
+    scalar.emit(hour * kMicrosPerHour, (hour + 1) * kMicrosPerHour,
+                [&](const net::Packet& p) {
+                  want.push_back(net::serialize(p));
+                });
+  }
+  ASSERT_GT(want.size(), 1000u);
+
+  for (const std::size_t batch_size : kBatchSizes) {
+    telescope::TrafficSynthesizer batched(pop, scope);
+    std::vector<std::vector<std::uint8_t>> got;
+    for (TimeMicros hour = 0; hour < 2; ++hour) {
+      batched.emit_batches(hour * kMicrosPerHour,
+                           (hour + 1) * kMicrosPerHour, batch_size,
+                           [&](const net::PacketBatch& batch) {
+                             for (std::size_t i = 0; i < batch.size(); ++i) {
+                               got.push_back(net::serialize(batch[i]));
+                             }
+                           });
+    }
+    ASSERT_EQ(got.size(), want.size()) << "batch_size=" << batch_size;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << "batch_size=" << batch_size << " packet " << i;
+    }
+  }
+}
+
+TEST(ForestBatch, DegenerateModelsScoreBatches) {
+  std::vector<ml::FeatureVector> rows(17, ml::FeatureVector(4, 0.5));
+  // Empty forest: 0.5 everywhere, same as predict_score.
+  const ml::RandomForest empty = ml::RandomForest::from_trees({});
+  for (const double s : empty.predict_scores(rows)) EXPECT_EQ(s, 0.5);
+  // Single-leaf tree (pure training set): constant score, no walk.
+  ml::Dataset pure;
+  for (int i = 0; i < 10; ++i) pure.add(ml::FeatureVector(4, 0.1), 1);
+  Rng rng(3);
+  const ml::DecisionTree leaf = ml::DecisionTree::train(pure, {}, rng);
+  EXPECT_EQ(leaf.node_count(), 1);
+  for (const double s : leaf.predict_scores(rows)) {
+    EXPECT_EQ(s, leaf.predict_score(rows[0]));
+  }
+}
+
+}  // namespace
+}  // namespace exiot

@@ -8,7 +8,7 @@
 //       telescope statistics.
 //   exiotctl simulate  [--scale S] [--days N] [--seed N]
 //                      [--producers N] [--shards N] [--buffer N]
-//                      [--annotate-workers N]
+//                      [--batch-size N] [--annotate-workers N]
 //                      [--trace-sample R] [--watchdog-deadline MS]
 //                      [--data-dir DIR] [--wal-segment-bytes N]
 //                      [--snapshot-interval H] [--wal-fsync none|roll|always]
@@ -19,7 +19,9 @@
 //       --annotate-workers annotates/classifies records on N workers with
 //       an ordered reorder commit (output is identical for any producers
 //       x shards x annotate-workers combination); --buffer sets the
-//       per-shard capture buffer capacity in batches. --trace-sample
+//       per-shard capture buffer capacity in batches and --batch-size the
+//       rows per SoA decode batch on the capture->detect hot path (any
+//       value yields the identical feed). --trace-sample
 //       span-traces that fraction of records/batches end to end and
 //       --watchdog-deadline arms the stall watchdog (neither changes the
 //       feed bytes). --data-dir makes the run crash-safe: every ordered
@@ -163,6 +165,9 @@ void apply_pipeline_flags(const Args& args,
   config.num_annotate_workers = args.get_positive_int("--annotate-workers", 1);
   config.buffer_capacity =
       static_cast<std::size_t>(args.get_positive_int("--buffer", 64));
+  config.decode_batch_size = static_cast<std::size_t>(
+      args.get_positive_int("--batch-size",
+                            static_cast<int>(config.decode_batch_size)));
   config.trace_sample = args.get_double("--trace-sample", 0.0);
   config.watchdog_deadline =
       std::chrono::milliseconds(args.get_int("--watchdog-deadline", 0));
