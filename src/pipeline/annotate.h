@@ -65,6 +65,10 @@ struct AnnotateJob {
   TimeMicros sample_ready_at = 0;
   bool ended = false;  // END_FLOW arrived before publication.
   TimeMicros end_ts = 0;
+  /// Per-sensor attribution, copied out of the federation ledger on the
+  /// driver thread at submit time so workers never touch shared state.
+  /// Empty in the single-telescope configuration.
+  std::vector<feed::SensorSighting> sightings;
   /// Record trace (sampled at detection); content-neutral metadata only.
   obs::TraceContext trace;
 };

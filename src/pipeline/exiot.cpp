@@ -77,8 +77,8 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                     pending.trace = tracer_.maybe_trace(
                         obs::Tracer::record_key(summary.src.value(),
                                                 summary.detect_time));
-                    const TimeMicros at =
-                        tunnel_.deliver(processing_time(summary.detect_time));
+                    const TimeMicros at = federation_.deliver_event(
+                        summary.src, processing_time(summary.detect_time));
                     handle_probe_outcomes(
                         scan_module_.submit(summary.src, at));
                   },
@@ -87,8 +87,8 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                     auto it = pending_.find(src.value());
                     if (it == pending_.end()) return;
                     PendingRecord& pending = it->second;
-                    pending.sample_ready_at = tunnel_.deliver(
-                        processing_time(pkts.back().ts));
+                    pending.sample_ready_at = federation_.deliver_event(
+                        src, processing_time(pkts.back().ts));
                     auto bundle = organizer_.organize(src, pkts);
                     if (!bundle.has_value()) {
                       pending.dropped = true;
@@ -101,9 +101,9 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
                   },
               .on_flow_end =
                   [this](const flow::FlowSummary& summary) {
-                    const TimeMicros at = tunnel_.deliver(
-                        processing_time(summary.last_seen) +
-                        config_.processing_per_hour);
+                    const TimeMicros at = federation_.deliver_event(
+                        summary.src, processing_time(summary.last_seen) +
+                                         config_.processing_per_hour);
                     auto it = pending_.find(summary.src.value());
                     if (it != pending_.end()) {
                       // Record not yet published: fold the end into it so
@@ -141,7 +141,9 @@ ExIotPipeline::ExIotPipeline(const inet::Population& population,
       notifications_([this](const feed::EmailMessage& message) {
         outbox_.push_back(message);
       }),
-      tunnel_(seconds(5), &metrics_),
+      federation_(FederationConfig{config.telescope, config.num_sites,
+                                   config.active_sites, config.site_specs},
+                  &metrics_),
       annotate_(
           AnnotateStageConfig{config.num_annotate_workers,
                               config.annotate_queue_capacity},
@@ -274,6 +276,9 @@ void ExIotPipeline::publish_record(PendingRecord& pending) {
   job.sample_ready_at = pending.sample_ready_at;
   job.ended = pending.ended;
   job.end_ts = pending.end_ts;
+  // Attribution is copied here, on the driver thread, so annotate workers
+  // never read the federation ledger concurrently with a demux pass.
+  job.sightings = federation_.sightings_of(pending.summary.src);
   job.trace = pending.trace;
   const std::uint32_t key = pending.summary.src.value();
   annotate_.submit(std::move(job));
@@ -368,6 +373,8 @@ AnnotateResult ExIotPipeline::annotate_job(const AnnotateJob& job) const {
 
   record.active = !job.ended;
   record.scan_end = job.ended ? job.end_ts : 0;
+  // In-memory vantage metadata; never serialized (see feed/record.h).
+  record.sightings = job.sightings;
   return out;
 }
 
@@ -394,12 +401,18 @@ void ExIotPipeline::run_hours(std::int64_t first_hour,
     const TimeMicros start = hour * kMicrosPerHour;
     const TimeMicros end = start + kMicrosPerHour;
     // The hour moves through capture->detect in SoA batches: the producer
-    // synthesizes straight into PacketBatch rows and the ingest stage
+    // synthesizes straight into PacketBatch rows, the federation stage
+    // demuxes each batch across the sensor sites and re-merges the active
+    // apertures (a pass-through at num_sites == 1), and the ingest stage
     // filters each batch with one backscatter sweep (see net/batch.h).
     ingest_.run_hour_batched(
         [this, start, end](const ThreadedIngest::BatchFn& fn) {
-          return producer_.emit_batches(start, end,
-                                        config_.decode_batch_size, fn);
+          return federation_.run_window(
+              [this, start, end](const FederationStage::BatchFn& inner) {
+                return producer_.emit_batches(
+                    start, end, config_.decode_batch_size, inner);
+              },
+              fn);
         },
         end);
 

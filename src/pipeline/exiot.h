@@ -33,6 +33,7 @@
 #include "obs/watchdog.h"
 #include "pipeline/annotate.h"
 #include "pipeline/durability.h"
+#include "pipeline/federation.h"
 #include "pipeline/ingest.h"
 #include "pipeline/organizer.h"
 #include "pipeline/producer.h"
@@ -111,6 +112,18 @@ struct PipelineConfig {
   store::WalFsync wal_fsync = store::WalFsync::kOnRoll;
   /// Hours between compacted snapshots (0 = only the final one).
   int snapshot_interval_hours = 24;
+  /// Telescope federation: sensor sites the aperture is carved into
+  /// (power of two; 1 = the single-telescope legacy path). The merged
+  /// feed is byte-identical for any site count — see pipeline/federation.h.
+  /// CLI: `exiotctl --sites`.
+  int num_sites = 1;
+  /// Sites actually capturing (first k of the partition; 0 = all). Fewer
+  /// active sites shrink the effective aperture without changing the
+  /// canonical traffic — the marginal-aperture experiment's knob.
+  int active_sites = 0;
+  /// Per-site clock skew / tunnel outages, index-matched to the sites
+  /// (missing entries take the SiteSpec defaults).
+  std::vector<SiteSpec> site_specs;
 };
 
 /// Legacy counter view, assembled on demand from the metrics registry —
@@ -152,7 +165,13 @@ class ExIotPipeline {
   feed::NotificationEngine& notifications() { return notifications_; }
   /// Emails generated by the notification engine (simulated SMTP sink).
   const std::vector<feed::EmailMessage>& outbox() const { return outbox_; }
-  ReconnectingTunnel& tunnel() { return tunnel_; }
+  /// Site 0's tunnel — the whole tunnel in the single-telescope legacy
+  /// configuration (the common test hook for outage injection).
+  ReconnectingTunnel& tunnel() { return federation_.tunnel(0); }
+  /// The federation stage: per-site apertures, tunnels, and the
+  /// per-sensor sighting ledger.
+  FederationStage& federation() { return federation_; }
+  const FederationStage& federation() const { return federation_; }
   /// Legacy counters, assembled from the registry (see PipelineStats).
   PipelineStats stats() const;
   /// The pipeline-wide metrics registry: every stage and store records
@@ -259,7 +278,7 @@ class ExIotPipeline {
   feed::FeedManager feed_;
   std::vector<feed::EmailMessage> outbox_;
   feed::NotificationEngine notifications_;
-  ReconnectingTunnel tunnel_;
+  FederationStage federation_;
   ReportStore reports_;
   /// Declared after the feed/trainer/outbox state it snapshots and before
   /// annotate_, whose committer thread calls into it; constructed (and

@@ -1,0 +1,139 @@
+#include "pipeline/federation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exiot::pipeline {
+
+FederationStage::FederationStage(FederationConfig config,
+                                 obs::MetricsRegistry* metrics)
+    : config_(config) {
+  assert(telescope::is_power_of_two(config_.num_sites));
+  active_ = config_.active_sites <= 0
+                ? config_.num_sites
+                : std::min(config_.active_sites, config_.num_sites);
+
+  const std::vector<Cidr> apertures =
+      telescope::partition_aperture(config_.telescope, config_.num_sites);
+  int bits = 0;
+  while ((1 << bits) < config_.num_sites) ++bits;
+  site_shift_ = static_cast<std::uint32_t>(
+      32 - config_.telescope.prefix_len() - bits);
+
+  obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : obs::scratch_registry();
+  const bool federated = config_.num_sites > 1;
+  for (int i = 0; i < config_.num_sites; ++i) {
+    SiteSpec spec =
+        static_cast<std::size_t>(i) < config_.sites.size()
+            ? config_.sites[static_cast<std::size_t>(i)]
+            : SiteSpec{};
+    telescope::SiteInfo info;
+    info.name = "site" + std::to_string(i);
+    info.aperture = apertures[static_cast<std::size_t>(i)];
+    info.clock_skew = spec.clock_skew;
+    sites_.push_back(info);
+    // A single-site federation keeps the legacy unlabelled tunnel series;
+    // real federations label every tunnel metric with its site.
+    tunnels_.push_back(std::make_unique<ReconnectingTunnel>(
+        spec.reconnect_delay, metrics, federated ? info.name : ""));
+    for (const auto& [from, to] : spec.outages) {
+      tunnels_.back()->schedule_outage(from, to);
+    }
+    packets_c_.push_back(&reg.counter(
+        "exiot_federation_packets_total",
+        "Packets captured per sensor site's aperture.",
+        obs::Labels{{"site", info.name}}));
+  }
+  sightings_.reset(static_cast<std::size_t>(config_.num_sites));
+  merge_.assign(static_cast<std::size_t>(config_.num_sites));
+  site_counts_.assign(static_cast<std::size_t>(config_.num_sites), 0);
+  dropped_c_ = &reg.counter(
+      "exiot_federation_dropped_total",
+      "Packets landing in dark (inactive) site apertures, dropped.");
+  sites_g_ = &reg.gauge("exiot_federation_active_sites",
+                        "Sensor sites currently capturing.");
+  multi_sensor_g_ = &reg.gauge(
+      "exiot_federation_multi_sensor_sources",
+      "Distinct sources sighted by two or more sensors (deduped into one "
+      "feed record each).");
+  sites_g_->set(static_cast<double>(active_));
+}
+
+std::size_t FederationStage::run_window(const BatchSource& source,
+                                        const BatchFn& sink) {
+  if (config_.num_sites == 1) {
+    // Legacy single-telescope path: the one site is the whole aperture —
+    // forward batches untouched, keep the hot path free of bookkeeping.
+    return source(sink);
+  }
+  std::size_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  source([&](const net::PacketBatch& batch) {
+    const std::size_t n = batch.size();
+    const TimeMicros* ts = batch.ts();
+    const std::uint32_t* src = batch.src();
+    const std::uint32_t* dst = batch.dst();
+    std::fill(site_counts_.begin(), site_counts_.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t site = site_of(dst[i]);
+      if (site >= static_cast<std::size_t>(active_)) {
+        ++dropped;
+        continue;  // Dark aperture: nobody is listening there.
+      }
+      ++site_counts_[site];
+      sightings_.record(src[i], static_cast<std::uint32_t>(site), ts[i],
+                        ts[i] + sites_[site].clock_skew);
+      merge_.queue(site).push_back(
+          telescope::SiteRow{batch[i], static_cast<std::uint32_t>(i)});
+    }
+    for (std::size_t s = 0; s < site_counts_.size(); ++s) {
+      if (site_counts_[s] != 0) packets_c_[s]->inc(site_counts_[s]);
+    }
+    // Arrival batches are canonically ordered, so every queued row of
+    // this batch precedes every row of the next: the merge drains fully
+    // here (the batch boundary is the watermark) and the row index is a
+    // collision-free tie-break.
+    out_.clear();
+    merge_.drain([this](const telescope::SiteRow& row, std::size_t) {
+      out_.push_back(row.pkt);
+    });
+    if (!out_.empty()) {
+      forwarded += out_.size();
+      sink(static_cast<const net::PacketBatch&>(out_));
+    }
+  });
+  if (dropped != 0) dropped_c_->inc(dropped);
+  multi_sensor_g_->set(
+      static_cast<double>(sightings_.multi_sensor_sources()));
+  return forwarded;
+}
+
+TimeMicros FederationStage::deliver_event(Ipv4 src, TimeMicros sent_at) {
+  if (config_.num_sites == 1) return tunnels_[0]->deliver(sent_at);
+  const auto sighted = sightings_.sightings_of(src.value());
+  if (sighted.empty()) return tunnels_[0]->deliver(sent_at);
+  TimeMicros at = sent_at;
+  for (const auto& s : sighted) {
+    at = std::max(at, tunnels_[s.site]->deliver(sent_at));
+  }
+  return at;
+}
+
+std::vector<feed::SensorSighting> FederationStage::sightings_of(
+    Ipv4 src) const {
+  std::vector<feed::SensorSighting> out;
+  if (config_.num_sites == 1) return out;
+  for (const auto& s : sightings_.sightings_of(src.value())) {
+    feed::SensorSighting sighting;
+    sighting.sensor = sites_[s.site].name;
+    sighting.aperture = sites_[s.site].aperture.to_string();
+    sighting.first_seen = s.first_seen;
+    sighting.local_first_seen = s.local_first_seen;
+    sighting.packets = s.packets;
+    out.push_back(std::move(sighting));
+  }
+  return out;
+}
+
+}  // namespace exiot::pipeline

@@ -1,0 +1,132 @@
+// The telescope federation stage: N sensor sites, each monitoring one
+// sub-prefix of the telescope aperture through its own reconnecting
+// tunnel and its own (possibly skewed) clock, aggregated into the single
+// deterministic packet stream the sharded ingest consumes.
+//
+// Placement: between the producer (canonical traffic synthesis against
+// the full aperture) and the threaded ingest. Each canonical SoA batch is
+// demultiplexed by destination into per-site slices — a site captures
+// exactly the packets landing in its sub-prefix — sightings are recorded
+// per (source, site), dark (inactive) sites drop their slice, and the
+// active slices are re-merged by canonical arrival time through the same
+// tournament tree the host merge uses (telescope::FederatedMerge). The
+// union of all active sites reconstructs the canonical stream exactly, so
+// the merged feed is byte-identical for any site count — the federation
+// determinism matrix (tests/federation_test.cpp) asserts it against the
+// producers x shards x annotate-workers grid.
+//
+// Clock skew: a site's local timestamp is canonical + skew. Skew colors
+// the per-sensor attribution (local_first_seen) but never the merge order
+// — the aggregator sorts on the canonical clock, the way the real one
+// would after skew normalization — so the feed is skew-invariant.
+//
+// Detector events (SCANNER / SAMPLE / END_FLOW) ship to the aggregator
+// over the tunnel of every site that sighted the source; the event is
+// actionable once the last sighted site's copy arrives (max of the
+// per-site delivery times). With one site this degenerates to the legacy
+// single-tunnel behavior exactly.
+//
+// Single-site fast path: num_sites == 1 forwards batches untouched — no
+// demux, no sighting bookkeeping, no merge — so the legacy pipeline pays
+// nothing for the federation layer existing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "feed/record.h"
+#include "net/batch.h"
+#include "obs/metrics.h"
+#include "pipeline/tunnel.h"
+#include "telescope/site.h"
+
+namespace exiot::pipeline {
+
+/// Per-site configuration overrides (index-matched to sites; missing
+/// entries take the defaults).
+struct SiteSpec {
+  /// Site clock minus canonical clock (local_first_seen = canonical +
+  /// skew). Never affects merge order or feed bytes.
+  TimeMicros clock_skew = 0;
+  /// This site's tunnel re-establishment delay after an outage.
+  TimeMicros reconnect_delay = seconds(5);
+  /// Tunnel outages [from, to) to inject at construction.
+  std::vector<std::pair<TimeMicros, TimeMicros>> outages;
+};
+
+struct FederationConfig {
+  /// The full telescope prefix the canonical synthesis runs against.
+  Cidr telescope{Ipv4(44, 0, 0, 0), 8};
+  /// Sensor sites the aperture is carved into (power of two; 1 = the
+  /// single-telescope legacy path).
+  int num_sites = 1;
+  /// Sites actually capturing (first `active_sites` of the partition;
+  /// 0 = all). Fewer active sites shrink the effective aperture — the
+  /// marginal-aperture experiment's knob (bench_federation).
+  int active_sites = 0;
+  /// Per-site overrides, index-matched.
+  std::vector<SiteSpec> sites;
+};
+
+class FederationStage {
+ public:
+  using BatchFn = std::function<void(const net::PacketBatch&)>;
+  using BatchSource = std::function<std::size_t(const BatchFn&)>;
+
+  FederationStage(FederationConfig config,
+                  obs::MetricsRegistry* metrics = nullptr);
+
+  /// Streams one window: pulls canonical batches from `source`, demuxes
+  /// them across the sites, and forwards the re-merged (active-aperture)
+  /// stream to `sink`. Returns the number of packets forwarded.
+  std::size_t run_window(const BatchSource& source, const BatchFn& sink);
+
+  /// Delivery time of a detector event about `src` sent at `sent_at`: the
+  /// event crosses the tunnel of every site that sighted the source and is
+  /// actionable when the last copy lands. Sources without sightings (the
+  /// single-site fast path, pre-capture queries) use site 0's tunnel —
+  /// identical to the legacy single-tunnel pipeline.
+  TimeMicros deliver_event(Ipv4 src, TimeMicros sent_at);
+
+  /// Per-sensor attribution of `src`: which sites captured it, each
+  /// site's first-seen on the canonical and the site-local clock, and the
+  /// per-aperture packet counts. Empty on the single-site fast path.
+  std::vector<feed::SensorSighting> sightings_of(Ipv4 src) const;
+
+  ReconnectingTunnel& tunnel(std::size_t site = 0) {
+    return *tunnels_[site];
+  }
+  int num_sites() const { return config_.num_sites; }
+  int active_sites() const { return active_; }
+  const telescope::SiteInfo& site(std::size_t i) const { return sites_[i]; }
+  const telescope::SightingTable& sighting_table() const {
+    return sightings_;
+  }
+
+ private:
+  /// Which site's aperture `dst` lands in (a shift — apertures are equal
+  /// consecutive power-of-two slices of the telescope prefix).
+  std::size_t site_of(std::uint32_t dst) const {
+    return (dst - config_.telescope.network().value()) >> site_shift_;
+  }
+
+  FederationConfig config_;
+  int active_ = 1;
+  std::uint32_t site_shift_ = 32;
+  std::vector<telescope::SiteInfo> sites_;
+  std::vector<std::unique_ptr<ReconnectingTunnel>> tunnels_;
+  telescope::SightingTable sightings_;
+  telescope::FederatedMerge merge_;
+  net::PacketBatch out_;                    // Re-merge scratch, reused.
+  std::vector<std::uint64_t> site_counts_;  // Per-batch metric scratch.
+  std::vector<obs::Counter*> packets_c_;    // Per-site captured packets.
+  obs::Counter* dropped_c_;
+  obs::Gauge* sites_g_;
+  obs::Gauge* multi_sensor_g_;
+};
+
+}  // namespace exiot::pipeline

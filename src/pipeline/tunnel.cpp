@@ -5,82 +5,101 @@
 namespace exiot::pipeline {
 
 ReconnectingTunnel::ReconnectingTunnel(TimeMicros reconnect_delay,
-                                       obs::MetricsRegistry* metrics)
+                                       obs::MetricsRegistry* metrics,
+                                       const std::string& site)
     : reconnect_delay_(reconnect_delay) {
   obs::MetricsRegistry& reg =
       metrics != nullptr ? *metrics : obs::scratch_registry();
+  obs::Labels direct{{"status", "direct"}};
+  obs::Labels delayed{{"status", "delayed"}};
+  obs::Labels plain;
+  if (!site.empty()) {
+    direct.emplace_back("site", site);
+    delayed.emplace_back("site", site);
+    plain.emplace_back("site", site);
+  }
   direct_c_ = &reg.counter("exiot_tunnel_messages_total",
                            "Messages through the CAIDA-to-feed tunnel.",
-                           {{"status", "direct"}});
+                           direct);
   delayed_c_ = &reg.counter("exiot_tunnel_messages_total",
                             "Messages through the CAIDA-to-feed tunnel.",
-                            {{"status", "delayed"}});
+                            delayed);
   reconnects_c_ = &reg.counter(
       "exiot_tunnel_reconnects_total",
       "Tunnel re-establishments a delivery had to wait through "
-      "(one per outage crossed, cascades included).");
+      "(one per outage crossed, cascades included).",
+      plain);
   delay_h_ = &reg.histogram(
       "exiot_tunnel_delay_seconds",
       "Virtual queueing delay added by outages (delayed messages only).",
-      obs::virtual_latency_buckets());
+      obs::virtual_latency_buckets(), plain);
 }
 
 void ReconnectingTunnel::schedule_outage(TimeMicros from, TimeMicros to) {
   if (to <= from) return;
-  outages_.push_back({from, to});
-  std::sort(outages_.begin(), outages_.end(),
-            [](const Outage& a, const Outage& b) { return a.from < b.from; });
+  // Fold every overlapping or touching outage into the new one, keeping
+  // the list sorted and disjoint — deliveries then walk it once instead of
+  // re-sorting and rescanning the full list per message.
+  Outage merged{from, to};
+  std::vector<Outage> kept;
+  kept.reserve(outages_.size() + 1);
+  for (const Outage& outage : outages_) {
+    if (outage.to < merged.from || outage.from > merged.to) {
+      kept.push_back(outage);
+    } else {
+      merged.from = std::min(merged.from, outage.from);
+      merged.to = std::max(merged.to, outage.to);
+    }
+  }
+  kept.insert(std::lower_bound(kept.begin(), kept.end(), merged,
+                               [](const Outage& a, const Outage& b) {
+                                 return a.from < b.from;
+                               }),
+              merged);
+  outages_ = std::move(kept);
+}
+
+ReconnectingTunnel::Walk ReconnectingTunnel::walk(TimeMicros sent_at) const {
+  TimeMicros t = sent_at;
+  std::uint64_t crossed = 0;
+  // Outages are sorted and disjoint, so `to` is increasing as well: binary
+  // search for the first outage whose blackout + reconnect window could
+  // still contain t, then cascade forward.
+  auto it = std::lower_bound(
+      outages_.begin(), outages_.end(), t,
+      [this](const Outage& outage, TimeMicros v) {
+        return outage.to + reconnect_delay_ <= v;
+      });
+  for (; it != outages_.end(); ++it) {
+    if (t < it->from) break;  // A connected gap precedes every later outage.
+    // t is inside [from, to + reconnect_delay): the message stays queued
+    // until the tunnel has fully re-established, crossing one reconnect.
+    t = it->to + reconnect_delay_;
+    ++crossed;
+  }
+  return {t, crossed};
 }
 
 bool ReconnectingTunnel::connected_at(TimeMicros t) const {
-  for (const auto& outage : outages_) {
-    if (t >= outage.from && t < outage.to) return false;
-  }
-  return true;
+  return walk(t).at == t;
 }
 
 TimeMicros ReconnectingTunnel::delivery_time(TimeMicros sent_at) const {
-  TimeMicros t = sent_at;
-  // Cascade: a reconnect landing inside the next outage keeps the message
-  // queued until that one ends too.
-  bool moved = true;
-  while (moved) {
-    moved = false;
-    for (const auto& outage : outages_) {
-      if (t >= outage.from && t < outage.to) {
-        t = outage.to + reconnect_delay_;
-        moved = true;
-      }
-    }
-  }
-  return t;
+  return walk(sent_at).at;
 }
 
 TimeMicros ReconnectingTunnel::deliver(TimeMicros sent_at) {
   ++messages_;
-  const TimeMicros at = delivery_time(sent_at);
-  if (at != sent_at) {
+  const Walk w = walk(sent_at);
+  if (w.at != sent_at) {
     ++delayed_;
     delayed_c_->inc();
-    // Count the outages this delivery waited through: each hop of the
-    // cascade in delivery_time() ends with one reconnect.
-    TimeMicros t = sent_at;
-    bool moved = true;
-    while (moved) {
-      moved = false;
-      for (const auto& outage : outages_) {
-        if (t >= outage.from && t < outage.to) {
-          t = outage.to + reconnect_delay_;
-          reconnects_c_->inc();
-          moved = true;
-        }
-      }
-    }
-    obs::VirtualTimer(*delay_h_, sent_at).stop(at);
+    reconnects_c_->inc(w.reconnects);
+    obs::VirtualTimer(*delay_h_, sent_at).stop(w.at);
   } else {
     direct_c_->inc();
   }
-  return at;
+  return w.at;
 }
 
 }  // namespace exiot::pipeline

@@ -21,6 +21,8 @@
 // the order is total and the emitted sequence is byte-identical.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -54,22 +56,27 @@ class WinnerTree {
     host_[slot] = host;
   }
 
-  /// Plays every match bottom-up, storing losers; O(m).
+  /// Plays every match bottom-up, storing losers; O(m). Runs once per
+  /// emitted window in the hot path, so the match scratch is a reused
+  /// member, not a per-call allocation.
   void rebuild() {
-    // win[node] is the winner of the subtree at tree position `node`;
+#ifndef NDEBUG
+    assert_hosts_unique();
+#endif
+    // win_[node] is the winner of the subtree at tree position `node`;
     // positions [m, 2m) are the leaves (slot = position - m).
-    std::vector<std::uint32_t> win(2 * m_);
+    win_.resize(2 * m_);
     for (std::size_t i = 0; i < m_; ++i) {
-      win[m_ + i] = static_cast<std::uint32_t>(i);
+      win_[m_ + i] = static_cast<std::uint32_t>(i);
     }
     for (std::size_t node = m_ - 1; node >= 1; --node) {
-      const std::uint32_t a = win[node << 1];
-      const std::uint32_t b = win[(node << 1) | 1];
+      const std::uint32_t a = win_[node << 1];
+      const std::uint32_t b = win_[(node << 1) | 1];
       const bool b_wins = less(b, a);
-      win[node] = b_wins ? b : a;
+      win_[node] = b_wins ? b : a;
       loser_[node] = b_wins ? a : b;
     }
-    winner_ = win[1];
+    winner_ = win_[1];
   }
 
   /// The winning slot (undefined when exhausted()).
@@ -110,12 +117,28 @@ class WinnerTree {
     winner_ = cur;
   }
 
+#ifndef NDEBUG
+  /// Debug check: hosts must be unique across open slots — they are the
+  /// deterministic tie-break for equal timestamps, and a duplicate would
+  /// make the selection order ill-defined.
+  void assert_hosts_unique() {
+    win_.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (ts_[i] != kDone) win_.push_back(host_[i]);
+    }
+    std::sort(win_.begin(), win_.end());
+    assert(std::adjacent_find(win_.begin(), win_.end()) == win_.end() &&
+           "WinnerTree: duplicate host among open slots");
+  }
+#endif
+
   std::size_t n_ = 0;  // Seeded slots.
   std::size_t m_ = 0;  // Leaf count: smallest power of two >= max(n, 2).
   std::uint32_t winner_ = 0;
   std::vector<TimeMicros> ts_;
   std::vector<std::uint32_t> host_;
   std::vector<std::uint32_t> loser_;  // loser_[node]: loser of that match.
+  std::vector<std::uint32_t> win_;    // rebuild() match scratch, reused.
 };
 
 }  // namespace exiot::telescope

@@ -1,0 +1,395 @@
+// Tests for the telescope federation layer: aperture partitioning, the
+// per-sensor sighting ledger, the cross-site K-way re-merge, the
+// federation stage's demux/drop/merge semantics — and the determinism
+// matrix the tentpole promises: the merged feed (export, outbox, API
+// bodies) is byte-identical across site counts {1, 2, 4} x skew profiles
+// x outage profiles x producers x shards x annotate-workers, with
+// per-sensor first-seen attribution asserted on the multi-site runs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "api/server.h"
+#include "feed/export.h"
+#include "inet/population.h"
+#include "pipeline/exiot.h"
+#include "pipeline/federation.h"
+#include "telescope/site.h"
+
+namespace exiot::pipeline {
+namespace {
+
+// ------------------------------------------------------------ Partition ----
+
+TEST(PartitionTest, SplitsIntoEqualPowerOfTwoSubPrefixes) {
+  const Cidr telescope(Ipv4(44, 0, 0, 0), 8);
+  const auto quarters = telescope::partition_aperture(telescope, 4);
+  ASSERT_EQ(quarters.size(), 4u);
+  EXPECT_EQ(quarters[0], Cidr(Ipv4(44, 0, 0, 0), 10));
+  EXPECT_EQ(quarters[1], Cidr(Ipv4(44, 64, 0, 0), 10));
+  EXPECT_EQ(quarters[2], Cidr(Ipv4(44, 128, 0, 0), 10));
+  EXPECT_EQ(quarters[3], Cidr(Ipv4(44, 192, 0, 0), 10));
+  // The partition tiles the aperture: disjoint, covering, ordered.
+  std::uint64_t covered = 0;
+  for (const auto& q : quarters) covered += q.size();
+  EXPECT_EQ(covered, telescope.size());
+  // n = 1 is the identity.
+  const auto whole = telescope::partition_aperture(telescope, 1);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0], telescope);
+}
+
+// ------------------------------------------------------- SightingTable ----
+
+TEST(SightingTableTest, TracksPerSiteFirstSeenAndDedup) {
+  telescope::SightingTable table(4);
+  const std::uint32_t scanner = Ipv4(203, 0, 113, 9).value();
+  table.record(scanner, 2, seconds(10), seconds(10) + seconds(3));
+  table.record(scanner, 2, seconds(12), seconds(12) + seconds(3));
+  table.record(scanner, 0, seconds(11), seconds(11));
+  EXPECT_EQ(table.sources(), 1u);
+  EXPECT_EQ(table.multi_sensor_sources(), 1u);
+
+  const auto sightings = table.sightings_of(scanner);
+  ASSERT_EQ(sightings.size(), 2u);  // Site order: 0 then 2.
+  EXPECT_EQ(sightings[0].site, 0u);
+  EXPECT_EQ(sightings[0].first_seen, seconds(11));
+  EXPECT_EQ(sightings[0].packets, 1u);
+  EXPECT_EQ(sightings[1].site, 2u);
+  EXPECT_EQ(sightings[1].first_seen, seconds(10));
+  EXPECT_EQ(sightings[1].local_first_seen, seconds(13));
+  EXPECT_EQ(sightings[1].packets, 2u);
+
+  // A single-sensor source never counts as multi-sensor.
+  table.record(Ipv4(198, 51, 100, 1).value(), 1, seconds(20), seconds(20));
+  EXPECT_EQ(table.sources(), 2u);
+  EXPECT_EQ(table.multi_sensor_sources(), 1u);
+  EXPECT_TRUE(table.sightings_of(Ipv4(192, 0, 2, 1).value()).empty());
+}
+
+TEST(SightingTableTest, SurvivesGrowth) {
+  telescope::SightingTable table(2);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    table.record(i * 2654435761u, i % 2, seconds(i), seconds(i));
+  }
+  EXPECT_EQ(table.sources(), 5000u);
+  const auto s = table.sightings_of(7 * 2654435761u);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].first_seen, seconds(7));
+}
+
+// ------------------------------------------------------ FederatedMerge ----
+
+TEST(FederatedMergeTest, ReplaysCanonicalOrderAcrossSites) {
+  telescope::FederatedMerge merge;
+  merge.assign(3);
+  // A canonical batch of 8 rows demuxed round-robin-ish across 3 sites;
+  // equal timestamps are broken by seq (the row index).
+  const TimeMicros ts[8] = {1, 2, 2, 3, 3, 3, 9, 9};
+  const std::size_t site_of[8] = {0, 1, 0, 2, 1, 0, 2, 1};
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    net::Packet pkt;
+    pkt.ts = ts[i];
+    merge.queue(site_of[i]).push_back(telescope::SiteRow{pkt, i});
+  }
+  std::vector<std::uint32_t> order;
+  merge.drain([&](const telescope::SiteRow& row, std::size_t site) {
+    EXPECT_EQ(site_of[row.seq], site);
+    order.push_back(row.seq);
+  });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // Queues are cleared: a second drain emits nothing.
+  merge.drain([&](const telescope::SiteRow&, std::size_t) { FAIL(); });
+}
+
+// ----------------------------------------------------- FederationStage ----
+
+/// A source streaming one crafted batch.
+FederationStage::BatchSource one_batch(const net::PacketBatch& batch) {
+  return [&batch](const FederationStage::BatchFn& fn) {
+    fn(batch);
+    return batch.size();
+  };
+}
+
+TEST(FederationStageTest, DemuxesRecordsAndDropsDarkApertures) {
+  FederationConfig config;
+  config.telescope = Cidr(Ipv4(44, 0, 0, 0), 8);
+  config.num_sites = 2;
+  config.active_sites = 1;  // Site 1 is dark.
+  config.sites.resize(2);
+  config.sites[1].clock_skew = seconds(7);
+  obs::MetricsRegistry metrics;
+  FederationStage stage(config, &metrics);
+
+  net::PacketBatch batch;
+  const Ipv4 scanner(203, 0, 113, 9);
+  // Row 0 lands in site 0's half, row 1 in dark site 1's half.
+  batch.push_back(net::make_syn(seconds(1), scanner, Ipv4(44, 10, 0, 1),
+                                40000, 23));
+  batch.push_back(net::make_syn(seconds(2), scanner, Ipv4(44, 200, 0, 1),
+                                40001, 23));
+
+  std::size_t forwarded_rows = 0;
+  const std::size_t forwarded =
+      stage.run_window(one_batch(batch), [&](const net::PacketBatch& out) {
+        forwarded_rows += out.size();
+        EXPECT_EQ(out[0].dst, Ipv4(44, 10, 0, 1));
+      });
+  EXPECT_EQ(forwarded, 1u);
+  EXPECT_EQ(forwarded_rows, 1u);
+  EXPECT_EQ(metrics.counter_value("exiot_federation_dropped_total"), 1u);
+
+  // Only the live site sighted the scanner.
+  const auto sightings = stage.sightings_of(scanner);
+  ASSERT_EQ(sightings.size(), 1u);
+  EXPECT_EQ(sightings[0].sensor, "site0");
+  EXPECT_EQ(sightings[0].aperture, "44.0.0.0/9");
+  EXPECT_EQ(sightings[0].first_seen, seconds(1));
+}
+
+TEST(FederationStageTest, SkewColorsAttributionOnly) {
+  FederationConfig config;
+  config.num_sites = 4;
+  config.sites.resize(4);
+  config.sites[3].clock_skew = -seconds(2);
+  FederationStage stage(config);
+
+  net::PacketBatch batch;
+  const Ipv4 scanner(198, 51, 100, 7);
+  batch.push_back(net::make_syn(seconds(5), scanner, Ipv4(44, 1, 0, 1),
+                                40000, 23));
+  batch.push_back(net::make_syn(seconds(6), scanner, Ipv4(44, 201, 0, 1),
+                                40001, 23));
+  std::vector<TimeMicros> merged_ts;
+  stage.run_window(one_batch(batch), [&](const net::PacketBatch& out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      merged_ts.push_back(out[i].ts);
+    }
+  });
+  // The merged stream keeps canonical timestamps and order.
+  EXPECT_EQ(merged_ts, (std::vector<TimeMicros>{seconds(5), seconds(6)}));
+  const auto sightings = stage.sightings_of(scanner);
+  ASSERT_EQ(sightings.size(), 2u);
+  EXPECT_EQ(sightings[0].sensor, "site0");
+  EXPECT_EQ(sightings[0].local_first_seen, seconds(5));
+  EXPECT_EQ(sightings[1].sensor, "site3");
+  EXPECT_EQ(sightings[1].first_seen, seconds(6));
+  EXPECT_EQ(sightings[1].local_first_seen, seconds(4));  // skew -2s.
+}
+
+TEST(FederationStageTest, EventDeliveryWaitsForSlowestSightedTunnel) {
+  FederationConfig config;
+  config.num_sites = 2;
+  config.sites.resize(2);
+  config.sites[1].outages.emplace_back(seconds(100), seconds(200));
+  config.sites[1].reconnect_delay = seconds(5);
+  FederationStage stage(config);
+
+  const Ipv4 both_sites(203, 0, 113, 5);
+  const Ipv4 site0_only(203, 0, 113, 6);
+  net::PacketBatch batch;
+  batch.push_back(net::make_syn(seconds(1), both_sites, Ipv4(44, 1, 0, 1),
+                                40000, 23));
+  batch.push_back(net::make_syn(seconds(2), both_sites, Ipv4(44, 200, 0, 1),
+                                40001, 23));
+  batch.push_back(net::make_syn(seconds(3), site0_only, Ipv4(44, 2, 0, 1),
+                                40002, 23));
+  stage.run_window(one_batch(batch), [](const net::PacketBatch&) {});
+
+  // An event about a source sighted by both sites waits for site 1's
+  // outage + reconnect; a site-0-only source sails through.
+  EXPECT_EQ(stage.deliver_event(both_sites, seconds(150)), seconds(205));
+  EXPECT_EQ(stage.deliver_event(site0_only, seconds(150)), seconds(150));
+}
+
+// ------------------------------------------------ Determinism matrix ----
+
+struct RunOutput {
+  std::string feed;
+  std::string outbox;
+  std::string records_api;
+  std::string snapshot_api;
+  PipelineStats stats;
+};
+
+struct SiteProfile {
+  int sites = 1;
+  int active = 0;
+  std::vector<double> skew_seconds;  // Index-matched, missing = 0.
+  /// One outage applied to EVERY site's tunnel (a global transport event
+  /// — the only outage shape that can be feed-invariant across site
+  /// counts, since per-site outages change which events are delayed).
+  std::pair<double, double> global_outage{0, 0};
+};
+
+/// Full pipeline run over the small deterministic population; returns
+/// every externally visible artifact for byte comparison (the same
+/// harness as the annotate determinism matrix, plus federation knobs).
+RunOutput run_pipeline(
+    const SiteProfile& profile, int annotate_workers, int producers,
+    int shards,
+    const std::function<void(ExIotPipeline&)>& inspect = nullptr) {
+  inet::PopulationConfig config;
+  config.iot_per_day = 30;
+  config.generic_per_day = 20;
+  config.misconfig_per_day = 10;
+  config.victims_per_day = 4;
+  config.benign_per_day = 2;
+  config.days = 1;
+  config.seed = 42;
+  auto world = inet::WorldModel::standard(Cidr(Ipv4(44, 0, 0, 0), 8));
+  auto population = inet::Population::generate(config, world);
+  PipelineConfig pipe_config;
+  pipe_config.num_detector_shards = shards;
+  pipe_config.num_producer_threads = producers;
+  pipe_config.buffer_capacity = 8;
+  pipe_config.ingest_batch_size = 64;
+  pipe_config.num_annotate_workers = annotate_workers;
+  pipe_config.annotate_queue_capacity = 8;
+  pipe_config.num_sites = profile.sites;
+  pipe_config.active_sites = profile.active;
+  pipe_config.site_specs.resize(static_cast<std::size_t>(profile.sites));
+  for (std::size_t i = 0; i < pipe_config.site_specs.size(); ++i) {
+    if (i < profile.skew_seconds.size()) {
+      pipe_config.site_specs[i].clock_skew =
+          seconds(profile.skew_seconds[i]);
+    }
+    if (profile.global_outage.second > profile.global_outage.first) {
+      pipe_config.site_specs[i].outages.emplace_back(
+          seconds(profile.global_outage.first),
+          seconds(profile.global_outage.second));
+    }
+  }
+  ExIotPipeline pipe(population, world, pipe_config);
+  pipe.run_days(0, 1);
+  pipe.finish();
+
+  RunOutput out;
+  out.stats = pipe.stats();
+  std::ostringstream feed;
+  feed::export_jsonl(pipe.feed(), feed);
+  out.feed = feed.str();
+  std::ostringstream outbox;
+  for (const auto& mail : pipe.outbox()) {
+    outbox << mail.sent_at << "|" << mail.to << "|" << mail.subject << "|"
+           << mail.body << "\n";
+  }
+  out.outbox = outbox.str();
+  api::ApiServer server(pipe.feed());
+  server.add_token("t");
+  auto request = [&](const std::string& target) {
+    auto parsed = api::HttpRequest::parse(
+        "GET " + target + " HTTP/1.1\r\nAuthorization: Bearer t\r\n\r\n");
+    EXPECT_TRUE(parsed.has_value());
+    return server.handle(*parsed).body;
+  };
+  out.records_api = request("/v1/records?limit=100000");
+  out.snapshot_api = request("/v1/snapshot");
+  if (inspect) inspect(pipe);
+  return out;
+}
+
+TEST(FederationDeterminismTest, FeedInvariantAcrossSiteMatrix) {
+  const RunOutput baseline = run_pipeline(SiteProfile{}, 1, 1, 1);
+  EXPECT_GT(baseline.stats.records_published, 0u);
+  EXPECT_FALSE(baseline.outbox.empty());
+  // Site count x skew profile x producers x shards x annotate-workers:
+  // demuxing the canonical stream across N sensors and re-merging the
+  // union must reconstruct it exactly, and skew never reaches the feed.
+  for (const auto& [sites, skews, workers, producers, shards] :
+       {std::tuple{2, std::vector<double>{}, 1, 1, 1},
+        std::tuple{2, std::vector<double>{3.0, -2.0}, 2, 2, 2},
+        std::tuple{4, std::vector<double>{}, 1, 2, 2},
+        std::tuple{4, std::vector<double>{1.0, 0.0, -5.0, 60.0}, 4, 2, 2}}) {
+    SiteProfile profile;
+    profile.sites = sites;
+    profile.skew_seconds = skews;
+    const RunOutput run = run_pipeline(profile, workers, producers, shards);
+    EXPECT_EQ(baseline.feed, run.feed)
+        << "sites=" << sites << " workers=" << workers
+        << " producers=" << producers << " shards=" << shards;
+    EXPECT_EQ(baseline.outbox, run.outbox) << "sites=" << sites;
+    EXPECT_EQ(baseline.records_api, run.records_api) << "sites=" << sites;
+    EXPECT_EQ(baseline.snapshot_api, run.snapshot_api) << "sites=" << sites;
+    EXPECT_EQ(baseline.stats.records_published, run.stats.records_published);
+    EXPECT_EQ(baseline.stats.scanners_detected, run.stats.scanners_detected);
+  }
+}
+
+TEST(FederationDeterminismTest, GlobalOutageProfileInvariantAcrossSites) {
+  // Under a transport outage that hits every site's tunnel identically,
+  // the feed changes (deliveries are delayed) but stays byte-identical
+  // across site counts: every sighted site delivers at the same instant.
+  SiteProfile outage1;
+  outage1.global_outage = {3600.0 * 4, 3600.0 * 7};
+  const RunOutput baseline = run_pipeline(outage1, 1, 1, 1);
+  EXPECT_GT(baseline.stats.records_published, 0u);
+  for (int sites : {2, 4}) {
+    SiteProfile profile = outage1;
+    profile.sites = sites;
+    const RunOutput run = run_pipeline(profile, 2, 2, 2);
+    EXPECT_EQ(baseline.feed, run.feed) << "sites=" << sites;
+    EXPECT_EQ(baseline.records_api, run.records_api) << "sites=" << sites;
+    EXPECT_EQ(baseline.snapshot_api, run.snapshot_api) << "sites=" << sites;
+  }
+  // And the outage did change the feed relative to the clean baseline.
+  const RunOutput clean = run_pipeline(SiteProfile{}, 1, 1, 1);
+  EXPECT_NE(clean.feed, baseline.feed);
+}
+
+TEST(FederationAttributionTest, RecordsCarryPerSensorFirstSeen) {
+  SiteProfile profile;
+  profile.sites = 4;
+  profile.skew_seconds = {0.0, 2.0, 0.0, -3.0};
+  const RunOutput run =
+      run_pipeline(profile, 1, 1, 1, [&](ExIotPipeline& pipe) {
+        // Random /8-wide scanners land in several sites' apertures: the
+        // ledger must dedup them into one source carrying a multi-sensor
+        // sighting list, with local first-seen = canonical + site skew.
+        EXPECT_GT(pipe.federation().sighting_table().multi_sensor_sources(),
+                  0u);
+        std::size_t multi_sensor_records = 0;
+        for (const auto& record :
+             pipe.feed().published_between(0, hours(24 * 365))) {
+          const auto sightings = pipe.federation().sightings_of(record.src);
+          ASSERT_FALSE(sightings.empty())
+              << "published record without attribution: "
+              << record.src.to_string();
+          if (sightings.size() > 1) ++multi_sensor_records;
+          for (const auto& s : sightings) {
+            const std::size_t site =
+                static_cast<std::size_t>(s.sensor.back() - '0');
+            ASSERT_LT(site, profile.skew_seconds.size());
+            EXPECT_EQ(s.local_first_seen,
+                      s.first_seen + seconds(profile.skew_seconds[site]))
+                << "sensor " << s.sensor;
+            EXPECT_GT(s.packets, 0u);
+            // The claimed aperture is one of the four /10 quarters.
+            EXPECT_EQ(Cidr::parse(s.aperture)->prefix_len(), 10);
+          }
+        }
+        EXPECT_GT(multi_sensor_records, 0u);
+      });
+  EXPECT_GT(run.stats.records_published, 0u);
+}
+
+TEST(FederationApertureTest, FewerActiveSitesShrinkDetection) {
+  SiteProfile full;
+  full.sites = 8;
+  const RunOutput all = run_pipeline(full, 1, 1, 1);
+  SiteProfile quarter = full;
+  quarter.active = 2;  // A quarter of the aperture.
+  const RunOutput partial = run_pipeline(quarter, 1, 1, 1);
+  // A smaller aperture sees strictly less traffic and no more scanners.
+  EXPECT_LT(partial.stats.packets_processed, all.stats.packets_processed);
+  EXPECT_LE(partial.stats.scanners_detected, all.stats.scanners_detected);
+  EXPECT_LE(partial.stats.records_published, all.stats.records_published);
+  EXPECT_GT(partial.stats.packets_processed, 0u);
+}
+
+}  // namespace
+}  // namespace exiot::pipeline

@@ -332,10 +332,31 @@ TEST(TunnelTest, OutageDelaysWithoutLoss) {
   EXPECT_TRUE(tunnel.connected_at(seconds(250)));
   // Message sent mid-outage waits for reconnect.
   EXPECT_EQ(tunnel.deliver(seconds(150)), seconds(205));
-  // Message before/after the outage flows normally.
+  // Message before the outage flows normally.
   EXPECT_EQ(tunnel.deliver(seconds(99)), seconds(99));
-  EXPECT_EQ(tunnel.deliver(seconds(201)), seconds(201));
-  EXPECT_EQ(tunnel.delayed_messages(), 1u);
+  // A message sent at 201 lands inside the reconnect window [200, 205):
+  // the SSH session is still re-establishing, so it queues until 205 —
+  // the regression the old model got wrong (it passed it through).
+  EXPECT_EQ(tunnel.deliver(seconds(201)), seconds(205));
+  EXPECT_EQ(tunnel.deliver(seconds(205)), seconds(205));
+  EXPECT_EQ(tunnel.delayed_messages(), 2u);
+}
+
+// The reconnect window is part of the blackout: connected_at and
+// delivery_time must agree about every instant in it.
+TEST(TunnelTest, ReconnectWindowDelaysAndAgreesWithConnectedAt) {
+  ReconnectingTunnel tunnel(seconds(5));
+  tunnel.schedule_outage(seconds(100), seconds(200));
+  for (TimeMicros t = seconds(95); t <= seconds(210); t += seconds(1)) {
+    EXPECT_EQ(tunnel.connected_at(t), tunnel.delivery_time(t) == t)
+        << "disagreement at t=" << t;
+  }
+  // Window edges: still down at 200 and 204.999999, up again at exactly
+  // outage end + reconnect delay.
+  EXPECT_FALSE(tunnel.connected_at(seconds(200)));
+  EXPECT_FALSE(tunnel.connected_at(seconds(205) - 1));
+  EXPECT_TRUE(tunnel.connected_at(seconds(205)));
+  EXPECT_EQ(tunnel.delivery_time(seconds(204)), seconds(205));
 }
 
 TEST(TunnelTest, CascadingOutages) {
@@ -344,6 +365,55 @@ TEST(TunnelTest, CascadingOutages) {
   tunnel.schedule_outage(seconds(205), seconds(300));
   // Reconnect at 210 lands inside the second outage -> 310.
   EXPECT_EQ(tunnel.delivery_time(seconds(150)), seconds(310));
+}
+
+// Back-to-back outages whose reconnect window overlaps the next outage:
+// a send inside the FIRST outage's reconnect window must cascade through
+// the second outage too.
+TEST(TunnelTest, ReconnectWindowOverlappingNextOutageCascades) {
+  ReconnectingTunnel tunnel(seconds(10));
+  tunnel.schedule_outage(seconds(100), seconds(200));
+  tunnel.schedule_outage(seconds(208), seconds(300));
+  // Sent at 203: inside [200, 210), so it waits for the reconnect at 210
+  // — which is inside the second outage -> waits again until 310.
+  EXPECT_EQ(tunnel.delivery_time(seconds(203)), seconds(310));
+  EXPECT_FALSE(tunnel.connected_at(seconds(203)));
+  // Sent mid-first-outage cascades identically.
+  EXPECT_EQ(tunnel.delivery_time(seconds(150)), seconds(310));
+  // The whole span [100, 310) is down; 310 is up.
+  EXPECT_FALSE(tunnel.connected_at(seconds(309)));
+  EXPECT_TRUE(tunnel.connected_at(seconds(310)));
+}
+
+// Overlapping outage injections merge at schedule time into one span.
+TEST(TunnelTest, OverlappingOutagesMergeOnInsert) {
+  ReconnectingTunnel tunnel(seconds(5));
+  tunnel.schedule_outage(seconds(150), seconds(250));
+  tunnel.schedule_outage(seconds(100), seconds(200));  // Overlaps before.
+  tunnel.schedule_outage(seconds(240), seconds(260));  // Overlaps after.
+  // One merged outage [100, 260): a single reconnect is crossed.
+  EXPECT_EQ(tunnel.delivery_time(seconds(120)), seconds(265));
+  EXPECT_EQ(tunnel.deliver(seconds(120)), seconds(265));
+  EXPECT_EQ(tunnel.delayed_messages(), 1u);
+}
+
+// deliver and delivery_time share one cascade walk, so the reconnect
+// counter tracks exactly the outages a delivery waited through.
+TEST(TunnelTest, ReconnectCounterMatchesCascadeDepth) {
+  obs::MetricsRegistry metrics;
+  ReconnectingTunnel tunnel(seconds(10), &metrics);
+  tunnel.schedule_outage(seconds(100), seconds(200));
+  tunnel.schedule_outage(seconds(205), seconds(300));
+  tunnel.schedule_outage(seconds(305), seconds(400));
+  // 150 -> 210 (in outage 2) -> 310 (in outage 3) -> 410: 3 reconnects.
+  EXPECT_EQ(tunnel.deliver(seconds(150)), seconds(410));
+  EXPECT_EQ(metrics.counter_value("exiot_tunnel_reconnects_total"), 3u);
+  // A direct message crosses none.
+  EXPECT_EQ(tunnel.deliver(seconds(50)), seconds(50));
+  EXPECT_EQ(metrics.counter_value("exiot_tunnel_reconnects_total"), 3u);
+  // A send in the last reconnect window crosses exactly one.
+  EXPECT_EQ(tunnel.deliver(seconds(402)), seconds(410));
+  EXPECT_EQ(metrics.counter_value("exiot_tunnel_reconnects_total"), 4u);
 }
 
 // ------------------------------------------------------------ Organizer ----

@@ -26,25 +26,27 @@ bash tools/check_metrics_names.sh
 echo "== bench regression (non-TSan build) =="
 cmake --build "$BUILD" -j"$(nproc)" \
   --target bench_ingest_throughput bench_annotate_throughput \
-           bench_api_concurrency bench_wal_overhead bench_hotpath
+           bench_api_concurrency bench_wal_overhead bench_hotpath \
+           bench_federation
 BENCH_OUT=$(mktemp -d)
 for b in bench_ingest_throughput bench_annotate_throughput \
-         bench_api_concurrency bench_wal_overhead bench_hotpath; do
+         bench_api_concurrency bench_wal_overhead bench_hotpath \
+         bench_federation; do
   echo "-- bench: $b"
   EXIOT_BENCH_DIR="$BENCH_OUT" "$BUILD/bench/$b" > /dev/null
 done
 sh tools/check_bench_regression.sh "$BENCH_OUT"
 rm -rf "$BENCH_OUT"
 
-echo "== ThreadSanitizer: pipeline / producer / annotate / tracing / durability / fingerprint / flow / telescope / ml / api / batch tests =="
+echo "== ThreadSanitizer: pipeline / producer / annotate / federation / tracing / durability / fingerprint / flow / telescope / ml / api / batch tests =="
 cmake -B "$TSAN_BUILD" -S . -DEXIOT_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j"$(nproc)" \
-  --target pipeline_test producer_test annotate_test tracing_test \
-           durability_test fingerprint_test flow_test telescope_test \
-           ml_test api_test robustness_test batch_test
-for t in pipeline_test producer_test annotate_test tracing_test \
-         durability_test fingerprint_test flow_test telescope_test \
-         ml_test api_test robustness_test batch_test; do
+  --target pipeline_test producer_test annotate_test federation_test \
+           tracing_test durability_test fingerprint_test flow_test \
+           telescope_test ml_test api_test robustness_test batch_test
+for t in pipeline_test producer_test annotate_test federation_test \
+         tracing_test durability_test fingerprint_test flow_test \
+         telescope_test ml_test api_test robustness_test batch_test; do
   echo "-- tsan: $t"
   "$TSAN_BUILD/tests/$t"
 done

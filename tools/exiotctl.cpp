@@ -9,6 +9,9 @@
 //   exiotctl simulate  [--scale S] [--days N] [--seed N]
 //                      [--producers N] [--shards N] [--buffer N]
 //                      [--batch-size N] [--annotate-workers N]
+//                      [--sites N] [--active-sites K]
+//                      [--site-skew S0,S1,...] [--site-outage IDX:FROM:TO]
+//                      [--site-reconnect S]
 //                      [--trace-sample R] [--watchdog-deadline MS]
 //                      [--data-dir DIR] [--wal-segment-bytes N]
 //                      [--snapshot-interval H] [--wal-fsync none|roll|always]
@@ -31,7 +34,16 @@
 //       recovers from disk and resumes to a byte-identical feed.
 //       --wal-segment-bytes caps segment size before rolling to a new
 //       file; --wal-fsync picks the fsync policy (default roll: fsync on
-//       segment roll and shutdown).
+//       segment roll and shutdown). --sites federates the telescope into
+//       N sensor sites (power of two; equal consecutive sub-prefixes of
+//       the aperture), each with its own tunnel and clock; the merged
+//       feed is byte-identical for any --sites value. --active-sites
+//       keeps only the first K sites capturing (a smaller effective
+//       aperture); --site-skew sets per-site clock skews in seconds
+//       (comma list, attribution only — never feed bytes);
+//       --site-outage IDX:FROM:TO (repeatable, seconds) injects a tunnel
+//       outage at one site; --site-reconnect sets every site's tunnel
+//       re-establishment delay in seconds (default 5).
 //   exiotctl query     --jsonl FILE --q EXPR
 //       Evaluate a query-builder expression over an exported feed.
 //   exiotctl fingerprint --banner TEXT
@@ -148,6 +160,15 @@ class Args {
     }
     return value;
   }
+  /// Every value of a repeatable flag, in argv order (--site-outage can
+  /// be given once per outage).
+  std::vector<std::string> get_all(const std::string& flag) const {
+    std::vector<std::string> values;
+    for (int i = 2; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) values.push_back(argv_[i + 1]);
+    }
+    return values;
+  }
 
  private:
   int argc_;
@@ -188,6 +209,85 @@ void apply_pipeline_flags(const Args& args,
     std::fprintf(stderr,
                  "exiotctl: --wal-fsync must be none, roll, or always\n");
     std::exit(2);
+  }
+
+  // Telescope federation: carve the aperture into --sites sensor sites
+  // (power of two), optionally capturing on only the first --active-sites
+  // of them; the merged feed is byte-identical for any --sites value.
+  config.num_sites = args.get_positive_int("--sites", 1);
+  if ((config.num_sites & (config.num_sites - 1)) != 0) {
+    std::fprintf(stderr, "exiotctl: --sites must be a power of two, got %d\n",
+                 config.num_sites);
+    std::exit(2);
+  }
+  config.active_sites = args.get_int("--active-sites", 0);
+  if (config.active_sites < 0 || config.active_sites > config.num_sites) {
+    std::fprintf(stderr,
+                 "exiotctl: --active-sites must be in [0, --sites], got %d\n",
+                 config.active_sites);
+    std::exit(2);
+  }
+  config.site_specs.assign(static_cast<std::size_t>(config.num_sites),
+                           pipeline::SiteSpec{});
+  const double reconnect = args.get_double("--site-reconnect", 5.0);
+  for (auto& spec : config.site_specs) {
+    spec.reconnect_delay = seconds(reconnect);
+  }
+  // --site-skew "0,1.5,-2,0": per-site clock skew in seconds, comma list
+  // (shorter lists leave the remaining sites unskewed).
+  const std::string skews = args.get("--site-skew");
+  if (!skews.empty()) {
+    std::size_t site = 0, pos = 0;
+    while (pos <= skews.size() &&
+           site < static_cast<std::size_t>(config.num_sites)) {
+      const std::size_t comma = skews.find(',', pos);
+      const std::string item = skews.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      double parsed = 0.0;
+      const auto [ptr, ec] = std::from_chars(
+          item.data(), item.data() + item.size(), parsed);
+      if (ec != std::errc{} || ptr != item.data() + item.size()) {
+        std::fprintf(stderr,
+                     "exiotctl: --site-skew expects comma-separated "
+                     "seconds, got \"%s\"\n",
+                     skews.c_str());
+        std::exit(2);
+      }
+      config.site_specs[site++].clock_skew = seconds(parsed);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  // --site-outage IDX:FROM:TO (seconds, repeatable): inject a tunnel
+  // outage at one site.
+  for (const std::string& outage : args.get_all("--site-outage")) {
+    const std::size_t c1 = outage.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : outage.find(':', c1 + 1);
+    bool ok = c1 != std::string::npos && c2 != std::string::npos;
+    int site = 0;
+    double from = 0.0, to = 0.0;
+    if (ok) {
+      const std::string s0 = outage.substr(0, c1);
+      const std::string s1 = outage.substr(c1 + 1, c2 - c1 - 1);
+      const std::string s2 = outage.substr(c2 + 1);
+      auto r0 = std::from_chars(s0.data(), s0.data() + s0.size(), site);
+      auto r1 = std::from_chars(s1.data(), s1.data() + s1.size(), from);
+      auto r2 = std::from_chars(s2.data(), s2.data() + s2.size(), to);
+      ok = r0.ec == std::errc{} && r0.ptr == s0.data() + s0.size() &&
+           r1.ec == std::errc{} && r1.ptr == s1.data() + s1.size() &&
+           r2.ec == std::errc{} && r2.ptr == s2.data() + s2.size() &&
+           site >= 0 && site < config.num_sites && to > from;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "exiotctl: --site-outage expects IDX:FROM:TO (seconds, "
+                   "IDX < --sites, TO > FROM), got \"%s\"\n",
+                   outage.c_str());
+      std::exit(2);
+    }
+    config.site_specs[static_cast<std::size_t>(site)].outages.emplace_back(
+        seconds(from), seconds(to));
   }
 }
 
