@@ -1,6 +1,9 @@
 #include "api/http.h"
 
 #include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 
 #include "common/strings.h"
 
@@ -105,16 +108,47 @@ std::optional<HttpRequest> HttpRequest::parse(std::string_view raw) {
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 304: return "Not Modified";
     case 400: return "Bad Request";
     case 401: return "Unauthorized";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
+}
+
+std::string http_date(std::int64_t unix_seconds) {
+  static const char* kDays[] = {"Sun", "Mon", "Tue", "Wed",
+                                "Thu", "Fri", "Sat"};
+  static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  const time_t t = static_cast<time_t>(unix_seconds);
+  std::tm tm{};
+  ::gmtime_r(&t, &tm);
+  char out[32];
+  std::snprintf(out, sizeof(out), "%s, %02d %s %04d %02d:%02d:%02d GMT",
+                kDays[tm.tm_wday], tm.tm_mday, kMonths[tm.tm_mon],
+                tm.tm_year + 1900, tm.tm_hour, tm.tm_min, tm.tm_sec);
+  return out;
+}
+
+const std::string& http_date_now() {
+  thread_local std::int64_t cached_second = -1;
+  thread_local std::string cached;
+  const std::int64_t now = std::chrono::duration_cast<std::chrono::seconds>(
+                               std::chrono::system_clock::now()
+                                   .time_since_epoch())
+                               .count();
+  if (now != cached_second) {
+    cached = http_date(now);
+    cached_second = now;
+  }
+  return cached;
 }
 
 HttpResponse HttpResponse::json(int status, std::string body) {
@@ -134,26 +168,49 @@ HttpResponse HttpResponse::text(int status, std::string body) {
   return res;
 }
 
-std::string HttpResponse::serialize() const {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
-                    status_text(status) + "\r\n";
+namespace {
+
+/// Shared head serialization: status line + handler headers + framing.
+/// `chunked` swaps Content-Length for Transfer-Encoding: chunked. The Date
+/// header (RFC 7231 requires one on origin responses) is stamped at
+/// serialization time unless the handler set its own, so cached responses
+/// stay fresh — the cache stores the HttpResponse, not wire bytes.
+std::string serialize_head(const HttpResponse& res, bool chunked) {
+  std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                    status_text(res.status) + "\r\n";
   bool has_length = false;
   bool has_connection = false;
-  for (const auto& [name, value] : headers) {
+  bool has_date = false;
+  for (const auto& [name, value] : res.headers) {
     const std::string lower = to_lower(name);
     has_length = has_length || lower == "content-length";
     has_connection = has_connection || lower == "connection";
+    has_date = has_date || lower == "date";
     out += name + ": " + value + "\r\n";
   }
+  if (!has_date) out += "Date: " + http_date_now() + "\r\n";
   // Defaults only when the handler did not set its own — emitting a second
   // Content-Length/Connection would corrupt the response.
-  if (!has_length) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (chunked) {
+    out += "Transfer-Encoding: chunked\r\n";
+  } else if (!has_length) {
+    out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
   }
   if (!has_connection) out += "Connection: close\r\n";
   out += "\r\n";
+  return out;
+}
+
+}  // namespace
+
+std::string HttpResponse::serialize() const {
+  std::string out = serialize_head(*this, /*chunked=*/false);
   out += body;
   return out;
+}
+
+std::string HttpResponse::serialize_head_chunked() const {
+  return serialize_head(*this, /*chunked=*/true);
 }
 
 }  // namespace exiot::api

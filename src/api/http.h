@@ -1,11 +1,15 @@
 // A minimal HTTP/1.1 message layer for the REST API: request parsing
 // (request line, headers, query strings, percent-decoding) and response
-// serialization. Deliberately small; Content-Length framing only (no
-// chunked encoding), which is what lets the TCP binding serve multiple
-// keep-alive requests per connection.
+// serialization. Deliberately small. Requests use Content-Length framing
+// only, which is what lets the TCP binding serve multiple keep-alive
+// requests per connection; responses are Content-Length framed too unless
+// the handler attaches a pull-based body stream, in which case the TCP
+// binding sends them Transfer-Encoding: chunked (the bulk-export path).
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,19 +38,42 @@ struct HttpRequest {
 };
 
 struct HttpResponse {
+  /// Pull-based body producer for streaming responses: each call returns
+  /// the next body piece, nullopt once exhausted. Pulls happen lazily as
+  /// the client socket drains (epoll backpressure), so a bulk export never
+  /// materializes in memory. Stateful by design — the closure owns its
+  /// iteration cursor; dropping the response mid-stream frees it.
+  using BodyStream = std::function<std::optional<std::string>()>;
+
   int status = 200;
   std::map<std::string, std::string> headers;
   std::string body;
+  /// When set, `body` is ignored by the TCP binding and the response goes
+  /// out Transfer-Encoding: chunked, pulled from this stream. shared_ptr
+  /// keeps HttpResponse copyable (cached responses never carry a stream).
+  std::shared_ptr<BodyStream> body_stream;
 
   static HttpResponse json(int status, std::string body);
   /// Plain-text response (Prometheus exposition at /v1/metrics).
   static HttpResponse text(int status, std::string body);
   std::string serialize() const;
+  /// Status line + headers for a chunked streaming response: emits
+  /// Transfer-Encoding: chunked instead of Content-Length and no body
+  /// bytes (the TCP binding appends chunk frames as the stream is pulled).
+  std::string serialize_head_chunked() const;
 };
 
 /// Percent-decodes a URL component ("%2F" -> "/", "+" -> " ").
 std::string url_decode(std::string_view text);
 
 const char* status_text(int status);
+
+/// RFC 7231 IMF-fixdate ("Sun, 06 Nov 1994 08:49:37 GMT") for the Date
+/// header, from a UNIX timestamp in seconds.
+std::string http_date(std::int64_t unix_seconds);
+
+/// http_date(now), cached per second per thread — cheap enough for the
+/// per-response Date header on the serving hot path.
+const std::string& http_date_now();
 
 }  // namespace exiot::api

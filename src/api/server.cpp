@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 
 #include "api/query.h"
 #include "common/strings.h"
+#include "feed/export.h"
 
 namespace exiot::api {
 namespace {
@@ -14,6 +16,37 @@ json::Value error_body(const std::string& message) {
   json::Value body;
   body["error"] = message;
   return body;
+}
+
+/// Records per chunk of a streaming export: large enough to amortize the
+/// per-slice index walk, small enough that a slow reader holds only a few
+/// tens of KB of serialized rows in flight.
+constexpr std::size_t kExportSliceRecords = 256;
+
+/// The cache key: path plus the query in canonical order. `query` is a
+/// std::map, so equal parameter sets serialize identically however the
+/// client ordered them on the request line.
+std::string canonical_target(const HttpRequest& request) {
+  std::string key = request.path;
+  char sep = '?';
+  for (const auto& [name, value] : request.query) {
+    key += sep;
+    key += name;
+    key += '=';
+    key += value;
+    sep = '&';
+  }
+  return key;
+}
+
+bool cacheable(const HttpRequest& request) {
+  return request.path == "/v1/snapshot" || request.path == "/v1/records";
+}
+
+std::string bearer_token(const HttpRequest& request) {
+  const std::string auth = request.header("authorization");
+  if (!starts_with(auth, "Bearer ")) return "";
+  return std::string(trim(auth.substr(7)));
 }
 
 }  // namespace
@@ -25,12 +58,55 @@ bool ApiServer::authorized(const HttpRequest& request) const {
 }
 
 HttpResponse ApiServer::handle(const HttpRequest& request) const {
-  HttpResponse response = dispatch(request);
+  HttpResponse response = process(request);
   if (flight_ != nullptr && response.status >= 400) {
     flight_->record("api", std::to_string(response.status) + " " +
                                request.method + " " + request.path);
   }
   return response;
+}
+
+HttpResponse ApiServer::process(const HttpRequest& request) const {
+  // The unauthenticated endpoints bypass the limiter and cache: scrapers
+  // carry no token to bucket by, and both bodies are cheap to rebuild.
+  const bool open =
+      request.path == "/v1/health" || request.path == "/v1/metrics";
+  if (request.method == "GET" && !open) {
+    if (!authorized(request)) {
+      return HttpResponse::json(401,
+                                error_body("invalid or missing token").dump());
+    }
+    if (limiter_ != nullptr && limiter_->enabled()) {
+      const auto decision = limiter_->check(bearer_token(request));
+      if (!decision.allowed) {
+        HttpResponse res =
+            HttpResponse::json(429, error_body("rate limit exceeded").dump());
+        res.headers["Retry-After"] = std::to_string(decision.retry_after_s);
+        return res;
+      }
+    }
+    if (cache_ != nullptr && version_ && cacheable(request)) {
+      const std::string key = canonical_target(request);
+      const std::uint64_t version = version_();
+      const std::string etag = response_etag(version, key);
+      if (std::string(trim(request.header("if-none-match"))) == etag) {
+        // The client already holds these exact bytes: the (sequence, key)
+        // pair fully names the response, so no store access is needed.
+        HttpResponse res;
+        res.status = 304;
+        res.headers["ETag"] = etag;
+        return res;
+      }
+      if (auto cached = cache_->lookup(key, version)) return *std::move(cached);
+      HttpResponse res = dispatch(request);
+      if (res.status == 200) {
+        res.headers["ETag"] = etag;
+        cache_->insert(key, version, res);
+      }
+      return res;
+    }
+  }
+  return dispatch(request);
 }
 
 HttpResponse ApiServer::dispatch(const HttpRequest& request) const {
@@ -82,6 +158,7 @@ HttpResponse ApiServer::dispatch(const HttpRequest& request) const {
     return handle_records_for_ip(request.path.substr(12));
   }
   if (request.path == "/v1/snapshot") return handle_snapshot(request);
+  if (request.path == "/v1/export") return handle_export(request);
   if (request.path == "/v1/query") return handle_query(request);
   if (request.path == "/v1/traces") return handle_traces(request);
   if (request.path == "/v1/flightrecorder") {
@@ -218,6 +295,63 @@ HttpResponse ApiServer::handle_query(const HttpRequest& request) const {
   body["count"] = static_cast<std::int64_t>(records.size());
   body["records"] = std::move(records);
   return HttpResponse::json(200, body.dump());
+}
+
+HttpResponse ApiServer::handle_export(const HttpRequest& request) const {
+  std::string format = request.query_param("format");
+  if (format.empty()) format = "jsonl";
+  if (format != "jsonl" && format != "csv") {
+    return HttpResponse::json(400,
+                              error_body("format must be jsonl or csv").dump());
+  }
+  std::int64_t since = 0;
+  std::int64_t until = std::numeric_limits<std::int64_t>::max();
+  try {
+    if (auto s = request.query_param("since"); !s.empty()) since = std::stoll(s);
+    if (auto u = request.query_param("until"); !u.empty()) until = std::stoll(u);
+  } catch (const std::exception&) {
+    return HttpResponse::json(400, error_body("bad numeric parameter").dump());
+  }
+  if (since < 0 || until < 0) {
+    return HttpResponse::json(400,
+                              error_body("negative numeric parameter").dump());
+  }
+
+  HttpResponse res;
+  res.status = 200;
+  res.headers["Content-Type"] =
+      format == "csv" ? "text/csv" : "application/x-ndjson";
+  const bool csv = format == "csv";
+  // The stream walks the published_at index one bounded slice per pull;
+  // the transport pulls only when the socket is writable, so a slow reader
+  // holds a cursor (a value + id pair), never a materialized export.
+  struct StreamState {
+    store::DocumentStore::PageCursor cursor;
+    bool header_pending = false;
+  };
+  auto state = std::make_shared<StreamState>();
+  state->header_pending = csv;
+  const store::DocumentStore* latest = &feed_.latest_store();
+  res.body_stream = std::make_shared<HttpResponse::BodyStream>(
+      [state, latest, csv, since, until]() -> std::optional<std::string> {
+        std::string chunk;
+        if (state->header_pending) {
+          state->header_pending = false;
+          chunk = join(feed::export_columns(), ",") + "\n";
+        }
+        const auto ids = latest->find_range_page(
+            "published_at", since, until, kExportSliceRecords, state->cursor);
+        for (const auto& id : ids) {
+          const json::Value* doc = latest->get(id);
+          if (doc == nullptr) continue;
+          const feed::CtiRecord record = feed::CtiRecord::from_json(*doc);
+          chunk += csv ? feed::to_csv_row(record) : record.to_json().dump();
+          chunk += '\n';
+        }
+        if (chunk.empty()) return std::nullopt;  // Walk finished.
+        return chunk;
+      });
+  return res;
 }
 
 HttpResponse ApiServer::handle_traces(const HttpRequest& request) const {

@@ -17,6 +17,11 @@
 //                                       spans (attach_tracer; auth)
 //   GET /v1/flightrecorder              recent structural events ring
 //                                       (attach_flight_recorder; auth)
+//   GET /v1/export?format=&since=&until=
+//                                       bulk export as jsonl (default) or
+//                                       csv; streamed chunked, walking the
+//                                       store's published_at index in
+//                                       bounded slices (auth)
 //   GET <registered>                    extra JSON endpoints
 //                                       (add_json_endpoint; e.g.
 //                                       /v1/telescope statistics)
@@ -25,6 +30,14 @@
 // With a watchdog attached, /v1/health's status escalates
 // ok -> degraded -> stalled from worker heartbeat ages; with a flight
 // recorder attached, every 4xx/5xx response is recorded as an "api" event.
+//
+// Authenticated requests flow auth -> rate limit -> cache -> handler:
+//   - attach_rate_limiter: per-token token buckets; a drained bucket gets
+//     429 with Retry-After (api/ratelimit.h).
+//   - attach_cache: /v1/snapshot and /v1/records responses are cached
+//     keyed by (canonical target, committer sequence) with a strong ETag;
+//     a matching If-None-Match answers 304 without touching the stores
+//     (api/cache.h). Bodies are byte-identical to the uncached handler.
 #pragma once
 
 #include <functional>
@@ -32,7 +45,9 @@
 #include <string>
 #include <unordered_set>
 
+#include "api/cache.h"
 #include "api/http.h"
+#include "api/ratelimit.h"
 #include "feed/manager.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -82,12 +97,31 @@ class ApiServer {
     watchdog_ = watchdog;
   }
 
+  /// Supplies the annotate committer's sequence number (e.g.
+  /// [&pipe] { return pipe.commit_sequence(); }) — the validity key for
+  /// cached responses and their ETags.
+  using VersionFn = std::function<std::uint64_t()>;
+
+  /// Attaches a response cache for /v1/snapshot and /v1/records, keyed by
+  /// `version` for exact invalidation. Both must outlive the server.
+  void attach_cache(ResponseCache* cache, VersionFn version) {
+    cache_ = cache;
+    version_ = std::move(version);
+  }
+
+  /// Attaches a per-token rate limiter; throttled requests get 429 with a
+  /// Retry-After header. Must outlive the server.
+  void attach_rate_limiter(TokenBucketLimiter* limiter) { limiter_ = limiter; }
+
   /// Handles one request (transport-independent; the TCP binding and the
   /// tests both route through here).
   HttpResponse handle(const HttpRequest& request) const;
 
  private:
   bool authorized(const HttpRequest& request) const;
+  /// Full request flow: auth -> rate limit -> cache / If-None-Match ->
+  /// dispatch (see the header comment).
+  HttpResponse process(const HttpRequest& request) const;
   HttpResponse dispatch(const HttpRequest& request) const;
   HttpResponse handle_stats() const;
   HttpResponse handle_records(const HttpRequest& request) const;
@@ -95,12 +129,16 @@ class ApiServer {
   HttpResponse handle_snapshot(const HttpRequest& request) const;
   HttpResponse handle_query(const HttpRequest& request) const;
   HttpResponse handle_traces(const HttpRequest& request) const;
+  HttpResponse handle_export(const HttpRequest& request) const;
 
   const feed::FeedManager& feed_;
   const obs::MetricsRegistry* metrics_ = nullptr;
   const obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
   const obs::Watchdog* watchdog_ = nullptr;
+  ResponseCache* cache_ = nullptr;
+  VersionFn version_;
+  TokenBucketLimiter* limiter_ = nullptr;
   std::unordered_set<std::string> tokens_;
   std::map<std::string, std::function<json::Value()>> extra_endpoints_;
 };

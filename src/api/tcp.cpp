@@ -2,12 +2,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <cstdio>
 #include <cstring>
 
 #include "common/strings.h"
@@ -15,6 +19,11 @@
 namespace exiot::api {
 
 namespace {
+
+/// epoll user-data tags for the two non-connection descriptors each loop
+/// watches; connection tags are their (always smaller) Conn ids.
+constexpr std::uint64_t kListenTag = ~std::uint64_t{0};
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0} - 1;
 
 // Declared Content-Length of the request whose headers end at
 // `header_end`, or 0 when absent/malformed (parse() rejects malformed
@@ -43,13 +52,6 @@ std::size_t request_span(std::string_view raw) {
                   header_end + 4 + declared_body_length(raw, header_end));
 }
 
-void set_deadline(int fd, int option, std::chrono::milliseconds timeout) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
-}
-
 }  // namespace
 
 TcpListener::TcpListener(const ApiServer& server, TcpListenerOptions options)
@@ -57,6 +59,8 @@ TcpListener::TcpListener(const ApiServer& server, TcpListenerOptions options)
       options_(options),
       queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
   if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.num_event_loops < 1) options_.num_event_loops = 1;
+  if (options_.stream_watermark_bytes == 0) options_.stream_watermark_bytes = 1;
   instrument(obs::scratch_registry());
 }
 
@@ -66,7 +70,16 @@ void TcpListener::instrument(obs::MetricsRegistry& registry) {
   connections_c_ = &registry.counter("exiot_api_connections_total",
                                      "Connections accepted by the listener.");
   inflight_g_ = &registry.gauge("exiot_api_connections_inflight",
-                                "Connections currently held by a worker.");
+                                "Connections currently open on a loop.");
+  requests_inflight_g_ = &registry.gauge(
+      "exiot_api_requests_inflight",
+      "Requests dispatched to a worker whose response has not yet been "
+      "handed back to the owning event loop.");
+  streams_g_ = &registry.gauge(
+      "exiot_api_export_streams_inflight",
+      "Chunked streaming responses currently being pulled.");
+  loops_g_ = &registry.gauge("exiot_api_event_loops",
+                             "Event-loop threads while the listener runs.");
   static const char* kClasses[4] = {"2xx", "3xx", "4xx", "5xx"};
   for (int i = 0; i < 4; ++i) {
     class_c_[i] = &registry.counter("exiot_api_requests_total",
@@ -75,21 +88,24 @@ void TcpListener::instrument(obs::MetricsRegistry& registry) {
   }
   latency_h_ = &registry.histogram(
       "exiot_api_request_latency_seconds",
-      "Wall-clock handle+write latency per request.", obs::latency_buckets());
+      "Wall-clock handle+serialize latency per request.",
+      obs::latency_buckets());
   timeouts_c_ = &registry.counter(
       "exiot_api_timeouts_total",
-      "Connections that hit a read/write deadline (SO_RCVTIMEO/SO_SNDTIMEO).");
+      "Connections that hit a read or write deadline (loop timeout sweep).");
   oversize_c_ = &registry.counter(
       "exiot_api_oversize_total",
       "Requests rejected 413 for exceeding max_request_bytes.");
   rejected_c_ = &registry.counter(
       "exiot_api_rejected_total",
-      "Connections answered 503: dispatch queue full or server draining.");
+      "Requests answered 503: dispatch queue full or server draining.");
   queue_.instrument(registry, {{"buffer", "api"}});
 }
 
 Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // Non-blocking listener: every loop polls it, so a raced accept must
+  // return EAGAIN instead of parking the loop.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     return make_error("tcp", "socket() failed: " +
                                  std::string(std::strerror(errno)));
@@ -108,7 +124,7 @@ Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
     return make_error("tcp",
                       "bind() failed: " + std::string(std::strerror(errno)));
   }
-  if (::listen(listen_fd_, 128) < 0) {
+  if (::listen(listen_fd_, 1024) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return make_error("tcp", "listen() failed: " +
@@ -118,213 +134,538 @@ Result<std::uint16_t> TcpListener::start(std::uint16_t port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  auto fail = [this](const char* what) {
+    for (auto& loop : loops_) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+    }
+    loops_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error("tcp", std::string(what) + " failed: " +
+                                 std::string(std::strerror(errno)));
+  };
+
+  loops_.reserve(static_cast<std::size_t>(options_.num_event_loops));
+  for (int i = 0; i < options_.num_event_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->index = static_cast<std::size_t>(i);
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) {
+      loops_.push_back(std::move(loop));
+      return fail("epoll_create1()");
+    }
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) {
+      loops_.push_back(std::move(loop));
+      return fail("eventfd()");
+    }
+    epoll_event wake_ev{};
+    wake_ev.events = EPOLLIN;
+    wake_ev.data.u64 = kWakeTag;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &wake_ev);
+    epoll_event listen_ev{};
+    listen_ev.events = EPOLLIN;
+#ifdef EPOLLEXCLUSIVE
+    // One loop per connection burst instead of a thundering herd.
+    listen_ev.events |= EPOLLEXCLUSIVE;
+#endif
+    listen_ev.data.u64 = kListenTag;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &listen_ev);
+    loop->listen_registered = true;
+    loops_.push_back(std::move(loop));
+  }
+
   queue_.reopen();  // Rearm after a previous stop().
+  draining_.store(false);
   running_.store(true);
+  loops_g_->set(static_cast<double>(options_.num_event_loops));
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { loop_run(i); });
+  }
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(
         [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
   return port_;
 }
 
 void TcpListener::stop() {
   if (!running_.exchange(false)) return;
-  // Wake the blocked accept() without invalidating the fd number: the
-  // acceptor may be inside accept(listen_fd_) right now, so the descriptor
-  // must stay reserved until it is joined. shutdown() forces accept() to
-  // return; close() happens strictly after the join.
+  // 1. Stop accepting. The fd number must stay reserved until the loops
+  // deregister it, so shutdown() here and close() strictly last.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  // Workers drain the queue (refusing what remains, running_ is false)
-  // and finish their in-flight request. Idle keep-alive reads are woken
-  // by shutting down the read side; the response side stays writable so
-  // an in-flight response still completes.
+  // 2. Workers finish their in-flight handlers and drain the queue
+  // (requests popped after stop answer 503/Connection: close); by join
+  // every completion has been posted to its owning loop.
   queue_.close();
-  {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    for (int fd : active_clients_) ::shutdown(fd, SHUT_RD);
-  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // 3. Loops flush the buffered responses — bounded by write_timeout —
+  // close every connection, and exit.
+  draining_.store(true);
+  for (auto& loop : loops_) wake(*loop);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  for (auto& loop : loops_) {
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+  }
+  loops_.clear();
+  draining_.store(false);
+  loops_g_->set(0.0);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 }
 
-void TcpListener::accept_loop() {
-  while (running_.load()) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (!running_.load()) break;
-      if (errno == EINTR) continue;
-      continue;
-    }
-    connections_c_->inc();
-    if (!running_.load() || !queue_.try_push(client)) {
-      // Queue full (back-pressure) or already draining.
-      refuse(client);
-    }
-  }
+void TcpListener::wake(EventLoop& loop) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(loop.wake_fd, &one, sizeof(one));
 }
 
-void TcpListener::worker_loop(std::size_t index) {
-  // Blocking on an empty dispatch queue is idle, not stalled; only time
-  // spent inside serve_connection counts against the watchdog deadline.
+void TcpListener::post_completion(std::size_t loop_index, Completion done) {
+  EventLoop& loop = *loops_[loop_index];
+  {
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    loop.completions.push_back(std::move(done));
+  }
+  wake(loop);
+}
+
+void TcpListener::loop_run(std::size_t index) {
+  EventLoop& loop = *loops_[index];
+  // Blocked in epoll_wait is idle, not stalled; only event handling
+  // counts against the watchdog deadline.
   auto heartbeat =
-      obs::Watchdog::attach(watchdog_, "api:" + std::to_string(index));
+      obs::Watchdog::attach(watchdog_, "apiloop:" + std::to_string(index));
+  using std::chrono::milliseconds;
+  const milliseconds sweep_every = std::max(
+      milliseconds(10),
+      std::min({options_.read_timeout, options_.write_timeout,
+                milliseconds(400)}) /
+          2);
+  auto last_sweep = std::chrono::steady_clock::now();
+  std::vector<epoll_event> events(128);
+  bool drain_entered = false;
+  auto drain_deadline = std::chrono::steady_clock::time_point{};
   for (;;) {
     heartbeat.idle();
-    auto client = queue_.pop();
-    if (!client.has_value()) break;
+    const int n =
+        ::epoll_wait(loop.epoll_fd, events.data(),
+                     static_cast<int>(events.size()),
+                     static_cast<int>(sweep_every.count()));
     heartbeat.busy();
-    if (!running_.load()) {
-      // Drain after stop(): queued sockets never reach a handler.
-      refuse(*client);
-      continue;
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      const std::uint32_t flags = events[i].events;
+      if (tag == kListenTag) {
+        accept_ready(loop);
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t value = 0;
+        while (::read(loop.wake_fd, &value, sizeof(value)) > 0) {
+        }
+        continue;
+      }
+      if ((flags & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+        on_readable(loop, tag);
+      }
+      if ((flags & EPOLLOUT) != 0) {
+        // Re-find: the readable branch may have closed the connection.
+        auto it = loop.conns.find(tag);
+        if (it != loop.conns.end()) pump(loop, *it->second);
+      }
     }
-    serve_connection(*client);
+    install_completions(loop);
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_sweep >= sweep_every) {
+      last_sweep = now;
+      sweep_timeouts(loop);
+    }
+    if (draining_.load()) {
+      if (!drain_entered) {
+        drain_entered = true;
+        drain_deadline = now + options_.write_timeout;
+        if (loop.listen_registered) {
+          ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          loop.listen_registered = false;
+        }
+        // No further requests: flush what is buffered, close the rest.
+        // Workers joined before draining_ was set, so a still-busy
+        // connection can never complete — close it now.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(loop.conns.size());
+        for (const auto& [id, conn] : loop.conns) ids.push_back(id);
+        for (const auto id : ids) {
+          auto it = loop.conns.find(id);
+          if (it == loop.conns.end()) continue;
+          Conn& conn = *it->second;
+          conn.keep_after = false;
+          conn.close_after = true;
+          if (conn.busy || (!conn.response_pending && conn.out.empty())) {
+            close_conn(loop, id);
+          } else {
+            pump(loop, conn);
+          }
+        }
+      }
+      if (loop.conns.empty() ||
+          std::chrono::steady_clock::now() >= drain_deadline) {
+        std::vector<std::uint64_t> ids;
+        ids.reserve(loop.conns.size());
+        for (const auto& [id, conn] : loop.conns) ids.push_back(id);
+        for (const auto id : ids) close_conn(loop, id);
+        break;
+      }
+    }
     heartbeat.beat();
   }
   heartbeat.retire();
 }
 
-void TcpListener::serve_connection(int client) {
-  inflight_g_->inc();
-  register_client(client);
-  set_deadline(client, SO_RCVTIMEO, options_.read_timeout);
-  set_deadline(client, SO_SNDTIMEO, options_.write_timeout);
-
-  std::string raw;  // Carries pipelined leftover bytes across requests.
-  std::size_t served = 0;
-  bool open = true;
-  while (open && running_.load()) {
-    const ReadStatus status = read_request(client, raw);
-    if (status == ReadStatus::kOversize) {
-      oversize_c_->inc();
-      class_c_[2]->inc();
-      send_all(client,
-               HttpResponse::json(413, R"({"error":"request too large"})")
-                   .serialize());
-      break;
-    }
-    if (status == ReadStatus::kTimeout) {
-      timeouts_c_->inc();
-      // Mid-request silence gets an explicit 408; an idle keep-alive
-      // connection that simply stopped talking is closed quietly.
-      if (!raw.empty()) {
-        class_c_[2]->inc();
-        send_all(client,
-                 HttpResponse::json(408, R"({"error":"request timeout"})")
-                     .serialize());
-      }
-      break;
-    }
-    if (status != ReadStatus::kComplete) {
-      // EOF/error with a partial request still buffered: malformed.
-      if (!raw.empty() && served == 0) {
-        class_c_[2]->inc();
-        send_all(client,
-                 HttpResponse::json(400, R"({"error":"malformed request"})")
-                     .serialize());
-      }
-      break;
-    }
-
-    const std::size_t span = request_span(raw);
-    const auto request = HttpRequest::parse(std::string_view(raw).substr(0, span));
-    const auto start = std::chrono::steady_clock::now();
-    HttpResponse response;
-    bool keep = false;
-    if (request.has_value()) {
-      response = server_.handle(*request);
-      const std::string token = to_lower(request->header("connection"));
-      keep = token == "keep-alive" &&
-             served + 1 < options_.max_requests_per_connection;
-      if (keep && !response.headers.contains("Connection")) {
-        response.headers["Connection"] = "keep-alive";
-      }
-    } else {
-      response = HttpResponse::json(400, R"({"error":"malformed request"})");
-    }
-    raw.erase(0, span);
-    send_all(client, response.serialize());
-    latency_h_->observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
-    const int cls = response.status / 100;
-    class_c_[cls >= 2 && cls <= 5 ? cls - 2 : 3]->inc();
-    ++served;
-    open = keep;
-  }
-  unregister_and_close(client);
-  inflight_g_->dec();
-}
-
-TcpListener::ReadStatus TcpListener::read_request(int client,
-                                                  std::string& raw) const {
-  char buf[4096];
-  while (true) {
-    const auto header_end = raw.find("\r\n\r\n");
-    if (header_end != std::string::npos &&
-        raw.size() >=
-            header_end + 4 + declared_body_length(raw, header_end)) {
-      return ReadStatus::kComplete;
-    }
-    if (raw.size() > options_.max_request_bytes) return ReadStatus::kOversize;
-    const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
-    if (n == 0) return ReadStatus::kClosed;
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimeout;
+void TcpListener::accept_ready(EventLoop& loop) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
       if (errno == EINTR) continue;
-      return ReadStatus::kError;
-    }
-    raw.append(buf, static_cast<std::size_t>(n));
-  }
-}
-
-void TcpListener::send_all(int client, const std::string& wire) {
-  std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(client, wire.data() + sent, wire.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        timeouts_c_->inc();  // Write deadline: client stopped draining.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Listening socket shut down (stop()) — deregister so the
+      // level-triggered wakeup cannot spin. Transient failures (EMFILE)
+      // just return and retry on the next readiness report.
+      if (!running_.load() && loop.listen_registered) {
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        loop.listen_registered = false;
       }
       return;
     }
-    sent += static_cast<std::size_t>(n);
+    connections_c_->inc();
+    if (!running_.load()) {
+      ::close(fd);
+      continue;
+    }
+    int yes = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+    if (options_.sndbuf_bytes > 0) {
+      const int sndbuf = static_cast<int>(options_.sndbuf_bytes);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1);
+    conn->last_activity = std::chrono::steady_clock::now();
+    const std::uint64_t id = conn->id;
+    epoll_event ev{};
+    // Edge-triggered both ways, registered once: the state machine drains
+    // reads/writes to EAGAIN on every edge, so no EPOLL_CTL_MOD churn.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = id;
+    if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    inflight_g_->inc();
+    loop.conns.emplace(id, std::move(conn));
+    // The first bytes may have raced the ADD; that edge already fired.
+    on_readable(loop, id);
   }
 }
 
-void TcpListener::refuse(int client) {
-  rejected_c_->inc();
-  class_c_[3]->inc();
-  set_deadline(client, SO_SNDTIMEO, options_.write_timeout);
-  HttpResponse response =
-      HttpResponse::json(503, R"({"error":"server unavailable"})");
-  response.headers["Connection"] = "close";
-  send_all(client, response.serialize());
-  ::close(client);
+void TcpListener::on_readable(EventLoop& loop, std::uint64_t id) {
+  auto it = loop.conns.find(id);
+  if (it == loop.conns.end()) return;
+  Conn& conn = *it->second;
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
+      // A client pumping pipelined bytes while a response is in flight is
+      // bounded here; the per-request 413 runs when the connection quiets.
+      if (conn.in.size() > options_.max_request_bytes * 2 + 8192) {
+        close_conn(loop, id);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn.saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(loop, id);  // ECONNRESET and friends.
+    return;
+  }
+  try_process(loop, conn);
 }
 
-void TcpListener::register_client(int client) {
-  std::lock_guard<std::mutex> lock(clients_mutex_);
-  active_clients_.insert(client);
+void TcpListener::try_process(EventLoop& loop, Conn& conn) {
+  if (conn.busy || conn.response_pending || conn.stream != nullptr ||
+      !conn.out.empty()) {
+    return;
+  }
+  if (conn.close_after) {
+    close_conn(loop, conn.id);
+    return;
+  }
+  const auto header_end = conn.in.find("\r\n\r\n");
+  const bool complete =
+      header_end != std::string::npos &&
+      conn.in.size() >= header_end + 4 + declared_body_length(conn.in,
+                                                              header_end);
+  if (!complete) {
+    if (conn.in.size() > options_.max_request_bytes) {
+      oversize_c_->inc();
+      class_c_[2]->inc();
+      respond_and_close(
+          loop, conn,
+          HttpResponse::json(413, R"({"error":"request too large"})"));
+      return;
+    }
+    if (conn.saw_eof) {
+      // EOF with a partial request still buffered: malformed. A clean
+      // close (nothing buffered, or mid-keep-alive) stays quiet.
+      if (!conn.in.empty() && conn.served == 0) {
+        class_c_[2]->inc();
+        respond_and_close(
+            loop, conn,
+            HttpResponse::json(400, R"({"error":"malformed request"})"));
+      } else {
+        close_conn(loop, conn.id);
+      }
+    }
+    return;
+  }
+
+  const std::size_t span = request_span(conn.in);
+  auto request = HttpRequest::parse(std::string_view(conn.in).substr(0, span));
+  conn.in.erase(0, span);
+  if (!request.has_value()) {
+    class_c_[2]->inc();
+    respond_and_close(
+        loop, conn,
+        HttpResponse::json(400, R"({"error":"malformed request"})"));
+    return;
+  }
+  Job job;
+  job.loop = loop.index;
+  job.conn_id = conn.id;
+  job.request = std::move(*request);
+  job.allow_keep = conn.served + 1 < options_.max_requests_per_connection;
+  if (!running_.load() || !queue_.try_push(std::move(job))) {
+    // Queue full (back-pressure) or already draining.
+    rejected_c_->inc();
+    class_c_[3]->inc();
+    HttpResponse response =
+        HttpResponse::json(503, R"({"error":"server unavailable"})");
+    response.headers["Connection"] = "close";
+    respond_and_close(loop, conn, std::move(response));
+    return;
+  }
+  conn.busy = true;
+  requests_inflight_g_->inc();
 }
 
-void TcpListener::unregister_and_close(int client) {
+void TcpListener::worker_loop(std::size_t index) {
+  // Blocking on an empty dispatch queue is idle, not stalled; only time
+  // spent handling a request counts against the watchdog deadline.
+  auto heartbeat =
+      obs::Watchdog::attach(watchdog_, "api:" + std::to_string(index));
+  for (;;) {
+    heartbeat.idle();
+    auto job = queue_.pop();
+    if (!job.has_value()) break;
+    heartbeat.busy();
+    Completion done;
+    done.conn_id = job->conn_id;
+    if (!running_.load()) {
+      // Drain after stop(): queued requests never reach a handler.
+      rejected_c_->inc();
+      class_c_[3]->inc();
+      HttpResponse response =
+          HttpResponse::json(503, R"({"error":"server unavailable"})");
+      response.headers["Connection"] = "close";
+      done.wire = response.serialize();
+    } else {
+      const auto start = std::chrono::steady_clock::now();
+      HttpResponse response = server_.handle(job->request);
+      const bool keep =
+          to_lower(job->request.header("connection")) == "keep-alive" &&
+          job->allow_keep;
+      if (keep && !response.headers.contains("Connection")) {
+        response.headers["Connection"] = "keep-alive";
+      }
+      if (response.body_stream != nullptr) {
+        done.stream = response.body_stream;
+        done.wire = response.serialize_head_chunked();
+      } else {
+        done.wire = response.serialize();
+      }
+      latency_h_->observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      const int cls = response.status / 100;
+      class_c_[cls >= 2 && cls <= 5 ? cls - 2 : 3]->inc();
+      done.keep = keep;
+    }
+    post_completion(job->loop, std::move(done));
+    heartbeat.beat();
+  }
+  heartbeat.retire();
+}
+
+void TcpListener::install_completions(EventLoop& loop) {
+  std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    active_clients_.erase(client);
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    batch.swap(loop.completions);
   }
-  ::close(client);
+  for (auto& done : batch) {
+    requests_inflight_g_->dec();
+    auto it = loop.conns.find(done.conn_id);
+    if (it == loop.conns.end()) continue;  // Died while processing; the
+                                           // stream (if any) frees here.
+    Conn& conn = *it->second;
+    conn.busy = false;
+    conn.response_pending = true;
+    conn.out += done.wire;
+    if (done.stream != nullptr) {
+      conn.stream = std::move(done.stream);
+      streams_g_->inc();
+    }
+    conn.keep_after = done.keep && !conn.saw_eof && !draining_.load();
+    const auto now = std::chrono::steady_clock::now();
+    conn.last_activity = now;
+    conn.write_start = now;
+    pump(loop, conn);
+  }
+}
+
+void TcpListener::pump(EventLoop& loop, Conn& conn) {
+  for (;;) {
+    // Chunked-streaming backpressure: pull the next body piece only while
+    // the buffered output sits below the watermark; an unwritable socket
+    // leaves the export cursor paused right here.
+    while (conn.stream != nullptr &&
+           conn.out.size() < options_.stream_watermark_bytes) {
+      auto piece = (*conn.stream)();
+      if (!piece.has_value()) {
+        conn.out += "0\r\n\r\n";  // Chunked terminator.
+        conn.stream.reset();
+        streams_g_->dec();
+        break;
+      }
+      if (piece->empty()) continue;  // An empty chunk would terminate.
+      char frame[24];
+      std::snprintf(frame, sizeof(frame), "%zx\r\n", piece->size());
+      conn.out += frame;
+      conn.out += *piece;
+      conn.out += "\r\n";
+    }
+    if (conn.out.empty()) break;
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      const auto now = std::chrono::steady_clock::now();
+      conn.last_activity = now;
+      conn.write_start = now;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_conn(loop, conn.id);  // Peer gone; frees any stream cursor.
+    return;
+  }
+  if (conn.stream == nullptr && conn.response_pending) {
+    finish_response(loop, conn);
+  }
+}
+
+void TcpListener::finish_response(EventLoop& loop, Conn& conn) {
+  conn.response_pending = false;
+  ++conn.served;
+  if (conn.close_after || !conn.keep_after || conn.saw_eof ||
+      draining_.load()) {
+    close_conn(loop, conn.id);
+    return;
+  }
+  conn.last_activity = std::chrono::steady_clock::now();
+  try_process(loop, conn);  // Pipelined bytes may already hold the next one.
+}
+
+void TcpListener::respond_and_close(EventLoop& loop, Conn& conn,
+                                    HttpResponse response) {
+  conn.out += response.serialize();
+  conn.response_pending = true;
+  conn.keep_after = false;
+  conn.close_after = true;
+  conn.write_start = std::chrono::steady_clock::now();
+  pump(loop, conn);
+}
+
+void TcpListener::close_conn(EventLoop& loop, std::uint64_t id) {
+  auto it = loop.conns.find(id);
+  if (it == loop.conns.end()) return;
+  Conn& conn = *it->second;
+  if (conn.stream != nullptr) {
+    conn.stream.reset();  // Abort mid-stream: the export cursor dies here.
+    streams_g_->dec();
+  }
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  loop.conns.erase(it);
+  inflight_g_->dec();
+}
+
+void TcpListener::sweep_timeouts(EventLoop& loop) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> expired_read;
+  std::vector<std::uint64_t> expired_write;
+  for (const auto& [id, conn] : loop.conns) {
+    if (conn->busy) continue;  // A worker owns it; the watchdog covers that.
+    if (conn->response_pending || !conn->out.empty() ||
+        conn->stream != nullptr) {
+      if (now - conn->write_start > options_.write_timeout) {
+        expired_write.push_back(id);
+      }
+      continue;
+    }
+    if (now - conn->last_activity > options_.read_timeout) {
+      expired_read.push_back(id);
+    }
+  }
+  for (const auto id : expired_write) {
+    timeouts_c_->inc();  // Client stopped draining its response.
+    close_conn(loop, id);
+  }
+  for (const auto id : expired_read) {
+    auto it = loop.conns.find(id);
+    if (it == loop.conns.end()) continue;
+    Conn& conn = *it->second;
+    timeouts_c_->inc();
+    // Mid-request silence gets an explicit 408; an idle keep-alive
+    // connection that simply stopped talking is closed quietly.
+    if (!conn.in.empty()) {
+      class_c_[2]->inc();
+      respond_and_close(
+          loop, conn,
+          HttpResponse::json(408, R"({"error":"request timeout"})"));
+    } else {
+      close_conn(loop, id);
+    }
+  }
 }
 
 }  // namespace exiot::api

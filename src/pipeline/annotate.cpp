@@ -90,6 +90,7 @@ void AnnotateStage::submit(AnnotateJob job) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++submitted_;
     ++committed_;
+    commit_seq_.store(committed_, std::memory_order_release);
     records_c_->inc();
     return;
   }
@@ -112,6 +113,7 @@ void AnnotateStage::submit_mark_ended(Ipv4 src, TimeMicros scan_end,
     std::lock_guard<std::mutex> lock(mutex_);
     ++submitted_;
     ++committed_;
+    commit_seq_.store(committed_, std::memory_order_release);
     return;
   }
   {
@@ -214,6 +216,7 @@ void AnnotateStage::committer_loop() {
     heartbeat.beat();
     lock.lock();
     ++committed_;
+    commit_seq_.store(committed_, std::memory_order_release);
     inflight_g_->set(static_cast<double>(submitted_ - committed_));
     drain_cv_.notify_all();
   }

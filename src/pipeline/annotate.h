@@ -36,6 +36,7 @@
 // makes crash recovery byte-identical to an uninterrupted run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -138,6 +139,13 @@ class AnnotateStage {
   int num_workers() const { return config_.num_workers; }
   std::uint64_t submitted() const;
   std::uint64_t committed() const;
+  /// Lock-free mirror of committed(): the sequence number of the last op
+  /// whose side effects are visible in the feed. Advances exactly when a
+  /// commit lands, so it is the validity key for API response caching —
+  /// readable from any thread without touching the stage lock.
+  std::uint64_t commit_sequence() const {
+    return commit_seq_.load(std::memory_order_acquire);
+  }
   /// Wall-clock micros the committer waited on an unready window head
   /// while later results sat ready (out-of-order completion cost).
   std::uint64_t reorder_stall_micros() const;
@@ -189,6 +197,9 @@ class AnnotateStage {
   std::map<std::uint64_t, Op> window_;  // Reorder buffer, keyed by seq.
   std::uint64_t submitted_ = 0;
   std::uint64_t committed_ = 0;
+  /// Mirror of committed_ published after each commit's side effects; the
+  /// API reads it without the stage lock (see commit_sequence()).
+  std::atomic<std::uint64_t> commit_seq_{0};
   std::size_t ready_ = 0;  // Ready ops parked in the window.
   std::uint64_t stall_micros_ = 0;
   bool stop_ = false;

@@ -162,6 +162,10 @@ class ExIotPipeline {
 
   feed::FeedManager& feed() { return feed_; }
   const feed::FeedManager& feed() const { return feed_; }
+  /// The annotate committer's sequence number: advances exactly when a
+  /// commit's side effects become visible in the feed. Lock-free; the API
+  /// response cache keys validity on it (api/cache.h).
+  std::uint64_t commit_sequence() const { return annotate_.commit_sequence(); }
   feed::NotificationEngine& notifications() { return notifications_; }
   /// Emails generated by the notification engine (simulated SMTP sink).
   const std::vector<feed::EmailMessage>& outbox() const { return outbox_; }

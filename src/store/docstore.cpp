@@ -122,6 +122,37 @@ std::vector<ObjectId> DocumentStore::find_range(const std::string& field,
   return out;
 }
 
+std::vector<ObjectId> DocumentStore::find_range_page(const std::string& field,
+                                                     std::int64_t from,
+                                                     std::int64_t to,
+                                                     std::size_t limit,
+                                                     PageCursor& cursor) const {
+  ops_.read->inc();
+  auto index_it = ordered_indexes_.find(field);
+  if (index_it == ordered_indexes_.end() || from >= to || limit == 0) return {};
+  const auto& buckets = index_it->second;
+  std::vector<ObjectId> out;
+  const std::int64_t start = cursor.active ? std::max(from, cursor.value) : from;
+  for (auto it = buckets.lower_bound(start); it != buckets.end(); ++it) {
+    if (it->first >= to) break;
+    // Bucket order churns as updates re-append ids; pages promise (value,
+    // id) order, so sort a copy before slicing.
+    std::vector<ObjectId> ids = it->second;
+    std::sort(ids.begin(), ids.end());
+    for (const auto& id : ids) {
+      if (cursor.active && it->first == cursor.value && !(cursor.after < id)) {
+        continue;  // Already emitted in an earlier page.
+      }
+      out.push_back(id);
+      cursor.value = it->first;
+      cursor.after = id;
+      cursor.active = true;
+      if (out.size() == limit) return out;
+    }
+  }
+  return out;
+}
+
 std::vector<ObjectId> DocumentStore::find_if(
     const std::function<bool(const json::Value&)>& pred) const {
   ops_.scan->inc();

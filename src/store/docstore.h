@@ -67,6 +67,26 @@ class DocumentStore {
   std::vector<ObjectId> find_range(const std::string& field,
                                    std::int64_t from, std::int64_t to) const;
 
+  /// Resumable position in a paged ordered-index walk. Value-initialized
+  /// means "start of range"; after a page it names the last (value, id)
+  /// returned so the next page resumes strictly past it.
+  struct PageCursor {
+    std::int64_t value = 0;
+    ObjectId after{};
+    bool active = false;
+  };
+
+  /// One bounded slice of `find_range`, in (field value, id) order: up to
+  /// `limit` ids with `from` <= field < `to` strictly past `cursor`, which
+  /// is advanced in place. An empty result means the walk is done. The
+  /// cursor survives interleaved inserts — new documents land at fresh
+  /// (value, id) positions, so a paused walk (a streaming export waiting
+  /// out socket backpressure) never sees an id twice.
+  std::vector<ObjectId> find_range_page(const std::string& field,
+                                        std::int64_t from, std::int64_t to,
+                                        std::size_t limit,
+                                        PageCursor& cursor) const;
+
   /// Full scan with predicate (the query-builder path).
   std::vector<ObjectId> find_if(
       const std::function<bool(const json::Value&)>& pred) const;

@@ -77,6 +77,32 @@ TEST(AnnotateStageTest, CommitsInSubmitOrderDespiteOutOfOrderCompletion) {
   EXPECT_GT(stage.reorder_stall_micros(), 0u);
 }
 
+TEST(AnnotateStageTest, CommitSequenceMirrorsCommittedOnEveryPath) {
+  // The lock-free commit_sequence mirror is what keys the API response
+  // cache; it must advance exactly once per commit on both the serial
+  // submit path and the parallel committer loop.
+  CommitLog serial_log;
+  AnnotateStage serial({.num_workers = 1, .queue_capacity = 4},
+                       delayed_annotator(), serial_log.commit(),
+                       serial_log.mark_ended());
+  EXPECT_EQ(serial.commit_sequence(), 0u);
+  serial.submit(tagged_job(1, 0));
+  EXPECT_EQ(serial.commit_sequence(), 1u);
+  serial.submit_mark_ended(Ipv4(192, 0, 2, 9), seconds(1), seconds(2));
+  EXPECT_EQ(serial.commit_sequence(), 2u);
+  serial.drain();
+  EXPECT_EQ(serial.commit_sequence(), serial.committed());
+
+  CommitLog parallel_log;
+  AnnotateStage parallel({.num_workers = 4, .queue_capacity = 16},
+                         delayed_annotator(), parallel_log.commit(),
+                         parallel_log.mark_ended());
+  for (int i = 0; i < 10; ++i) parallel.submit(tagged_job(i, 0));
+  parallel.drain();
+  EXPECT_EQ(parallel.commit_sequence(), 10u);
+  EXPECT_EQ(parallel.commit_sequence(), parallel.committed());
+}
+
 TEST(AnnotateStageTest, MarkEndedSequencesWithRecords) {
   CommitLog log;
   AnnotateStage stage({.num_workers = 2, .queue_capacity = 8},

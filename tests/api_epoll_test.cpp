@@ -1,0 +1,437 @@
+// Tests for the epoll-driven TCP binding: multi-loop serving, chunked
+// streaming export with backpressure (a stalled reader must not block the
+// event loop), mid-stream aborts releasing their iterator state, and the
+// conditional/throttled response paths over a real socket.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cache.h"
+#include "api/ratelimit.h"
+#include "api/server.h"
+#include "api/tcp.h"
+#include "common/strings.h"
+#include "feed/export.h"
+#include "feed/manager.h"
+
+namespace exiot::api {
+namespace {
+
+// Loopback client; `rcvbuf` (when nonzero) shrinks the kernel receive
+// buffer before connecting so a non-reading client exerts backpressure
+// on the server after only a few KB instead of hundreds.
+class Client {
+ public:
+  explicit Client(std::uint16_t port, int rcvbuf = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() { close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool send_raw(const std::string& bytes) {
+    return ::write(fd_, bytes.data(), bytes.size()) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  bool send_get(const std::string& target, const std::string& extra = "") {
+    return send_raw("GET " + target +
+                    " HTTP/1.1\r\nAuthorization: Bearer secret\r\n" + extra +
+                    "\r\n");
+  }
+
+  /// One Content-Length framed response, or "" on EOF/error first.
+  std::string read_response() {
+    while (true) {
+      const auto header_end = buf_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::size_t length = 0;
+        const std::string head = buf_.substr(0, header_end);
+        if (const auto at = head.find("Content-Length: ");
+            at != std::string::npos) {
+          length =
+              static_cast<std::size_t>(std::atoll(head.c_str() + at + 16));
+        }
+        const std::size_t total = header_end + 4 + length;
+        if (buf_.size() >= total) {
+          std::string out = buf_.substr(0, total);
+          buf_.erase(0, total);
+          return out;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string read_to_eof() {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(fd_, chunk, sizeof(chunk))) > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string out = std::move(buf_);
+    buf_.clear();
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Reassembles a Transfer-Encoding: chunked body. Returns nullopt on a
+/// framing error or a missing terminator (a truncated stream must not
+/// silently pass as a complete export).
+std::optional<std::string> decode_chunked(const std::string& wire) {
+  std::string body;
+  std::size_t at = 0;
+  while (true) {
+    const auto line_end = wire.find("\r\n", at);
+    if (line_end == std::string::npos) return std::nullopt;
+    std::size_t size = 0;
+    try {
+      size = static_cast<std::size_t>(
+          std::stoull(wire.substr(at, line_end - at), nullptr, 16));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    at = line_end + 2;
+    if (size == 0) return body;  // Terminator chunk.
+    if (at + size + 2 > wire.size()) return std::nullopt;
+    body.append(wire, at, size);
+    at += size + 2;  // Skip the chunk's trailing CRLF.
+  }
+}
+
+std::string header_value(const std::string& response, const std::string& name) {
+  const auto at = response.find("\r\n" + name + ": ");
+  if (at == std::string::npos) return "";
+  const auto start = at + name.size() + 4;
+  return response.substr(start, response.find("\r\n", start) - start);
+}
+
+double wait_for_gauge(obs::MetricsRegistry& registry, const std::string& name,
+                      double want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  double value = registry.gauge_value(name);
+  while (value != want && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    value = registry.gauge_value(name);
+  }
+  return value;
+}
+
+class EpollApiTest : public ::testing::Test {
+ protected:
+  EpollApiTest() : server_(feed_) { server_.add_token("secret"); }
+
+  /// Publishes `count` records with ascending published_at; the export
+  /// endpoint walks the published_at index, so the expected body is the
+  /// records in publish order.
+  void publish(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      feed::CtiRecord r;
+      r.src = Ipv4(static_cast<std::uint32_t>(0x0a000001 + i));
+      r.label = i % 2 == 0 ? feed::kLabelIot : feed::kLabelNonIot;
+      r.country_code = "CN";
+      r.country = "China";
+      r.vendor = "MikroTik";
+      r.asn = 4134;
+      r.published_at = hours(1) + static_cast<TimeMicros>(i);
+      (void)feed_.publish(r, r.published_at);
+      records_.push_back(r);
+    }
+  }
+
+  std::string expected_jsonl() const {
+    std::string out;
+    for (const auto& r : records_) out += r.to_json().dump() + "\n";
+    return out;
+  }
+
+  std::string expected_csv() const {
+    std::string out = join(feed::export_columns(), ",") + "\n";
+    for (const auto& r : records_) out += feed::to_csv_row(r) + "\n";
+    return out;
+  }
+
+  feed::FeedManager feed_;
+  ApiServer server_;
+  std::vector<feed::CtiRecord> records_;
+};
+
+TEST_F(EpollApiTest, ExportStreamMatchesBulkExportByteForByte) {
+  publish(600);  // > 2 slices of 256: the cursor must resume mid-walk.
+  auto req = HttpRequest::parse(
+      "GET /v1/export HTTP/1.1\r\nAuthorization: Bearer secret\r\n\r\n");
+  HttpResponse res = server_.handle(*req);
+  ASSERT_EQ(res.status, 200);
+  ASSERT_NE(res.body_stream, nullptr);
+  EXPECT_EQ(res.headers.at("Content-Type"), "application/x-ndjson");
+  std::string streamed;
+  std::size_t pulls = 0;
+  while (auto piece = (*res.body_stream)()) {
+    streamed += *piece;
+    ++pulls;
+  }
+  EXPECT_GE(pulls, 3u);  // Sliced, not materialized in one pull.
+  EXPECT_EQ(streamed, expected_jsonl());
+}
+
+TEST_F(EpollApiTest, ExportCsvCarriesHeaderAndWindowFilters) {
+  publish(10);
+  auto req = HttpRequest::parse(
+      "GET /v1/export?format=csv HTTP/1.1\r\n"
+      "Authorization: Bearer secret\r\n\r\n");
+  HttpResponse res = server_.handle(*req);
+  ASSERT_EQ(res.status, 200);
+  EXPECT_EQ(res.headers.at("Content-Type"), "text/csv");
+  std::string streamed;
+  while (auto piece = (*res.body_stream)()) streamed += *piece;
+  EXPECT_EQ(streamed, expected_csv());
+
+  // A half-open window keeps only the first half of the records.
+  auto windowed = HttpRequest::parse(
+      "GET /v1/export?until=" + std::to_string(hours(1) + 5) +
+      " HTTP/1.1\r\nAuthorization: Bearer secret\r\n\r\n");
+  HttpResponse res2 = server_.handle(*windowed);
+  std::string first_half;
+  while (auto piece = (*res2.body_stream)()) first_half += *piece;
+  std::string want;
+  for (std::size_t i = 0; i < 5; ++i) {
+    want += records_[i].to_json().dump() + "\n";
+  }
+  EXPECT_EQ(first_half, want);
+
+  auto bad = HttpRequest::parse(
+      "GET /v1/export?format=xml HTTP/1.1\r\n"
+      "Authorization: Bearer secret\r\n\r\n");
+  EXPECT_EQ(server_.handle(*bad).status, 400);
+  auto noauth = HttpRequest::parse("GET /v1/export HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(server_.handle(*noauth).status, 401);
+}
+
+TEST_F(EpollApiTest, ChunkedExportOverTcpReassemblesExactly) {
+  publish(300);
+  TcpListener listener(server_);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+  Client client(port.value());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_get("/v1/export"));
+  const std::string wire = client.read_to_eof();
+  listener.stop();
+
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length:"), std::string::npos);
+  const auto header_end = wire.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const auto body = decode_chunked(wire.substr(header_end + 4));
+  ASSERT_TRUE(body.has_value()) << "truncated or misframed chunk stream";
+  EXPECT_EQ(*body, expected_jsonl());
+}
+
+TEST_F(EpollApiTest, MultipleEventLoopsShareTheListener) {
+  publish(4);
+  obs::MetricsRegistry registry;
+  TcpListenerOptions options;
+  options.num_event_loops = 3;
+  options.num_workers = 2;
+  TcpListener listener(server_, options);
+  listener.instrument(registry);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+  EXPECT_EQ(registry.gauge_value("exiot_api_event_loops"), 3.0);
+
+  // Concurrent keep-alive clients land on whichever loop accepts them;
+  // every request must be answered regardless of placement.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<Client>(port.value()));
+    ASSERT_TRUE(clients.back()->connected());
+  }
+  for (auto& client : clients) {
+    ASSERT_TRUE(client->send_get("/v1/stats", "Connection: keep-alive\r\n"));
+  }
+  for (auto& client : clients) {
+    const std::string response = client->read_response();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("total_records"), std::string::npos);
+  }
+  for (auto& client : clients) {
+    ASSERT_TRUE(client->send_get("/v1/health", "Connection: keep-alive\r\n"));
+    EXPECT_NE(client->read_response().find("\"status\""), std::string::npos);
+  }
+  clients.clear();
+  listener.stop();
+  EXPECT_EQ(registry.counter_value("exiot_api_connections_total"), 8u);
+  EXPECT_EQ(
+      registry.counter_value("exiot_api_requests_total", {{"class", "2xx"}}),
+      16u);
+  EXPECT_EQ(registry.gauge_value("exiot_api_connections_inflight"), 0.0);
+}
+
+TEST_F(EpollApiTest, SlowExportReaderDoesNotBlockOtherClients) {
+  publish(3000);  // ~1 MB serialized: far beyond the socket buffers.
+  obs::MetricsRegistry registry;
+  TcpListenerOptions options;
+  options.num_event_loops = 1;  // One loop serves both clients.
+  options.num_workers = 1;
+  options.stream_watermark_bytes = 8 * 1024;
+  options.sndbuf_bytes = 8 * 1024;  // No autotuned 4 MB kernel cushion.
+  TcpListener listener(server_, options);
+  listener.instrument(registry);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+
+  // The slow reader: a tiny receive buffer, an export request, no reads.
+  // The stream pauses at the watermark once the socket stops accepting
+  // bytes; the loop must stay responsive for everyone else.
+  Client slow(port.value(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(slow.connected());
+  ASSERT_TRUE(slow.send_get("/v1/export"));
+  EXPECT_EQ(wait_for_gauge(registry, "exiot_api_export_streams_inflight", 1.0),
+            1.0);
+
+  // Ten sequential requests on the same (stalled) loop all answer.
+  for (int i = 0; i < 10; ++i) {
+    Client fast(port.value());
+    ASSERT_TRUE(fast.connected());
+    ASSERT_TRUE(fast.send_get("/v1/stats"));
+    const std::string response = fast.read_response();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+        << "loop blocked behind the stalled export";
+  }
+  // The stalled export is still parked, its cursor alive, nothing dropped.
+  EXPECT_EQ(registry.gauge_value("exiot_api_export_streams_inflight"), 1.0);
+
+  // Aborting mid-stream must free the iterator: both inflight gauges
+  // return to zero once the loop reaps the dead socket.
+  slow.close();
+  EXPECT_EQ(wait_for_gauge(registry, "exiot_api_export_streams_inflight", 0.0),
+            0.0);
+  EXPECT_EQ(wait_for_gauge(registry, "exiot_api_requests_inflight", 0.0), 0.0);
+  EXPECT_EQ(wait_for_gauge(registry, "exiot_api_connections_inflight", 0.0),
+            0.0);
+
+  // And the loop still serves new work after the abort.
+  Client after(port.value());
+  ASSERT_TRUE(after.connected());
+  ASSERT_TRUE(after.send_get("/v1/stats"));
+  EXPECT_NE(after.read_response().find("HTTP/1.1 200 OK"), std::string::npos);
+  listener.stop();
+}
+
+TEST_F(EpollApiTest, StopMidStreamReleasesEverything) {
+  publish(3000);
+  obs::MetricsRegistry registry;
+  TcpListenerOptions options;
+  options.write_timeout = std::chrono::milliseconds(200);
+  options.stream_watermark_bytes = 8 * 1024;
+  options.sndbuf_bytes = 8 * 1024;
+  TcpListener listener(server_, options);
+  listener.instrument(registry);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+  Client slow(port.value(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(slow.connected());
+  ASSERT_TRUE(slow.send_get("/v1/export"));
+  EXPECT_EQ(wait_for_gauge(registry, "exiot_api_export_streams_inflight", 1.0),
+            1.0);
+  // stop() must not hang on the parked stream: the drain deadline bounds
+  // the flush, then the connection is torn down and the stream freed.
+  listener.stop();
+  EXPECT_EQ(registry.gauge_value("exiot_api_export_streams_inflight"), 0.0);
+  EXPECT_EQ(registry.gauge_value("exiot_api_connections_inflight"), 0.0);
+  EXPECT_EQ(registry.gauge_value("exiot_api_requests_inflight"), 0.0);
+}
+
+TEST_F(EpollApiTest, ConditionalAndThrottledResponsesOverTcp) {
+  publish(2);
+  ResponseCache cache(1 << 20);
+  std::uint64_t sequence = 7;
+  server_.attach_cache(&cache, [&sequence] { return sequence; });
+  TokenBucketLimiter limiter({/*rate_per_s=*/1.0, /*burst=*/3.0});
+  server_.attach_rate_limiter(&limiter);
+  TcpListener listener(server_);
+  auto port = listener.start(0);
+  if (!port.ok()) {
+    GTEST_SKIP() << "loopback sockets unavailable: " << port.error().message;
+  }
+
+  Client client(port.value());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_get("/v1/snapshot", "Connection: keep-alive\r\n"));
+  const std::string first = client.read_response();
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(first.find("\r\nDate: "), std::string::npos);
+  EXPECT_TRUE(first.ends_with(" GMT\r\n") ||
+              first.find(" GMT\r\n") != std::string::npos);
+  const std::string etag = header_value(first, "ETag");
+  ASSERT_FALSE(etag.empty());
+
+  ASSERT_TRUE(client.send_get(
+      "/v1/snapshot",
+      "Connection: keep-alive\r\nIf-None-Match: " + etag + "\r\n"));
+  const std::string conditional = client.read_response();
+  EXPECT_NE(conditional.find("HTTP/1.1 304 Not Modified\r\n"),
+            std::string::npos);
+  EXPECT_EQ(header_value(conditional, "ETag"), etag);
+  EXPECT_TRUE(conditional.ends_with("\r\n\r\n"));  // No body on a 304.
+
+  // The burst is 3 and both snapshot requests spent a credit: one more
+  // passes, then the bucket answers 429 with a Retry-After hint.
+  ASSERT_TRUE(client.send_get("/v1/stats", "Connection: keep-alive\r\n"));
+  EXPECT_NE(client.read_response().find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  ASSERT_TRUE(client.send_get("/v1/stats", "Connection: keep-alive\r\n"));
+  const std::string throttled = client.read_response();
+  EXPECT_NE(throttled.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_FALSE(header_value(throttled, "Retry-After").empty());
+  listener.stop();
+}
+
+}  // namespace
+}  // namespace exiot::api

@@ -200,6 +200,86 @@ TEST(DocStoreTest, FindRangeMatchesFullScanFilter) {
   EXPECT_EQ(indexed, scanned);
 }
 
+TEST(DocStoreTest, FindRangePagePagesTheWindowInValueIdOrder) {
+  DocumentStore store;
+  store.ensure_ordered_index("published_at");
+  for (int i = 0; i < 30; ++i) {
+    // Interleaved times with duplicates, so pages split inside buckets.
+    store.insert(published("10.0.0." + std::to_string(i), (i * 7) % 11 * 10),
+                 seconds(i));
+  }
+  DocumentStore::PageCursor whole_cursor;
+  const auto whole =
+      store.find_range_page("published_at", 0, 1000, 1000, whole_cursor);
+  ASSERT_EQ(whole.size(), 30u);
+
+  // Concatenated bounded pages reproduce the one-shot walk exactly.
+  DocumentStore::PageCursor cursor;
+  std::vector<ObjectId> paged;
+  while (true) {
+    const auto page = store.find_range_page("published_at", 0, 1000, 7,
+                                            cursor);
+    if (page.empty()) break;
+    EXPECT_LE(page.size(), 7u);
+    paged.insert(paged.end(), page.begin(), page.end());
+  }
+  EXPECT_EQ(paged, whole);
+
+  // Pages promise (value, id) order — the deterministic export order.
+  for (std::size_t i = 1; i < whole.size(); ++i) {
+    const std::int64_t prev =
+        store.get(whole[i - 1])->get_int("published_at");
+    const std::int64_t next = store.get(whole[i])->get_int("published_at");
+    EXPECT_TRUE(prev < next || (prev == next && whole[i - 1] < whole[i]));
+  }
+
+  // The window stays half-open and a zero limit yields nothing.
+  DocumentStore::PageCursor window_cursor;
+  for (const auto& id :
+       store.find_range_page("published_at", 30, 80, 1000, window_cursor)) {
+    const std::int64_t p = store.get(id)->get_int("published_at");
+    EXPECT_GE(p, 30);
+    EXPECT_LT(p, 80);
+  }
+  DocumentStore::PageCursor zero_cursor;
+  EXPECT_TRUE(
+      store.find_range_page("published_at", 0, 1000, 0, zero_cursor).empty());
+}
+
+TEST(DocStoreTest, FindRangePageResumesAcrossInterleavedInserts) {
+  DocumentStore store;
+  store.ensure_ordered_index("published_at");
+  for (int i = 0; i < 6; ++i) {
+    store.insert(published("10.0.0." + std::to_string(i), i * 10),
+                 seconds(i));
+  }
+  DocumentStore::PageCursor cursor;
+  const auto first = store.find_range_page("published_at", 0, 1000, 2,
+                                           cursor);
+  ASSERT_EQ(first.size(), 2u);  // Values 0 and 10 emitted.
+
+  // Inserts land while the walk is parked (a slow export reader): one
+  // behind the cursor (never emitted — the page order already passed it)
+  // and one ahead (picked up by a later page). No duplicates either way.
+  store.insert(published("10.0.1.1", 5), seconds(10));
+  const ObjectId ahead =
+      store.insert(published("10.0.1.2", 35), seconds(11));
+
+  std::vector<ObjectId> rest;
+  while (true) {
+    const auto page = store.find_range_page("published_at", 0, 1000, 2,
+                                            cursor);
+    if (page.empty()) break;
+    rest.insert(rest.end(), page.begin(), page.end());
+  }
+  ASSERT_EQ(rest.size(), 5u);  // The four remaining originals + `ahead`.
+  EXPECT_EQ(store.get(rest[0])->get_int("published_at"), 20);
+  EXPECT_EQ(rest[2], ahead);  // 20, 30, then the new 35.
+  for (const auto& id : first) {
+    EXPECT_TRUE(std::find(rest.begin(), rest.end(), id) == rest.end());
+  }
+}
+
 TEST(DocStoreTest, OrderedIndexFollowsUpdateRemoveAndExpire) {
   DocumentStore store(14 * kMicrosPerDay);
   store.ensure_ordered_index("published_at");

@@ -49,7 +49,8 @@ def leaves(node, path=""):
     if isinstance(node, dict):
         label = ",".join(f"{k}={node[k]}" for k in
                          ("workers", "producers", "shards", "sampling",
-                          "mode", "sites", "coverage", "profile")
+                          "mode", "sites", "coverage", "profile",
+                          "cache", "conns", "loops")
                          if k in node)
         for key, value in node.items():
             if key in THROUGHPUT_KEYS and isinstance(value, (int, float)):

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: regular build + full test suite + metrics-name lint,
 # then a ThreadSanitizer build of the concurrency-bearing test binaries
-# (the threaded ingest stage, the blocking buffer, the concurrent API
-# listener — worker pool, keep-alive, stop-while-serving — the parallel
+# (the threaded ingest stage, the blocking buffer, the epoll API plane —
+# event loops, worker pool, response cache, rate limiter, streaming
+# export, keep-alive, stop-while-serving — the parallel
 # traffic producer, parallel forest training, the annotate worker pool
 # with its ordered reorder commit, the durability layer's WAL appends off
 # the committer thread including the kill-at-random-commit recovery test,
@@ -43,10 +44,12 @@ cmake -B "$TSAN_BUILD" -S . -DEXIOT_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j"$(nproc)" \
   --target pipeline_test producer_test annotate_test federation_test \
            tracing_test durability_test fingerprint_test flow_test \
-           telescope_test ml_test api_test robustness_test batch_test
+           telescope_test ml_test api_test api_cache_test api_epoll_test \
+           robustness_test batch_test
 for t in pipeline_test producer_test annotate_test federation_test \
          tracing_test durability_test fingerprint_test flow_test \
-         telescope_test ml_test api_test robustness_test batch_test; do
+         telescope_test ml_test api_test api_cache_test api_epoll_test \
+         robustness_test batch_test; do
   echo "-- tsan: $t"
   "$TSAN_BUILD/tests/$t"
 done

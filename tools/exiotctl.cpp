@@ -69,15 +69,26 @@
 //                      [--snapshot-interval H] [--wal-fsync none|roll|always]
 //                      [--port P] [--token T]
 //                      [--api-workers N] [--api-timeout MS]
+//                      [--api-event-loops N] [--api-cache-bytes N]
+//                      [--api-rate-limit R]
 //       Run the pipeline (crash-safe when --data-dir is set, recovering
 //       any state a previous run left there), then serve the resulting feed
 //       over the REST API
 //       on 127.0.0.1:PORT until SIGINT/SIGTERM. --api-workers sizes the
-//       worker pool (concurrent consumers), --api-timeout sets the
-//       per-connection read/write deadlines in milliseconds. Tracing and
+//       worker pool (concurrent consumers), --api-event-loops the epoll
+//       readiness loops owning the sockets, and --api-timeout sets the
+//       per-connection read/write deadlines in milliseconds.
+//       --api-cache-bytes bounds the sequence-keyed response cache for
+//       /v1/snapshot and /v1/records (default 16 MiB; 0 disables — cached
+//       responses carry a strong ETag and If-None-Match revalidation
+//       answers 304). --api-rate-limit R throttles each bearer token to R
+//       requests/second sustained (burst 10 or R, whichever is larger);
+//       over-budget requests get 429 with a Retry-After header; 0 (the
+//       default) disables throttling. Tracing and
 //       the watchdog, when armed, are exposed at /v1/traces and /v1/health;
 //       /v1/flightrecorder always serves the recent-event ring, and a
 //       fatal signal dumps it to stderr.
+#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -584,8 +595,34 @@ int cmd_serve(const Args& args) {
   server.attach_flight_recorder(&pipe.flight_recorder());
   if (pipe.watchdog() != nullptr) server.attach_watchdog(pipe.watchdog());
 
+  // Response cache, keyed by the annotate committer's sequence number: a
+  // publish invalidates exactly the responses it could have changed.
+  const int cache_bytes = args.get_int("--api-cache-bytes", 16 << 20);
+  if (cache_bytes < 0) {
+    std::fprintf(stderr, "serve: --api-cache-bytes must be >= 0, got %d\n",
+                 cache_bytes);
+    return 2;
+  }
+  api::ResponseCache cache(static_cast<std::size_t>(cache_bytes));
+  if (cache_bytes > 0) {
+    cache.instrument(pipe.metrics());
+    server.attach_cache(&cache, [&pipe] { return pipe.commit_sequence(); });
+  }
+  const double rate_limit = args.get_double("--api-rate-limit", 0.0);
+  if (rate_limit < 0.0) {
+    std::fprintf(stderr, "serve: --api-rate-limit must be >= 0, got %g\n",
+                 rate_limit);
+    return 2;
+  }
+  api::TokenBucketLimiter limiter({rate_limit, std::max(10.0, rate_limit)});
+  if (limiter.enabled()) {
+    limiter.instrument(pipe.metrics());
+    server.attach_rate_limiter(&limiter);
+  }
+
   api::TcpListenerOptions options;
   options.num_workers = args.get_positive_int("--api-workers", 4);
+  options.num_event_loops = args.get_positive_int("--api-event-loops", 1);
   const int timeout_ms = args.get_int("--api-timeout", 5000);
   options.read_timeout = std::chrono::milliseconds(timeout_ms);
   options.write_timeout = std::chrono::milliseconds(timeout_ms);
@@ -598,8 +635,10 @@ int cmd_serve(const Args& args) {
     std::fprintf(stderr, "serve: %s\n", port.error().message.c_str());
     return 1;
   }
-  std::printf("serving http://127.0.0.1:%u (%d workers, %d ms deadlines)\n",
-              port.value(), options.num_workers, timeout_ms);
+  std::printf("serving http://127.0.0.1:%u (%d loops, %d workers, %d ms "
+              "deadlines, %d cache bytes, %g req/s per token)\n",
+              port.value(), options.num_event_loops, options.num_workers,
+              timeout_ms, cache_bytes, rate_limit);
   std::printf("  curl http://127.0.0.1:%u/v1/health\n", port.value());
   std::printf("  curl -H 'Authorization: Bearer %s' "
               "'http://127.0.0.1:%u/v1/records?limit=10'\n",
